@@ -1,0 +1,360 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark per demo
+// scenario — the paper has no numbered tables; its evaluation section
+// defines Scenarios 1-7) plus micro-benchmarks of the allocation hot path
+// and ablation benches for the design choices called out in DESIGN.md.
+//
+// Scenario benches report the headline quantities of each scenario via
+// b.ReportMetric (satisfaction, response time, departures), so
+// `go test -bench=Scenario -benchmem` prints the paper's rows alongside the
+// timing. Full-scale tables live in EXPERIMENTS.md and are regenerated with
+// `go run ./cmd/sbqa -scenario all`.
+package sbqa
+
+import (
+	"testing"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/boinc"
+	"sbqa/internal/core"
+	"sbqa/internal/experiments"
+	"sbqa/internal/knbest"
+	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
+	"sbqa/internal/score"
+	"sbqa/internal/stats"
+)
+
+// benchOptions keeps scenario benches fast enough for -bench=. while
+// preserving the dynamics (the full-scale numbers are in EXPERIMENTS.md).
+func benchOptions() experiments.Options {
+	return experiments.Options{Volunteers: 40, Duration: 400, Seed: 7}
+}
+
+func benchScenario(b *testing.B, run func(experiments.Options) (*experiments.ScenarioResult, error), metricsOf func(*experiments.ScenarioResult) map[string]float64) {
+	b.Helper()
+	var last *experiments.ScenarioResult
+	for i := 0; i < b.N; i++ {
+		r, err := run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil && metricsOf != nil {
+		for name, v := range metricsOf(last) {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+func resultOf(r *experiments.ScenarioResult, technique string) metricsResult {
+	for _, res := range r.Results {
+		if res.Technique == technique {
+			return metricsResult{res.MeanResponseTime, res.ConsumerSat, res.ProviderSat, float64(res.ProvidersLeft)}
+		}
+	}
+	return metricsResult{}
+}
+
+type metricsResult struct{ rt, satC, satP, left float64 }
+
+// BenchmarkScenario1 — baselines under the satisfaction model (captive).
+func BenchmarkScenario1(b *testing.B) {
+	benchScenario(b, experiments.Scenario1, func(r *experiments.ScenarioResult) map[string]float64 {
+		cap := resultOf(r, "Capacity")
+		eco := resultOf(r, "Economic")
+		return map[string]float64{
+			"cap_satP": cap.satP, "eco_satP": eco.satP,
+			"cap_RT": cap.rt, "eco_RT": eco.rt,
+		}
+	})
+}
+
+// BenchmarkScenario2 — baselines under autonomy; departures.
+func BenchmarkScenario2(b *testing.B) {
+	benchScenario(b, experiments.Scenario2, func(r *experiments.ScenarioResult) map[string]float64 {
+		cap := resultOf(r, "Capacity")
+		eco := resultOf(r, "Economic")
+		return map[string]float64{"cap_left": cap.left, "eco_left": eco.left}
+	})
+}
+
+// BenchmarkScenario3 — SbQA vs baselines (captive).
+func BenchmarkScenario3(b *testing.B) {
+	benchScenario(b, experiments.Scenario3, func(r *experiments.ScenarioResult) map[string]float64 {
+		cap := resultOf(r, "Capacity")
+		sb := resultOf(r, "SbQA")
+		return map[string]float64{
+			"sbqa_RT": sb.rt, "cap_RT": cap.rt,
+			"sbqa_satP": sb.satP, "cap_satP": cap.satP,
+		}
+	})
+}
+
+// BenchmarkScenario4 — SbQA vs baselines (autonomous): the headline.
+func BenchmarkScenario4(b *testing.B) {
+	benchScenario(b, experiments.Scenario4, func(r *experiments.ScenarioResult) map[string]float64 {
+		cap := resultOf(r, "Capacity")
+		eco := resultOf(r, "Economic")
+		sb := resultOf(r, "SbQA")
+		return map[string]float64{
+			"sbqa_left": sb.left, "cap_left": cap.left, "eco_left": eco.left,
+			"sbqa_RT": sb.rt,
+		}
+	})
+}
+
+// BenchmarkScenario5 — performance-only intentions.
+func BenchmarkScenario5(b *testing.B) {
+	benchScenario(b, experiments.Scenario5, func(r *experiments.ScenarioResult) map[string]float64 {
+		def := resultOf(r, "SbQA/interests")
+		perf := resultOf(r, "SbQA/perf-only")
+		return map[string]float64{"interests_RT": def.rt, "perfonly_RT": perf.rt}
+	})
+}
+
+// BenchmarkScenario6 — kn and ω sweeps.
+func BenchmarkScenario6(b *testing.B) {
+	benchScenario(b, experiments.Scenario6, func(r *experiments.ScenarioResult) map[string]float64 {
+		kn1 := resultOf(r, "SbQA(kn=1)")
+		kn20 := resultOf(r, "SbQA(kn=20)")
+		return map[string]float64{
+			"kn1_RT": kn1.rt, "kn20_RT": kn20.rt,
+			"kn1_satP": kn1.satP, "kn20_satP": kn20.satP,
+		}
+	})
+}
+
+// BenchmarkScenario7 — probe participants.
+func BenchmarkScenario7(b *testing.B) {
+	benchScenario(b, experiments.Scenario7, func(r *experiments.ScenarioResult) map[string]float64 {
+		sb := resultOf(r, "SbQA")
+		cap := resultOf(r, "Capacity")
+		return map[string]float64{"sbqa_satP": sb.satP, "cap_satP": cap.satP}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the allocation hot path
+// ---------------------------------------------------------------------------
+
+// BenchmarkScoreDefinition3 measures one score evaluation.
+func BenchmarkScoreDefinition3(b *testing.B) {
+	s := score.NewScorer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Score(0.7, 0.3, 0.5)
+		_ = s.Score(-0.7, 0.3, 0.5)
+	}
+}
+
+// BenchmarkRank measures ranking a kn=10 candidate set.
+func BenchmarkRank(b *testing.B) {
+	s := score.NewScorer()
+	cands := make([]score.Candidate, 10)
+	for i := range cands {
+		cands[i] = score.Candidate{
+			Provider: model.ProviderID(i),
+			PI:       model.Intention(float64(i%7)/7 - 0.3),
+			CI:       model.Intention(float64(i%5) / 5),
+			SatC:     0.6, SatP: float64(i) / 10,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Rank(cands)
+	}
+}
+
+// BenchmarkKnBestSelect measures the two-stage selection over 1000
+// candidates.
+func BenchmarkKnBestSelect(b *testing.B) {
+	rng := stats.NewRNG(1)
+	cands := make([]model.ProviderSnapshot, 1000)
+	for i := range cands {
+		cands[i] = model.ProviderSnapshot{ID: model.ProviderID(i), Utilization: rng.Float64()}
+	}
+	sel := knbest.NewSelector(knbest.Params{K: 20, Kn: 10}, stats.NewRNG(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sel.Select(cands)
+	}
+}
+
+// BenchmarkSatisfactionUpdate measures one provider-window update plus
+// satisfaction read.
+func BenchmarkSatisfactionUpdate(b *testing.B) {
+	tr := satisfaction.NewProvider(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(model.Intention(float64(i%3)-1), i%5 == 0)
+		_ = tr.Satisfaction()
+	}
+}
+
+// BenchmarkMediateSbQA measures one full SbQA mediation over 200 candidates.
+func BenchmarkMediateSbQA(b *testing.B) {
+	benchmarkMediate(b, core.MustNew(core.DefaultConfig()))
+}
+
+// BenchmarkMediateCapacity measures one capacity-based mediation over 200
+// candidates.
+func BenchmarkMediateCapacity(b *testing.B) {
+	benchmarkMediate(b, alloc.NewCapacity())
+}
+
+// BenchmarkMediateEconomic measures one economic mediation over 200
+// candidates.
+func BenchmarkMediateEconomic(b *testing.B) {
+	benchmarkMediate(b, alloc.NewEconomic(stats.NewRNG(3)))
+}
+
+func benchmarkMediate(b *testing.B, a alloc.Allocator) {
+	b.Helper()
+	env := alloc.NewStaticEnv()
+	rng := stats.NewRNG(9)
+	cands := make([]model.ProviderSnapshot, 200)
+	for i := range cands {
+		cands[i] = model.ProviderSnapshot{
+			ID: model.ProviderID(i), Utilization: rng.Float64(), Capacity: 1,
+		}
+		env.SetCI(0, model.ProviderID(i), model.Intention(rng.Float64()))
+		env.SetPI(model.ProviderID(i), 0, model.Intention(rng.Float64()*2-1))
+	}
+	q := model.Query{ID: 1, Consumer: 0, N: 2, Work: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Allocate(env, q, cands)
+	}
+}
+
+// BenchmarkWorldThroughput measures end-to-end simulated mediations per
+// wall-clock second (100 volunteers, captive, SbQA).
+func BenchmarkWorldThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := boinc.DefaultConfig(100, 7)
+		cfg.Duration = 200
+		w, err := boinc.NewWorld(core.MustNew(core.DefaultConfig()), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := w.Run()
+		b.ReportMetric(float64(r.Issued), "queries/run")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (design choices from DESIGN.md)
+// ---------------------------------------------------------------------------
+
+// runAblation runs an autonomous world and reports satisfaction/departures.
+func runAblation(b *testing.B, mk func(seed uint64) alloc.Allocator, mutate func(*boinc.Config)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := boinc.DefaultConfig(60, 7)
+		cfg.Mode = boinc.Autonomous
+		cfg.Duration = 600
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		w, err := boinc.NewWorld(mk(7), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := w.Run()
+		b.ReportMetric(r.ProviderSat, "satP")
+		b.ReportMetric(r.ConsumerSat, "satC")
+		b.ReportMetric(float64(r.ProvidersLeft), "left")
+		b.ReportMetric(r.MeanResponseTime, "RT")
+	}
+}
+
+// BenchmarkAblationAdaptiveOmega: the satisfaction-adaptive ω (the paper's
+// Equation 2) …
+func BenchmarkAblationAdaptiveOmega(b *testing.B) {
+	runAblation(b, func(seed uint64) alloc.Allocator {
+		c := core.DefaultConfig()
+		c.Seed = seed
+		return core.MustNew(c)
+	}, nil)
+}
+
+// BenchmarkAblationFixedOmega: … versus a fixed 0.5 balance.
+func BenchmarkAblationFixedOmega(b *testing.B) {
+	runAblation(b, func(seed uint64) alloc.Allocator {
+		c := core.DefaultConfig()
+		c.Omega = core.FixedOmega(0.5)
+		c.Seed = seed
+		return core.MustNew(c)
+	}, nil)
+}
+
+// BenchmarkAblationNoStage2: KnBest without the utilization filter
+// (kn = k): pure interest matching.
+func BenchmarkAblationNoStage2(b *testing.B) {
+	runAblation(b, func(seed uint64) alloc.Allocator {
+		c := core.DefaultConfig()
+		c.KnBest = knbest.Params{K: 20, Kn: 20}
+		c.Seed = seed
+		return core.MustNew(c)
+	}, nil)
+}
+
+// BenchmarkAblationSmallWindow: satisfaction memory k = 20 instead of 100.
+func BenchmarkAblationSmallWindow(b *testing.B) {
+	runAblation(b, func(seed uint64) alloc.Allocator {
+		c := core.DefaultConfig()
+		c.Seed = seed
+		return core.MustNew(c)
+	}, func(cfg *boinc.Config) { cfg.Window = 20 })
+}
+
+// BenchmarkAblationReplication1: no result replication (q.n = 1).
+func BenchmarkAblationReplication1(b *testing.B) {
+	runAblation(b, func(seed uint64) alloc.Allocator {
+		c := core.DefaultConfig()
+		c.Seed = seed
+		return core.MustNew(c)
+	}, func(cfg *boinc.Config) {
+		for i := range cfg.Workload.Projects {
+			cfg.Workload.Projects[i].Replication = 1
+		}
+	})
+}
+
+// BenchmarkAblationEpsilonSmall: ε = 0.01 sharpens the negative branch.
+func BenchmarkAblationEpsilonSmall(b *testing.B) {
+	runAblation(b, func(seed uint64) alloc.Allocator {
+		c := core.DefaultConfig()
+		c.Epsilon = 0.01
+		c.Seed = seed
+		return core.MustNew(c)
+	}, nil)
+}
+
+// BenchmarkMotivatingExample — the §IV resource-share rigidity story.
+func BenchmarkMotivatingExample(b *testing.B) {
+	benchScenario(b, experiments.MotivatingExample, func(r *experiments.ScenarioResult) map[string]float64 {
+		share := resultOf(r, "ShareBased(80/20)")
+		sb := resultOf(r, "SbQA")
+		return map[string]float64{"share_RT": share.rt, "sbqa_RT": sb.rt}
+	})
+}
+
+// BenchmarkMaliciousStudy — validation with 20% malicious volunteers.
+func BenchmarkMaliciousStudy(b *testing.B) {
+	benchScenario(b, experiments.MaliciousStudy, func(r *experiments.ScenarioResult) map[string]float64 {
+		rep := resultOf(r, "SbQA/reputation")
+		cap := resultOf(r, "Capacity")
+		return map[string]float64{"rep_satC": rep.satC, "cap_satC": cap.satC}
+	})
+}
+
+// BenchmarkReplicationStudy — fixed vs adaptive replication.
+func BenchmarkReplicationStudy(b *testing.B) {
+	benchScenario(b, experiments.ReplicationStudy, func(r *experiments.ScenarioResult) map[string]float64 {
+		ada := resultOf(r, "adaptive")
+		return map[string]float64{"adaptive_RT": ada.rt}
+	})
+}

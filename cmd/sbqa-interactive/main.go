@@ -1,0 +1,215 @@
+// Command sbqa-interactive is the terminal version of the demo's Scenario 7:
+// play the role of a BOINC volunteer, set your own preferences, and watch
+// how each mediation technique treats you. The demo's claim to verify: only
+// the SQLB mediation used by SbQA lets you reach your objectives whatever
+// your interests are.
+//
+// The program reads answers from stdin; press Enter to accept defaults.
+// It exits on EOF or the command "quit".
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sbqa/internal/boinc"
+	"sbqa/internal/experiments"
+	"sbqa/internal/metrics"
+	"sbqa/internal/model"
+)
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("SbQA interactive demo — play a BOINC participant (Scenario 7).")
+	fmt.Println("Projects: [0] SETI@home (popular)  [1] proteins@home (normal)  [2] Einstein@home (unpopular)")
+	fmt.Println()
+
+	for {
+		fmt.Print("play a [v]olunteer or a [p]roject? [v] ")
+		role := "v"
+		if in.Scan() {
+			if t := strings.ToLower(strings.TrimSpace(in.Text())); t != "" {
+				role = t
+			}
+		} else {
+			return
+		}
+		if role == "q" || role == "quit" {
+			return
+		}
+		if strings.HasPrefix(role, "p") {
+			objective, ok := askFloat(in, "your project's satisfaction objective δs ≥", 0.6, 0, 1)
+			if !ok {
+				return
+			}
+			runConsumerRound(in, objective)
+		} else {
+			prefs, ok := askPrefs(in)
+			if !ok {
+				return
+			}
+			objective, ok := askFloat(in, "your satisfaction objective δs ≥", 0.55, 0, 1)
+			if !ok {
+				return
+			}
+			runRound(prefs, objective)
+		}
+		fmt.Println()
+		fmt.Print("another round? [Y/n] ")
+		if !in.Scan() {
+			return
+		}
+		ans := strings.ToLower(strings.TrimSpace(in.Text()))
+		if ans == "n" || ans == "no" || ans == "quit" || ans == "q" {
+			return
+		}
+	}
+}
+
+// askPrefs collects the player's three project preferences.
+func askPrefs(in *bufio.Scanner) ([3]float64, bool) {
+	defaults := [3]float64{-0.8, -0.8, 0.9}
+	names := [3]string{"SETI@home", "proteins@home", "Einstein@home"}
+	var prefs [3]float64
+	for i := range prefs {
+		v, ok := askFloat(in, fmt.Sprintf("your preference for %s", names[i]), defaults[i], -1, 1)
+		if !ok {
+			return prefs, false
+		}
+		prefs[i] = v
+	}
+	return prefs, true
+}
+
+// askFloat prompts for one bounded float with a default.
+func askFloat(in *bufio.Scanner, what string, def, lo, hi float64) (float64, bool) {
+	for {
+		fmt.Printf("%s [%.2f]: ", what, def)
+		if !in.Scan() {
+			return 0, false
+		}
+		text := strings.TrimSpace(in.Text())
+		if text == "quit" || text == "q" {
+			return 0, false
+		}
+		if text == "" {
+			return def, true
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil || v < lo || v > hi {
+			fmt.Printf("  please enter a number in [%g, %g]\n", lo, hi)
+			continue
+		}
+		return v, true
+	}
+}
+
+// runConsumerRound lets the player shape a project's host preferences and
+// see which mediation meets its objective.
+func runConsumerRound(in *bufio.Scanner, objective float64) {
+	fastPref, ok := askFloat(in, "your preference for the fastest 25% of hosts", 0.9, -1, 1)
+	if !ok {
+		return
+	}
+	slowPref, ok := askFloat(in, "your preference for the remaining hosts", 0.1, -1, 1)
+	if !ok {
+		return
+	}
+	opt := experiments.Options{Volunteers: 60, Duration: 900, Seed: 7}
+	cfg := boinc.DefaultConfig(opt.Volunteers, opt.Seed)
+	cfg.Mode = boinc.Autonomous
+	cfg.Duration = opt.Duration
+	const you = model.ConsumerID(2) // Einstein@home — the hard case
+
+	table := &metrics.Table{
+		Title:   "how each mediation treated your project",
+		Columns: []string{"technique", "your δs", "objective met", "your queries' RT"},
+	}
+	for i, tech := range experiments.AllTechniques() {
+		w, err := boinc.NewWorld(tech.New(opt.Seed+uint64(i)*7919), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbqa-interactive:", err)
+			os.Exit(1)
+		}
+		vols := w.Volunteers()
+		caps := make([]float64, len(vols))
+		for j, v := range vols {
+			caps[j] = v.Capacity()
+		}
+		cut := quantileOf(caps, 0.75)
+		hostPrefs := make([]float64, len(vols))
+		for j, v := range vols {
+			if v.Capacity() >= cut {
+				hostPrefs[j] = fastPref
+			} else {
+				hostPrefs[j] = slowPref
+			}
+		}
+		w.SetProjectPrefs(you, hostPrefs)
+		w.Run()
+		proj := w.Projects()[you]
+		sat := proj.Satisfaction()
+		met := proj.Online() && sat >= objective
+		table.Rows = append(table.Rows, []string{
+			tech.Name,
+			fmt.Sprintf("%.3f", sat),
+			fmt.Sprintf("%v", met),
+			fmt.Sprintf("online=%v", proj.Online()),
+		})
+	}
+	fmt.Println()
+	_ = table.Render(os.Stdout)
+}
+
+// quantileOf returns the q-th quantile of values.
+func quantileOf(values []float64, q float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// runRound plants the player as volunteer 0 and runs every technique.
+func runRound(prefs [3]float64, objective float64) {
+	opt := experiments.Options{Volunteers: 60, Duration: 900, Seed: 7}
+	cfg := boinc.DefaultConfig(opt.Volunteers, opt.Seed)
+	cfg.Mode = boinc.Autonomous
+	cfg.Duration = opt.Duration
+	const you = model.ProviderID(0)
+
+	table := &metrics.Table{
+		Title:   "how each mediation treated you",
+		Columns: []string{"technique", "your δs", "still online", "objective met", "system RT"},
+	}
+	for i, tech := range experiments.AllTechniques() {
+		w, err := boinc.NewWorld(tech.New(opt.Seed+uint64(i)*7919), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbqa-interactive: %v\n", err)
+			os.Exit(1)
+		}
+		w.SetVolunteerPrefs(you, prefs[:])
+		res := w.Run()
+		vol := w.Volunteers()[you]
+		sat := vol.Satisfaction()
+		if !vol.Online() {
+			sat = 0
+		}
+		met := vol.Online() && sat >= objective
+		table.Rows = append(table.Rows, []string{
+			tech.Name,
+			fmt.Sprintf("%.3f", sat),
+			fmt.Sprintf("%v", vol.Online()),
+			fmt.Sprintf("%v", met),
+			fmt.Sprintf("%.2f", res.MeanResponseTime),
+		})
+	}
+	fmt.Println()
+	_ = table.Render(os.Stdout)
+}

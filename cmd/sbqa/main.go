@@ -1,0 +1,121 @@
+// Command sbqa runs the SbQA experiment scenarios and prints the paper-style
+// tables. It can also export every run's time series as CSV for plotting.
+//
+// Usage:
+//
+//	sbqa -scenario all                         # run every scenario at paper scale
+//	sbqa -scenario 4 -volunteers 200           # scale up scenario 4
+//	sbqa -scenario 3 -csv out/                 # export time series
+//	sbqa -scenario 2 -duration 5000 -seed 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sbqa/internal/experiments"
+)
+
+func main() {
+	var (
+		scenario   = flag.String("scenario", "all", "scenario to run: 1..7, 'm' (motivating example), 'v' (malicious validation study), 'r' (replication study), 'a' (adwords study), or 'all'")
+		volunteers = flag.Int("volunteers", 100, "provider population size")
+		duration   = flag.Float64("duration", 2000, "simulated seconds per run")
+		seed       = flag.Uint64("seed", 42, "random seed (runs are reproducible under it)")
+		load       = flag.Float64("load", 0.7, "offered load factor ρ")
+		csvDir     = flag.String("csv", "", "directory to write per-technique time-series CSVs (optional)")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Volunteers: *volunteers,
+		Duration:   *duration,
+		Seed:       *seed,
+		Load:       *load,
+	}
+	if !*quiet {
+		opt.Out = os.Stderr
+	}
+
+	runners := map[string]func(experiments.Options) (*experiments.ScenarioResult, error){
+		"1": experiments.Scenario1,
+		"2": experiments.Scenario2,
+		"3": experiments.Scenario3,
+		"4": experiments.Scenario4,
+		"5": experiments.Scenario5,
+		"6": experiments.Scenario6,
+		"7": experiments.Scenario7,
+		"m": experiments.MotivatingExample,
+		"v": experiments.MaliciousStudy,
+		"r": experiments.ReplicationStudy,
+		"a": experiments.AdWordsStudy,
+	}
+
+	var order []string
+	if *scenario == "all" {
+		order = []string{"1", "2", "3", "4", "5", "6", "7", "m", "v", "r", "a"}
+	} else {
+		for _, s := range strings.Split(*scenario, ",") {
+			s = strings.TrimSpace(s)
+			if _, ok := runners[s]; !ok {
+				fmt.Fprintf(os.Stderr, "sbqa: unknown scenario %q (want 1..7, m, v, r, a, or all)\n", s)
+				os.Exit(2)
+			}
+			order = append(order, s)
+		}
+	}
+
+	for _, key := range order {
+		res, err := runners[key](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbqa: scenario %s: %v\n", key, err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sbqa: render: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, key, res); err != nil {
+				fmt.Fprintf(os.Stderr, "sbqa: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSVs exports each technique's time series under
+// <dir>/scenario<k>_<technique>.csv.
+func writeCSVs(dir, key string, res *experiments.ScenarioResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, col := range res.Collectors {
+		clean := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '_'
+			}
+		}, name)
+		path := filepath.Join(dir, fmt.Sprintf("scenario%s_%s.csv", key, clean))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteSeriesCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

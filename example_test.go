@@ -1,0 +1,101 @@
+package sbqa_test
+
+import (
+	"fmt"
+
+	"sbqa"
+)
+
+// exampleConsumer wants provider 1 and dislikes provider 0.
+type exampleConsumer struct{}
+
+func (exampleConsumer) ConsumerID() sbqa.ConsumerID { return 0 }
+func (exampleConsumer) Intention(_ sbqa.Query, snap sbqa.ProviderSnapshot) sbqa.Intention {
+	if snap.ID == 1 {
+		return 0.9
+	}
+	return -0.4
+}
+
+// exampleProvider wants every query equally.
+type exampleProvider struct{ id sbqa.ProviderID }
+
+func (p exampleProvider) ProviderID() sbqa.ProviderID { return p.id }
+func (p exampleProvider) Snapshot(float64) sbqa.ProviderSnapshot {
+	return sbqa.ProviderSnapshot{ID: p.id, Capacity: 1}
+}
+func (p exampleProvider) CanPerform(sbqa.Query) bool          { return true }
+func (p exampleProvider) Intention(sbqa.Query) sbqa.Intention { return 0.5 }
+func (p exampleProvider) Bid(q sbqa.Query) float64            { return q.Work }
+
+// Example shows the minimal mediation flow: one consumer, two providers,
+// one query allocated by the satisfaction-based process.
+func Example() {
+	med := sbqa.NewMediator(sbqa.NewSbQA(sbqa.SbQAConfig{}), sbqa.MediatorConfig{Window: 10})
+	med.RegisterConsumer(exampleConsumer{})
+	med.RegisterProvider(exampleProvider{id: 0})
+	med.RegisterProvider(exampleProvider{id: 1})
+
+	a, err := med.Mediate(0, sbqa.Query{Consumer: 0, N: 1, Work: 5})
+	if err != nil {
+		fmt.Println("mediation failed:", err)
+		return
+	}
+	fmt.Println("allocated to provider", a.Selected[0])
+	// Output: allocated to provider 1
+}
+
+// ExampleOmega shows the adaptive balance of Equation 2: the less satisfied
+// side gets the louder voice.
+func ExampleOmega() {
+	fmt.Printf("%.2f\n", sbqa.Omega(0.5, 0.5)) // balanced
+	fmt.Printf("%.2f\n", sbqa.Omega(0.9, 0.1)) // starved provider: its intention dominates
+	fmt.Printf("%.2f\n", sbqa.Omega(0.1, 0.9)) // starved consumer: its intention dominates
+	// Output:
+	// 0.50
+	// 0.90
+	// 0.10
+}
+
+// ExampleScorer shows Definition 3: mutual interest scores positively,
+// any objection routes to the negative branch.
+func ExampleScorer() {
+	s := sbqa.NewScorer()
+	fmt.Printf("%.2f\n", s.Score(1, 1, 0.5))
+	fmt.Printf("%.2f\n", s.Score(0.25, 1, 0.5))
+	fmt.Printf("%.2f\n", s.Score(-1, -1, 0.5))
+	// Output:
+	// 1.00
+	// 0.50
+	// -3.00
+}
+
+// ExampleNewProviderTracker shows Definition 2, including its zero clause:
+// a provider that performed none of the proposed queries is maximally
+// dissatisfied.
+func ExampleNewProviderTracker() {
+	tr := sbqa.NewProviderTracker(10)
+	tr.Record(0.8, false) // proposed a liked query, did not get it
+	fmt.Printf("%.2f\n", tr.Satisfaction())
+	tr.Record(0.8, true) // performs one it likes: unit (0.8+1)/2
+	fmt.Printf("%.2f\n", tr.Satisfaction())
+	// Output:
+	// 0.00
+	// 0.90
+}
+
+// ExampleNewWorld runs a miniature BOINC world under SbQA and prints
+// whether any volunteer left.
+func ExampleNewWorld() {
+	cfg := sbqa.DefaultWorldConfig(30, 1)
+	cfg.Duration = 300
+	cfg.Mode = sbqa.Autonomous
+	w, err := sbqa.NewWorld(sbqa.NewSbQA(sbqa.SbQAConfig{}), cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	r := w.Run()
+	fmt.Println("departures:", r.ProvidersLeft)
+	// Output: departures: 2
+}

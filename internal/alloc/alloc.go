@@ -1,0 +1,311 @@
+// Package alloc defines the query-allocator abstraction the mediator uses
+// and the baseline allocation techniques the SbQA demo compares against:
+//
+//   - Capacity-based allocation [Ganesan et al., VLDB 2004] — the principle
+//     behind BOINC's dispatcher: send each query to the providers with the
+//     most available capacity, ignoring anyone's interests;
+//   - Economic allocation [Mariposa, VLDBJ 1996] — providers bid a price,
+//     the mediator buys the cheapest offers, interests enter only through
+//     whatever the price encodes;
+//   - Random and RoundRobin — controls.
+//
+// The SbQA allocator itself (KnBest × SQLB) lives in internal/core; it
+// implements the same Allocator interface.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"sbqa/internal/model"
+	"sbqa/internal/stats"
+)
+
+// Env is the mediation environment: the allocator's only window onto the
+// participants. Implementations route the calls to the consumer's and
+// providers' intention policies (and pricing, for the economic baseline) and
+// to the satisfaction registry.
+//
+// The query q carries its consumer, so consumer-side calls need no separate
+// consumer argument.
+type Env interface {
+	// ConsumerIntention returns CI_q[p]: the intention of q's consumer to
+	// see q allocated to provider p.
+	ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention
+
+	// ProviderIntention returns PI_q[p]: provider p's intention to
+	// perform q.
+	ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention
+
+	// ProviderBid returns the price provider p asks to perform q
+	// (economic baseline only).
+	ProviderBid(q model.Query, p model.ProviderSnapshot) float64
+
+	// ConsumerSatisfaction returns δs(c) for q's consumer.
+	ConsumerSatisfaction(c model.ConsumerID) float64
+
+	// ProviderSatisfaction returns δs(p).
+	ProviderSatisfaction(p model.ProviderID) float64
+}
+
+// Allocator decides which providers perform a query.
+//
+// Contract: the returned Allocation must have Selected ⊆ Proposed ⊆
+// candidates, with len(Selected) = min(q.N, feasible). Proposed is the set
+// of providers the mediator contacts about q; it defines the providers whose
+// satisfaction windows record this mediation (Definition 2 is over
+// *proposed* queries). Allocators that collect intentions should record them
+// in the Allocation; the mediator backfills any it needs for analysis.
+type Allocator interface {
+	// Name identifies the technique in experiment tables.
+	Name() string
+
+	// Allocate mediates one query over the candidate set P_q. candidates
+	// is never mutated. A nil or empty result means the query cannot be
+	// allocated (no candidates).
+	Allocate(env Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation
+}
+
+// resultN returns how many providers to select for q from nCands candidates.
+func resultN(q model.Query, nCands int) int {
+	n := q.N
+	if n < 1 {
+		n = 1
+	}
+	if n > nCands {
+		n = nCands
+	}
+	return n
+}
+
+// newAllocation builds an Allocation whose proposed set equals the selected
+// set — the shape shared by all baselines that contact only the providers
+// they pick.
+func newAllocation(q model.Query, selected []model.ProviderSnapshot) *model.Allocation {
+	ids := make([]model.ProviderID, len(selected))
+	for i, s := range selected {
+		ids[i] = s.ID
+	}
+	return &model.Allocation{
+		Query:    q,
+		Selected: ids,
+		Proposed: append([]model.ProviderID(nil), ids...),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+// Random allocates each query to q.N uniformly random candidates. It is the
+// weakest control: interest-blind and load-blind.
+type Random struct {
+	rng *stats.RNG
+	buf []int
+}
+
+// NewRandom returns a random allocator with its own stream.
+func NewRandom(rng *stats.RNG) *Random {
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	return &Random{rng: rng}
+}
+
+// Name implements Allocator.
+func (r *Random) Name() string { return "Random" }
+
+// Allocate implements Allocator.
+func (r *Random) Allocate(_ Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+	if len(candidates) == 0 {
+		return nil
+	}
+	n := resultN(q, len(candidates))
+	r.buf = r.rng.SampleK(len(candidates), n, r.buf)
+	sel := make([]model.ProviderSnapshot, 0, n)
+	for _, idx := range r.buf {
+		sel = append(sel, candidates[idx])
+	}
+	return newAllocation(q, sel)
+}
+
+// ---------------------------------------------------------------------------
+// RoundRobin
+// ---------------------------------------------------------------------------
+
+// RoundRobin allocates queries to candidates in rotating ID order: perfectly
+// even in count, blind to load, interests, and heterogeneity.
+type RoundRobin struct {
+	cursor int
+}
+
+// NewRoundRobin returns a round-robin allocator.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Allocator.
+func (r *RoundRobin) Name() string { return "RoundRobin" }
+
+// Allocate implements Allocator.
+func (r *RoundRobin) Allocate(_ Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Stable order by ID so the rotation is well defined regardless of the
+	// candidate slice order.
+	ordered := append([]model.ProviderSnapshot(nil), candidates...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	n := resultN(q, len(ordered))
+	sel := make([]model.ProviderSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		sel = append(sel, ordered[(r.cursor+i)%len(ordered)])
+	}
+	r.cursor = (r.cursor + n) % len(ordered)
+	return newAllocation(q, sel)
+}
+
+// ---------------------------------------------------------------------------
+// Capacity-based (the BOINC-like baseline)
+// ---------------------------------------------------------------------------
+
+// Capacity allocates each query to the q.N providers with the greatest
+// available capacity — the lowest utilization, breaking ties by shorter
+// queue, then less pending work, then ID. This is the query-load-balancing
+// principle of [9] and, per the demo paper, "the way in which BOINC
+// allocates queries". It maximizes throughput but is completely blind to
+// participants' interests.
+type Capacity struct{}
+
+// NewCapacity returns a capacity-based allocator.
+func NewCapacity() *Capacity { return &Capacity{} }
+
+// Name implements Allocator.
+func (*Capacity) Name() string { return "Capacity" }
+
+// Allocate implements Allocator.
+func (*Capacity) Allocate(_ Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+	if len(candidates) == 0 {
+		return nil
+	}
+	ordered := append([]model.ProviderSnapshot(nil), candidates...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Utilization != b.Utilization {
+			return a.Utilization < b.Utilization
+		}
+		if a.QueueLen != b.QueueLen {
+			return a.QueueLen < b.QueueLen
+		}
+		if a.PendingWork != b.PendingWork {
+			return a.PendingWork < b.PendingWork
+		}
+		return a.ID < b.ID
+	})
+	n := resultN(q, len(ordered))
+	return newAllocation(q, ordered[:n])
+}
+
+// ---------------------------------------------------------------------------
+// Economic (Mariposa-like)
+// ---------------------------------------------------------------------------
+
+// DefaultBidSample is how many candidates the economic mediator solicits
+// bids from for each query. Mariposa-style systems contact a bounded subset
+// rather than the whole provider population.
+const DefaultBidSample = 10
+
+// Economic implements a sealed-bid microeconomic mediation: it asks a random
+// sample of candidates for a price to perform q and buys the q.N cheapest
+// offers. The contacted bidders form the proposed set — they saw the query,
+// so their satisfaction windows record it.
+type Economic struct {
+	// BidSample bounds the number of bidders contacted per query;
+	// values < 1 mean DefaultBidSample.
+	BidSample int
+
+	rng *stats.RNG
+	buf []int
+}
+
+// NewEconomic returns an economic allocator with its own stream.
+func NewEconomic(rng *stats.RNG) *Economic {
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	return &Economic{BidSample: DefaultBidSample, rng: rng}
+}
+
+// Name implements Allocator.
+func (*Economic) Name() string { return "Economic" }
+
+// Interactive reports that the economic mediation contacts providers (the
+// bidding round); the simulation charges it a network round trip per query.
+func (*Economic) Interactive() bool { return true }
+
+// Allocate implements Allocator.
+func (e *Economic) Allocate(env Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+	if len(candidates) == 0 {
+		return nil
+	}
+	sample := e.BidSample
+	if sample < 1 {
+		sample = DefaultBidSample
+	}
+	n := resultN(q, len(candidates))
+	if sample < n {
+		sample = n
+	}
+	if sample > len(candidates) {
+		sample = len(candidates)
+	}
+	e.buf = e.rng.SampleK(len(candidates), sample, e.buf)
+
+	type offer struct {
+		snap model.ProviderSnapshot
+		bid  float64
+	}
+	offers := make([]offer, 0, sample)
+	for _, idx := range e.buf {
+		snap := candidates[idx]
+		offers = append(offers, offer{snap: snap, bid: env.ProviderBid(q, snap)})
+	}
+	sort.SliceStable(offers, func(i, j int) bool {
+		if offers[i].bid != offers[j].bid {
+			return offers[i].bid < offers[j].bid
+		}
+		return offers[i].snap.ID < offers[j].snap.ID
+	})
+
+	a := &model.Allocation{Query: q}
+	a.Scores = make([]float64, 0, len(offers))
+	for i, o := range offers {
+		a.Proposed = append(a.Proposed, o.snap.ID)
+		// Bids are prices: lower is better. Store the negated bid so that
+		// Scores keeps the "higher is better" convention.
+		a.Scores = append(a.Scores, -o.bid)
+		if i < n {
+			a.Selected = append(a.Selected, o.snap.ID)
+		}
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Registry of named constructors (CLI / experiments convenience)
+// ---------------------------------------------------------------------------
+
+// NewByName builds one of the baseline allocators from its table name.
+// SbQA itself is constructed in internal/core (it needs scorer/selector
+// configuration). Unknown names return an error.
+func NewByName(name string, rng *stats.RNG) (Allocator, error) {
+	switch name {
+	case "Random":
+		return NewRandom(rng), nil
+	case "RoundRobin":
+		return NewRoundRobin(), nil
+	case "Capacity":
+		return NewCapacity(), nil
+	case "Economic":
+		return NewEconomic(rng), nil
+	}
+	return nil, fmt.Errorf("alloc: unknown allocator %q", name)
+}

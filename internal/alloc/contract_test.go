@@ -1,0 +1,99 @@
+package alloc
+
+import (
+	"testing"
+
+	"sbqa/internal/model"
+	"sbqa/internal/stats"
+)
+
+// TestAllocatorContractProperty drives every baseline through randomized
+// candidate sets and queries and checks the Allocator contract:
+// Selected ⊆ Proposed ⊆ candidates, no duplicates, correct selection count,
+// nil only on empty/unservable input, and no mutation of the input slice.
+func TestAllocatorContractProperty(t *testing.T) {
+	rng := stats.NewRNG(777)
+	allocators := []Allocator{
+		NewRandom(stats.NewRNG(1)),
+		NewRoundRobin(),
+		NewCapacity(),
+		NewEconomic(stats.NewRNG(2)),
+		NewShareBased(),
+	}
+	env := NewStaticEnv()
+
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(30) // may be zero
+		cands := make([]model.ProviderSnapshot, n)
+		backup := make([]model.ProviderSnapshot, n)
+		for i := range cands {
+			cands[i] = model.ProviderSnapshot{
+				ID:          model.ProviderID(i * 2), // gaps: IDs ≠ indices
+				Utilization: rng.Float64(),
+				QueueLen:    rng.Intn(5),
+				Capacity:    0.5 + rng.Float64(),
+				PendingWork: rng.Float64() * 20,
+			}
+		}
+		copy(backup, cands)
+		q := model.Query{
+			ID:       model.QueryID(trial),
+			Consumer: model.ConsumerID(rng.Intn(3)),
+			N:        1 + rng.Intn(4),
+			Work:     1 + rng.Float64()*10,
+		}
+
+		for _, a := range allocators {
+			out := a.Allocate(env, q, cands)
+			if n == 0 {
+				if out != nil {
+					t.Fatalf("%s: non-nil allocation for empty candidates", a.Name())
+				}
+				continue
+			}
+			if out == nil {
+				// Only ShareBased may refuse a non-empty candidate set
+				// (exhausted budgets); with StaticEnv's fallback pricing
+				// budgets are positive, so nil is always a bug here.
+				t.Fatalf("%s: nil allocation for %d candidates", a.Name(), n)
+			}
+			want := q.N
+			if want > n {
+				want = n
+			}
+			if len(out.Selected) != want {
+				t.Fatalf("%s: selected %d of %d candidates for q.N=%d",
+					a.Name(), len(out.Selected), n, q.N)
+			}
+			valid := map[model.ProviderID]bool{}
+			for _, c := range cands {
+				valid[c.ID] = true
+			}
+			seenProp := map[model.ProviderID]bool{}
+			for _, p := range out.Proposed {
+				if !valid[p] {
+					t.Fatalf("%s: proposed foreign provider %d", a.Name(), p)
+				}
+				if seenProp[p] {
+					t.Fatalf("%s: duplicate proposed provider %d", a.Name(), p)
+				}
+				seenProp[p] = true
+			}
+			seenSel := map[model.ProviderID]bool{}
+			for _, p := range out.Selected {
+				if !seenProp[p] {
+					t.Fatalf("%s: selected %d not in proposed set", a.Name(), p)
+				}
+				if seenSel[p] {
+					t.Fatalf("%s: duplicate selected provider %d", a.Name(), p)
+				}
+				seenSel[p] = true
+			}
+			for i := range cands {
+				if cands[i] != backup[i] {
+					t.Fatalf("%s: mutated candidate slice at %d", a.Name(), i)
+				}
+			}
+		}
+	}
+}

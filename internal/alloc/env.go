@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"sbqa/internal/model"
+)
+
+// StaticEnv is a deterministic Env backed by explicit tables. It serves unit
+// tests, examples, and any embedding where intentions are known up front
+// rather than computed by live participant policies.
+//
+// Missing entries fall back to zero intentions, bid = expected delay, and
+// neutral satisfaction (0.5).
+type StaticEnv struct {
+	// CI maps consumer → provider → intention.
+	CI map[model.ConsumerID]map[model.ProviderID]model.Intention
+	// PI maps provider → consumer → intention.
+	PI map[model.ProviderID]map[model.ConsumerID]model.Intention
+	// Bids maps provider → fixed bid; providers absent from the map bid
+	// their expected completion delay for the query.
+	Bids map[model.ProviderID]float64
+	// SatC and SatP hold long-run satisfactions; absent entries are 0.5.
+	SatC map[model.ConsumerID]float64
+	SatP map[model.ProviderID]float64
+}
+
+// NewStaticEnv returns an empty StaticEnv ready to be populated.
+func NewStaticEnv() *StaticEnv {
+	return &StaticEnv{
+		CI:   make(map[model.ConsumerID]map[model.ProviderID]model.Intention),
+		PI:   make(map[model.ProviderID]map[model.ConsumerID]model.Intention),
+		Bids: make(map[model.ProviderID]float64),
+		SatC: make(map[model.ConsumerID]float64),
+		SatP: make(map[model.ProviderID]float64),
+	}
+}
+
+// SetCI records consumer c's intention toward provider p.
+func (e *StaticEnv) SetCI(c model.ConsumerID, p model.ProviderID, v model.Intention) {
+	m, ok := e.CI[c]
+	if !ok {
+		m = make(map[model.ProviderID]model.Intention)
+		e.CI[c] = m
+	}
+	m[p] = v
+}
+
+// SetPI records provider p's intention toward consumer c's queries.
+func (e *StaticEnv) SetPI(p model.ProviderID, c model.ConsumerID, v model.Intention) {
+	m, ok := e.PI[p]
+	if !ok {
+		m = make(map[model.ConsumerID]model.Intention)
+		e.PI[p] = m
+	}
+	m[c] = v
+}
+
+// ConsumerIntention implements Env.
+func (e *StaticEnv) ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
+	if m, ok := e.CI[q.Consumer]; ok {
+		if v, ok := m[p.ID]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// ProviderIntention implements Env.
+func (e *StaticEnv) ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
+	if m, ok := e.PI[p.ID]; ok {
+		if v, ok := m[q.Consumer]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// ProviderBid implements Env.
+func (e *StaticEnv) ProviderBid(q model.Query, p model.ProviderSnapshot) float64 {
+	if b, ok := e.Bids[p.ID]; ok {
+		return b
+	}
+	return p.ExpectedDelay(q.Work)
+}
+
+// ConsumerSatisfaction implements Env.
+func (e *StaticEnv) ConsumerSatisfaction(c model.ConsumerID) float64 {
+	if v, ok := e.SatC[c]; ok {
+		return v
+	}
+	return 0.5
+}
+
+// ProviderSatisfaction implements Env.
+func (e *StaticEnv) ProviderSatisfaction(p model.ProviderID) float64 {
+	if v, ok := e.SatP[p]; ok {
+		return v
+	}
+	return 0.5
+}
+
+var _ Env = (*StaticEnv)(nil)

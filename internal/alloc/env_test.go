@@ -1,0 +1,65 @@
+package alloc
+
+import (
+	"testing"
+
+	"sbqa/internal/model"
+)
+
+func TestStaticEnvDefaults(t *testing.T) {
+	e := NewStaticEnv()
+	query := model.Query{ID: 1, Consumer: 3, N: 1, Work: 4}
+	snap := model.ProviderSnapshot{ID: 7, Capacity: 2, PendingWork: 6}
+	if got := e.ConsumerIntention(query, snap); got != 0 {
+		t.Errorf("default CI = %v, want 0", got)
+	}
+	if got := e.ProviderIntention(query, snap); got != 0 {
+		t.Errorf("default PI = %v, want 0", got)
+	}
+	if got, want := e.ProviderBid(query, snap), 5.0; got != want {
+		t.Errorf("default bid = %v, want expected delay %v", got, want)
+	}
+	if got := e.ConsumerSatisfaction(3); got != 0.5 {
+		t.Errorf("default SatC = %v", got)
+	}
+	if got := e.ProviderSatisfaction(7); got != 0.5 {
+		t.Errorf("default SatP = %v", got)
+	}
+}
+
+func TestStaticEnvSetters(t *testing.T) {
+	e := NewStaticEnv()
+	e.SetCI(3, 7, 0.75)
+	e.SetPI(7, 3, -0.5)
+	e.Bids[7] = 42
+	e.SatC[3] = 0.9
+	e.SatP[7] = 0.1
+
+	query := model.Query{ID: 1, Consumer: 3, N: 1, Work: 1}
+	snap := model.ProviderSnapshot{ID: 7, Capacity: 1}
+	if got := e.ConsumerIntention(query, snap); got != 0.75 {
+		t.Errorf("CI = %v", got)
+	}
+	if got := e.ProviderIntention(query, snap); got != -0.5 {
+		t.Errorf("PI = %v", got)
+	}
+	if got := e.ProviderBid(query, snap); got != 42 {
+		t.Errorf("bid = %v", got)
+	}
+	if got := e.ConsumerSatisfaction(3); got != 0.9 {
+		t.Errorf("SatC = %v", got)
+	}
+	if got := e.ProviderSatisfaction(7); got != 0.1 {
+		t.Errorf("SatP = %v", got)
+	}
+
+	// Setters on existing maps must not clobber other entries.
+	e.SetCI(3, 8, 0.25)
+	if got := e.ConsumerIntention(query, snap); got != 0.75 {
+		t.Errorf("CI clobbered: %v", got)
+	}
+	e.SetPI(7, 4, 1)
+	if got := e.ProviderIntention(query, snap); got != -0.5 {
+		t.Errorf("PI clobbered: %v", got)
+	}
+}

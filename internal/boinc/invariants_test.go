@@ -1,0 +1,187 @@
+package boinc
+
+import (
+	"fmt"
+	"testing"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/core"
+	"sbqa/internal/intention"
+	"sbqa/internal/knbest"
+	"sbqa/internal/model"
+	"sbqa/internal/stats"
+	"sbqa/internal/workload"
+)
+
+// TestWorldInvariantsUnderRandomConfigs drives every allocator through a
+// battery of randomized configurations — population size, load, replication,
+// autonomy, malicious fractions, policies, kn — and checks the accounting
+// invariants that must hold whatever happens:
+//
+//	issued = completed + unallocated + validation failures + in flight
+//	satisfactions ∈ [0,1]; online counts consistent with departures;
+//	response times positive; utilizations ∈ [0,1].
+func TestWorldInvariantsUnderRandomConfigs(t *testing.T) {
+	rng := stats.NewRNG(2024)
+	mkAllocator := func(kind int, seed uint64) alloc.Allocator {
+		switch kind {
+		case 0:
+			return alloc.NewCapacity()
+		case 1:
+			return alloc.NewEconomic(stats.NewRNG(seed))
+		case 2:
+			return alloc.NewRandom(stats.NewRNG(seed))
+		case 3:
+			return alloc.NewShareBased()
+		default:
+			c := core.DefaultConfig()
+			c.KnBest = knbest.Params{K: 5 + rng.Intn(20), Kn: 1 + rng.Intn(5)}
+			c.Seed = seed
+			return core.MustNew(c)
+		}
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			seed := uint64(1000 + trial)
+			cfg := DefaultConfig(10+rng.Intn(50), seed)
+			cfg.Duration = 150 + float64(rng.Intn(150))
+			cfg.SampleEvery = 10
+			cfg.Window = 10 + rng.Intn(60)
+			cfg.Workload.LoadFactor = 0.3 + rng.Float64()*0.6
+			cfg.Workload.MaliciousFraction = rng.Float64() * 0.3
+			if rng.Bool(0.5) {
+				cfg.Mode = Autonomous
+			}
+			if rng.Bool(0.3) {
+				cfg.EnforceShares = true
+			}
+			if rng.Bool(0.3) {
+				cfg.ProviderPolicy = func(workload.Volunteer) intention.ProviderPolicy {
+					return intention.AdaptiveProvider{}
+				}
+			}
+			if rng.Bool(0.3) {
+				cfg.ConsumerPolicy = func(workload.Project) intention.ConsumerPolicy {
+					return intention.ResponseTimeConsumer{}
+				}
+			}
+			if rng.Bool(0.3) {
+				cfg.RejoinAfter = 30
+			}
+			for i := range cfg.Workload.Projects {
+				cfg.Workload.Projects[i].Replication = 1 + rng.Intn(3)
+			}
+			kind := rng.Intn(5)
+			w, err := NewWorld(mkAllocator(kind, seed), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := w.Run()
+
+			inFlight := int64(len(w.pending))
+			acc := r.Completed + r.Unallocated + r.ValidationFailures + inFlight
+			if acc != r.Issued {
+				t.Errorf("accounting: issued=%d completed=%d unalloc=%d failed=%d inflight=%d",
+					r.Issued, r.Completed, r.Unallocated, r.ValidationFailures, inFlight)
+			}
+			for _, v := range w.Volunteers() {
+				if s := v.Satisfaction(); s < 0 || s > 1 {
+					t.Errorf("volunteer %d δs=%v", v.ProviderID(), s)
+				}
+				if u := v.Utilization(w.Engine().Now()); u < 0 || u > 1 {
+					t.Errorf("volunteer %d util=%v", v.ProviderID(), u)
+				}
+			}
+			for _, p := range w.Projects() {
+				if s := p.Satisfaction(); s < 0 || s > 1 {
+					t.Errorf("project %s δs=%v", p.Name(), s)
+				}
+				if f := p.FailureRate(); f < 0 || f > 1 {
+					t.Errorf("project %s failure rate %v", p.Name(), f)
+				}
+			}
+			if r.MeanResponseTime < 0 {
+				t.Errorf("negative response time %v", r.MeanResponseTime)
+			}
+			// Online bookkeeping: departures minus rejoins = offline count.
+			offline := len(w.Volunteers()) - w.OnlineVolunteers()
+			if cfg.RejoinAfter == 0 && offline != r.ProvidersLeft {
+				t.Errorf("offline=%d but departures=%d", offline, r.ProvidersLeft)
+			}
+			if offline > r.ProvidersLeft {
+				t.Errorf("more offline (%d) than ever departed (%d)", offline, r.ProvidersLeft)
+			}
+			// The mediator's registry only tracks online providers.
+			if got := w.Mediator().Providers(); got != w.OnlineVolunteers() {
+				t.Errorf("mediator tracks %d providers, online %d", got, w.OnlineVolunteers())
+			}
+		})
+	}
+}
+
+// TestWorldAccountingWithMalicious pins the validation bookkeeping: with a
+// 100% malicious population nothing can validate.
+func TestWorldAccountingWithMalicious(t *testing.T) {
+	cfg := smallConfig(Captive, 21)
+	cfg.Workload.MaliciousFraction = 1.0
+	w, err := NewWorld(alloc.NewCapacity(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+	if r.Completed != 0 {
+		t.Errorf("%d queries validated with an all-malicious population", r.Completed)
+	}
+	if r.ValidationFailures == 0 {
+		t.Error("no validation failures recorded")
+	}
+	// Reputation must have collapsed for observed providers.
+	p := w.Projects()[0]
+	sawLow := false
+	for _, v := range w.Volunteers() {
+		if p.FailureRate() > 0.9 {
+			sawLow = true
+			break
+		}
+		_ = v
+	}
+	if !sawLow && p.FailureRate() < 0.9 {
+		t.Errorf("project failure rate %v, want near 1", p.FailureRate())
+	}
+}
+
+// TestQuorumSemantics checks that a query completes at the quorum-th valid
+// result, not at the replication count.
+func TestQuorumSemantics(t *testing.T) {
+	cfg := smallConfig(Captive, 22)
+	cfg.Workload.Projects = []workload.ProjectSpec{
+		{Name: "p", Popularity: workload.Popular, ArrivalShare: 1, Replication: 3, Quorum: 1, DelayTarget: 30},
+	}
+	var rts []float64
+	cfg.OnComplete = func(_ model.Query, rt float64) { rts = append(rts, rt) }
+	w, err := NewWorld(alloc.NewCapacity(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+	if r.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// With quorum 1 of 3 replicas, response time is the FASTEST replica;
+	// rerun with quorum 3 and compare.
+	cfg3 := smallConfig(Captive, 22)
+	cfg3.Workload.Projects = []workload.ProjectSpec{
+		{Name: "p", Popularity: workload.Popular, ArrivalShare: 1, Replication: 3, Quorum: 3, DelayTarget: 30},
+	}
+	w3, err := NewWorld(alloc.NewCapacity(), cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := w3.Run()
+	if r3.MeanResponseTime <= r.MeanResponseTime {
+		t.Errorf("quorum-3 RT %.2f should exceed quorum-1 RT %.2f",
+			r3.MeanResponseTime, r.MeanResponseTime)
+	}
+}

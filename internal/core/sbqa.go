@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: the SbQA
+// (Satisfaction-based Query Allocation) process. For each incoming query q
+// with candidate set P_q, the mediator:
+//
+//  1. runs the KnBest strategy — draws k providers of P_q at random, keeps
+//     the kn least utilized (set Kn);
+//  2. runs SQLB — asks q's consumer for its intention CI_q[p] toward every
+//     p ∈ Kn, asks every p ∈ Kn for its intention PI_q[p] to perform q,
+//     scores each p with Definition 3 under the balance ω of Equation 2
+//     (ω adapts to the consumer's and provider's long-run satisfactions),
+//     and ranks Kn best-first;
+//  3. allocates q to the min(q.n, kn) best-ranked providers and sends the
+//     mediation result to the consumer and to all providers in Kn.
+//
+// The result is an allocator that trades performance for participants'
+// interests *only as much as fairness requires*: satisfied participants
+// gradually lose influence, dissatisfied ones gain it.
+package core
+
+import (
+	"fmt"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/knbest"
+	"sbqa/internal/model"
+	"sbqa/internal/score"
+	"sbqa/internal/stats"
+)
+
+// Config assembles an SbQA allocator.
+type Config struct {
+	// KnBest holds the two-stage selection parameters. Zero values fall
+	// back to knbest.DefaultParams.
+	KnBest knbest.Params
+
+	// Omega selects the balance rule: nil — the default — selects the
+	// satisfaction-adaptive Equation 2; a non-nil value in [0, 1] fixes ω
+	// (Scenario 6 tunes this per application; the paper notes ω ≈ 0 suits
+	// cooperative providers where only result quality matters). Use
+	// FixedOmega to build the pointer inline.
+	Omega *float64
+
+	// Epsilon is the ε of the score's negative branch; values <= 0 mean
+	// score.DefaultEpsilon.
+	Epsilon float64
+
+	// Seed seeds the KnBest sampling stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the demo defaults: KnBest(20, 10), adaptive ω, ε = 1.
+func DefaultConfig() Config {
+	return Config{KnBest: knbest.DefaultParams(), Epsilon: score.DefaultEpsilon, Seed: 1}
+}
+
+// FixedOmega returns a pointer to v for Config.Omega.
+func FixedOmega(v float64) *float64 { return &v }
+
+// SbQA is the satisfaction-based query allocator. It implements
+// alloc.Allocator. Not safe for concurrent use (the live engine serializes
+// mediations).
+type SbQA struct {
+	selector *knbest.Selector
+	scorer   *score.Scorer
+}
+
+// New builds an SbQA allocator from cfg.
+func New(cfg Config) (*SbQA, error) {
+	if cfg.KnBest == (knbest.Params{}) {
+		cfg.KnBest = knbest.DefaultParams()
+	}
+	if err := cfg.KnBest.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var scorer *score.Scorer
+	if cfg.Omega != nil {
+		scorer = score.NewFixedScorer(*cfg.Omega)
+	} else {
+		scorer = score.NewScorer()
+	}
+	if cfg.Epsilon > 0 {
+		scorer.Epsilon = cfg.Epsilon
+	}
+	return &SbQA{
+		selector: knbest.NewSelector(cfg.KnBest, stats.NewRNG(cfg.Seed)),
+		scorer:   scorer,
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics on
+// error.
+func MustNew(cfg Config) *SbQA {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements alloc.Allocator.
+func (s *SbQA) Name() string {
+	if s.scorer.Adaptive() {
+		return "SbQA"
+	}
+	return fmt.Sprintf("SbQA(ω=%g)", s.scorer.FixedOmega)
+}
+
+// Interactive reports that SbQA contacts providers during mediation (the
+// intention-collection round); the simulation charges it a network round
+// trip per query.
+func (s *SbQA) Interactive() bool { return true }
+
+// Params returns the current KnBest parameters.
+func (s *SbQA) Params() knbest.Params { return s.selector.Params() }
+
+// SetParams retunes the KnBest stage at run time (Scenario 6).
+func (s *SbQA) SetParams(p knbest.Params) { s.selector.SetParams(p) }
+
+// Scorer exposes the scorer for run-time retuning (Scenario 6 varies ω).
+func (s *SbQA) Scorer() *score.Scorer { return s.scorer }
+
+// Allocate implements alloc.Allocator: one full SbQA mediation.
+func (s *SbQA) Allocate(env alloc.Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Stage 1+2: KnBest keeps the kn least-utilized of k random candidates.
+	kn := s.selector.Select(candidates)
+
+	// Stage 3: SQLB — collect intentions and satisfactions, score, rank.
+	satC := env.ConsumerSatisfaction(q.Consumer)
+	scored := make([]score.Candidate, len(kn))
+	for i, snap := range kn {
+		scored[i] = score.Candidate{
+			Provider: snap.ID,
+			PI:       env.ProviderIntention(q, snap),
+			CI:       env.ConsumerIntention(q, snap),
+			SatC:     satC,
+			SatP:     env.ProviderSatisfaction(snap.ID),
+		}
+	}
+	ranked := s.scorer.Rank(scored)
+
+	n := q.N
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+
+	a := &model.Allocation{
+		Query:              q,
+		Selected:           make([]model.ProviderID, 0, n),
+		Proposed:           make([]model.ProviderID, 0, len(ranked)),
+		ConsumerIntentions: make([]model.Intention, 0, len(ranked)),
+		ProviderIntentions: make([]model.Intention, 0, len(ranked)),
+		Scores:             make([]float64, 0, len(ranked)),
+	}
+	for i, r := range ranked {
+		a.Proposed = append(a.Proposed, r.Provider)
+		a.ConsumerIntentions = append(a.ConsumerIntentions, r.CI)
+		a.ProviderIntentions = append(a.ProviderIntentions, r.PI)
+		a.Scores = append(a.Scores, r.Score)
+		if i < n {
+			a.Selected = append(a.Selected, r.Provider)
+		}
+	}
+	return a
+}
+
+var _ alloc.Allocator = (*SbQA)(nil)

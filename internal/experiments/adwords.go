@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbqa/internal/adwords"
+	"sbqa/internal/alloc"
+	"sbqa/internal/core"
+	"sbqa/internal/metrics"
+	"sbqa/internal/model"
+	"sbqa/internal/topics"
+)
+
+// AdWordsStudy reproduces the paper's §I keyword-advertising motivation as
+// a measurable experiment. Topic space: [health, sports, insects,
+// electronics]. A pharmaceutical advertiser runs an insect-repellent
+// campaign for the first half of the run ("during the promotion, it is more
+// interested in treating the queries related to mosquitoes or insect bites
+// than general queries. Once the advertising campaign is over, its
+// intentions may change").
+//
+// Compared mediations:
+//   - Capacity — pure pacing (deliver everyone's target rate), blind to
+//     both relevance and campaigns: the keyword-only status quo;
+//   - SbQA — balances user relevance (consumer intentions) against the
+//     advertisers' current, campaign-aware interests.
+//
+// The observable: the pharma advertiser's share of insect-query placements
+// during vs after its campaign, and its satisfaction. Under SbQA the share
+// tracks the campaign; under pacing it never moves.
+func AdWordsStudy(opt Options) (*ScenarioResult, error) {
+	opt = opt.withDefaults()
+	opt.logf("adwords study: dynamic advertiser intentions")
+
+	const (
+		insectTopic = 2
+		campaignEnd = 0.5 // fraction of the horizon
+	)
+	type techCase struct {
+		name string
+		mk   func(seed uint64) alloc.Allocator
+	}
+	cases := []techCase{
+		{"Capacity(pacing)", func(uint64) alloc.Allocator { return alloc.NewCapacity() }},
+		{"SbQA(adaptive ω)", func(seed uint64) alloc.Allocator { return SbQATechnique().New(seed) }},
+		// Ad platforms weight advertiser goals heavily; the paper notes ω
+		// "can be set in accordance to the kind of application".
+		{"SbQA(ω=0.75)", func(seed uint64) alloc.Allocator {
+			c := core.DefaultConfig()
+			c.Omega = core.FixedOmega(0.75)
+			c.Seed = seed
+			return core.MustNew(c)
+		}},
+	}
+
+	table := &metrics.Table{
+		Title: "adwords — pharma campaign on 'insects' for the first half",
+		Columns: []string{
+			"mediation", "insect share (campaign)", "insect share (after)",
+			"pharma δs", "placements",
+		},
+	}
+	res := &ScenarioResult{
+		Name:        "AdWords study (§I)",
+		Description: "allocation follows advertisers' dynamic intentions under SbQA",
+		Collectors:  map[string]*metrics.Collector{},
+	}
+
+	for i, tc := range cases {
+		cfg := adwords.Config{
+			TopicDim:  4,
+			QueryRate: 4,
+			Duration:  opt.Duration,
+			Window:    100,
+			Seed:      opt.Seed + uint64(i)*7919,
+		}
+		w, err := adwords.NewWorld(tc.mk(cfg.Seed), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: adwords: %w", err)
+		}
+		pharma := w.AddAdvertiser("pharma", topics.Vector{1, 0, 0.15, 0}, 2)
+		w.AddAdvertiser("sports", topics.Vector{0.2, 1, 0.4, 0}, 2)
+		w.AddAdvertiser("electro", topics.Vector{0, 0, 0, 1}, 2)
+		w.AddAdvertiser("grocer", topics.Vector{0.4, 0.2, 0.2, 0.1}, 2)
+
+		switchAt := cfg.Duration * campaignEnd
+		pharma.Interests().AddCampaign(topics.Campaign{
+			Boost: topics.Vector{0, 0, 5, 0},
+			Until: switchAt,
+		})
+
+		var insectDuring, insectAfter, pharmaDuring, pharmaAfter int
+		placements := w.Run(func(q model.Query, winner *adwords.Advertiser) {
+			// Only count queries whose dominant topic is "insects".
+			if w.Advertisers()[0] != pharma {
+				return
+			}
+			if dominant := winnerTopic(w, q); dominant != insectTopic {
+				return
+			}
+			if q.IssuedAt < switchAt {
+				insectDuring++
+				if winner == pharma {
+					pharmaDuring++
+				}
+			} else {
+				insectAfter++
+				if winner == pharma {
+					pharmaAfter++
+				}
+			}
+		})
+
+		share := func(n, of int) float64 {
+			if of == 0 {
+				return 0
+			}
+			return float64(n) / float64(of) * 100
+		}
+		table.Rows = append(table.Rows, []string{
+			tc.name,
+			fmt.Sprintf("%.0f%%", share(pharmaDuring, insectDuring)),
+			fmt.Sprintf("%.0f%%", share(pharmaAfter, insectAfter)),
+			fmt.Sprintf("%.3f", w.Mediator().Registry().ProviderSatisfaction(pharma.ProviderID())),
+			fmt.Sprintf("%d", placements),
+		})
+	}
+	res.Table = table
+	res.Notes = append(res.Notes,
+		"with the application-tuned ω=0.75 the pharma advertiser's insect share tracks its campaign window; pacing-only mediation never moves",
+		"the adaptive ω instead deprioritizes pharma's campaign because pharma is already the best-satisfied advertiser — Equation 2's fairness at work; ad platforms want the fixed, provider-leaning balance")
+	return res, nil
+}
+
+// winnerTopic returns the dominant topic index of q (helper shared with the
+// adwords world's internals via the public surface).
+func winnerTopic(w *adwords.World, q model.Query) int {
+	return w.DominantTopic(q)
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/boinc"
+	"sbqa/internal/intention"
+	"sbqa/internal/metrics"
+	"sbqa/internal/model"
+	"sbqa/internal/stats"
+	"sbqa/internal/workload"
+)
+
+// MotivatingExample reproduces the paper's §IV motivating example about
+// BOINC's native resource shares:
+//
+//	"a provider may donate its computational resources to two consumers ca
+//	and cb in a fraction of 80% and 20%, respectively. In this case, cb
+//	cannot use more than the assigned 20% of computational resources even
+//	if ca is not generating queries."
+//
+// Setup: two projects, every volunteer devotes 80% to ca and 20% to cb.
+// Phase 1 (first half): both projects issue queries. Phase 2: ca stops (its
+// campaign is over) and cb triples its demand — it has work to run and the
+// donated capacity is sitting there. Under BOINC's share-enforced
+// dispatching cb stays capped at 20% of every host; under SbQA the same
+// affinities are expressed as intentions, so idle capacity is exploited
+// while preferences still shape who serves whom.
+func MotivatingExample(opt Options) (*ScenarioResult, error) {
+	opt = opt.withDefaults()
+	opt.logf("motivating example: resource-share rigidity vs flexible intentions")
+
+	const (
+		ca = model.ConsumerID(0)
+		cb = model.ConsumerID(1)
+	)
+	mkConfig := func() boinc.Config {
+		cfg := boinc.DefaultConfig(opt.Volunteers, opt.Seed)
+		cfg.Mode = boinc.Captive // isolate the capacity effect from departures
+		cfg.Duration = opt.Duration
+		cfg.SampleEvery = opt.SampleEvery
+		cfg.Workload.LoadFactor = 0.6
+		cfg.Workload.Projects = []workload.ProjectSpec{
+			{Name: "ca", Popularity: workload.Popular, ArrivalShare: 0.8, Replication: 1, DelayTarget: 30},
+			{Name: "cb", Popularity: workload.Unpopular, ArrivalShare: 0.2, Replication: 1, DelayTarget: 30},
+		}
+		// Volunteers trade preference for utilization the SQLB way — the
+		// flexibility the paper says BOINC lacks.
+		cfg.ProviderPolicy = func(workload.Volunteer) intention.ProviderPolicy {
+			return intention.AdaptiveProvider{}
+		}
+		return cfg
+	}
+
+	type techCase struct {
+		name    string
+		mk      func(seed uint64) alloc.Allocator
+		enforce bool
+	}
+	cases := []techCase{
+		{"ShareBased(80/20)", func(uint64) alloc.Allocator { return alloc.NewShareBased() }, true},
+		{"SbQA", func(seed uint64) alloc.Allocator { return SbQATechnique().New(seed) }, false},
+	}
+
+	table := &metrics.Table{
+		Title: "motivating example — ca stops at half-time, cb triples its demand",
+		Columns: []string{
+			"technique", "cb RT (phase 1)", "cb RT (phase 2)", "phase-2 util",
+			"unallocated", "sat(P)",
+		},
+	}
+	res := &ScenarioResult{
+		Name:        "Motivating example (§IV)",
+		Description: "resource-share rigidity wastes idle capacity; intentions do not",
+		Collectors:  map[string]*metrics.Collector{},
+	}
+
+	for i, tc := range cases {
+		cfg := mkConfig()
+		cfg.EnforceShares = tc.enforce
+		half := cfg.Duration / 2
+
+		phase1 := stats.NewSummary()
+		phase2 := stats.NewSummary()
+		cfg.OnComplete = func(q model.Query, rt float64) {
+			if q.Consumer != cb {
+				return
+			}
+			if q.IssuedAt < half {
+				phase1.Add(rt)
+			} else {
+				phase2.Add(rt)
+			}
+		}
+
+		w, err := boinc.NewWorld(tc.mk(cfg.Seed+uint64(i)*7919), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: motivating: %w", err)
+		}
+		// Give every volunteer the paper's 80/20 devotion (the derived
+		// shares become exactly 0.8 / 0.2).
+		for _, v := range w.Volunteers() {
+			w.SetVolunteerPrefs(v.ProviderID(), []float64{0.75, 0.15})
+		}
+		// The phase switch.
+		cbRate := w.Projects()[cb].ArrivalRate()
+		w.Engine().Schedule(half, func() {
+			w.SetArrivalRate(ca, 0)
+			w.SetArrivalRate(cb, cbRate*3)
+		})
+
+		r := w.Run()
+		r.Technique = tc.name
+		res.Results = append(res.Results, r)
+		res.Collectors[tc.name] = w.Collector()
+
+		table.Rows = append(table.Rows, []string{
+			tc.name,
+			fmt.Sprintf("%.2f", phase1.Mean()),
+			fmt.Sprintf("%.2f", phase2.Mean()),
+			fmt.Sprintf("%.2f", w.Collector().Utilization.TailMean(0.4)),
+			fmt.Sprintf("%d", r.Unallocated),
+			fmt.Sprintf("%.3f", r.ProviderSat),
+		})
+	}
+	res.Table = table
+	res.Notes = append(res.Notes,
+		"with enforced shares cb stays capped at 20% of every host even though 80% of the donated capacity idles in phase 2",
+		"SbQA expresses the same 80/20 affinity as intentions, so cb's burst is absorbed by otherwise-idle capacity")
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testOptions returns small, fast experiment options. The qualitative shapes
+// asserted below are those EXPERIMENTS.md records at paper scale; the small
+// populations here preserve them (verified against full-scale runs).
+func testOptions() Options {
+	return Options{Volunteers: 40, Duration: 400, Seed: 7}
+}
+
+// fullerOptions is used where the effect needs more simulated time to appear
+// (departure dynamics under slowly-judging techniques).
+func fullerOptions() Options {
+	return Options{Volunteers: 60, Duration: 900, Seed: 7}
+}
+
+func findResult(t *testing.T, rs *ScenarioResult, technique string) (out struct {
+	RT, SatC, SatP float64
+	Left           int
+}) {
+	t.Helper()
+	for _, r := range rs.Results {
+		if r.Technique == technique {
+			out.RT = r.MeanResponseTime
+			out.SatC = r.ConsumerSat
+			out.SatP = r.ProviderSat
+			out.Left = r.ProvidersLeft
+			return out
+		}
+	}
+	t.Fatalf("technique %q missing from results %v", technique, rs.Results)
+	return out
+}
+
+func TestScenario1Shapes(t *testing.T) {
+	rs, err := Scenario1(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != 2 {
+		t.Fatalf("want 2 techniques, got %d", len(rs.Results))
+	}
+	for _, r := range rs.Results {
+		if r.Completed == 0 {
+			t.Errorf("%s completed nothing", r.Technique)
+		}
+		// Captive: no departures possible.
+		if r.ProvidersLeft != 0 || r.ConsumersLeft != 0 {
+			t.Errorf("%s: departures in captive mode", r.Technique)
+		}
+		// Interest-blind techniques leave providers mediocre at best.
+		if r.ProviderSat > 0.65 {
+			t.Errorf("%s: provider satisfaction %v suspiciously high for an interest-blind technique",
+				r.Technique, r.ProviderSat)
+		}
+	}
+	// The analysis table must cover both techniques with all model notions.
+	if len(rs.Extra) == 0 || len(rs.Extra[0].Rows) != 2 {
+		t.Fatal("satisfaction analysis table missing")
+	}
+	if got := len(rs.Extra[0].Columns); got != 8 {
+		t.Errorf("analysis columns = %d", got)
+	}
+}
+
+func TestScenario2Shapes(t *testing.T) {
+	rs, err := Scenario2(fullerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalLeft := 0
+	for _, r := range rs.Results {
+		totalLeft += r.ProvidersLeft
+	}
+	if totalLeft == 0 {
+		t.Error("no departures under interest-blind baselines; autonomy dynamics broken")
+	}
+	// The departure-prediction notes must be present for both techniques.
+	preds := 0
+	for _, n := range rs.Notes {
+		if strings.Contains(n, "predicted") {
+			preds++
+		}
+	}
+	if preds != 2 {
+		t.Errorf("prediction notes = %d, want 2", preds)
+	}
+	if len(rs.Extra) == 0 {
+		t.Fatal("departure table missing")
+	}
+}
+
+func TestScenario3Shapes(t *testing.T) {
+	rs, err := Scenario3(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capR := findResult(t, rs, "Capacity")
+	sbqaR := findResult(t, rs, "SbQA")
+	// SbQA's response time stays within 1.5x of the load balancer…
+	if sbqaR.RT > capR.RT*1.5 {
+		t.Errorf("SbQA RT %.2f too far from capacity %.2f", sbqaR.RT, capR.RT)
+	}
+	// …while provider satisfaction is clearly higher.
+	if sbqaR.SatP < capR.SatP+0.15 {
+		t.Errorf("SbQA provider sat %.3f not clearly above capacity %.3f", sbqaR.SatP, capR.SatP)
+	}
+	// Consumers are at least as satisfied.
+	if sbqaR.SatC < capR.SatC-0.02 {
+		t.Errorf("SbQA consumer sat %.3f below capacity %.3f", sbqaR.SatC, capR.SatC)
+	}
+}
+
+func TestScenario4Shapes(t *testing.T) {
+	rs, err := Scenario4(fullerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capR := findResult(t, rs, "Capacity")
+	ecoR := findResult(t, rs, "Economic")
+	sbqaR := findResult(t, rs, "SbQA")
+	// The headline: SbQA retains more volunteers than both baselines.
+	if sbqaR.Left >= capR.Left+ecoR.Left && sbqaR.Left > 0 {
+		t.Errorf("SbQA lost %d vs capacity %d + economic %d", sbqaR.Left, capR.Left, ecoR.Left)
+	}
+	if sbqaR.Left > capR.Left || sbqaR.Left > ecoR.Left {
+		t.Errorf("SbQA lost %d providers; capacity %d, economic %d", sbqaR.Left, capR.Left, ecoR.Left)
+	}
+}
+
+func TestScenario5Shapes(t *testing.T) {
+	rs, err := Scenario5(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def, perf float64
+	var defStd, perfStd float64
+	for _, r := range rs.Results {
+		switch r.Technique {
+		case "SbQA/interests":
+			def, defStd = r.MeanResponseTime, r.UtilizationStd
+		case "SbQA/perf-only":
+			perf, perfStd = r.MeanResponseTime, r.UtilizationStd
+		}
+	}
+	if def == 0 || perf == 0 {
+		t.Fatal("scenario 5 rows missing")
+	}
+	// Performance-only intentions must improve response time and balance.
+	if perf >= def {
+		t.Errorf("perf-only RT %.2f not better than interest-driven %.2f", perf, def)
+	}
+	if perfStd >= defStd {
+		t.Errorf("perf-only util σ %.3f not better than %.3f", perfStd, defStd)
+	}
+}
+
+func TestScenario6Shapes(t *testing.T) {
+	rs, err := Scenario6(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Extra) != 2 {
+		t.Fatalf("want kn and ω sweep tables, got %d", len(rs.Extra))
+	}
+	knRows := rs.Extra[0].Rows
+	if len(knRows) != 5 {
+		t.Fatalf("kn sweep rows = %d", len(knRows))
+	}
+	// Mean contacts must track kn exactly (KnBest bounds communication).
+	if knRows[0][5] != "1.0" || knRows[4][5] != "20.0" {
+		t.Errorf("contacts don't track kn: %v", knRows)
+	}
+	// Provider satisfaction grows with kn (more interest matching): compare
+	// kn=2 with kn=20 via the Results (rows are formatted strings).
+	var satKn2, satKn20 float64
+	for _, r := range rs.Results {
+		switch r.Technique {
+		case "SbQA(kn=2)":
+			satKn2 = r.ProviderSat
+		case "SbQA(kn=20)":
+			satKn20 = r.ProviderSat
+		}
+	}
+	if satKn20 <= satKn2 {
+		t.Errorf("provider sat should grow with kn: kn2=%.3f kn20=%.3f", satKn2, satKn20)
+	}
+	omegaRows := rs.Extra[1].Rows
+	if len(omegaRows) != 6 {
+		t.Fatalf("ω sweep rows = %d", len(omegaRows))
+	}
+}
+
+func TestScenario7Shapes(t *testing.T) {
+	rs, err := Scenario7(fullerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Table.Rows) != 3 {
+		t.Fatalf("probe table rows = %d", len(rs.Table.Rows))
+	}
+	// Only SbQA meets both objectives.
+	for _, row := range rs.Table.Rows {
+		both := row[len(row)-1]
+		if row[0] == "SbQA" && both != "true" {
+			t.Errorf("SbQA failed the probe objectives: %v", row)
+		}
+		if row[0] == "Capacity" && both == "true" {
+			t.Errorf("Capacity unexpectedly met both objectives: %v", row)
+		}
+	}
+}
+
+func TestRenderProducesTables(t *testing.T) {
+	rs, err := Scenario1(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rs.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Scenario 1", "technique", "Capacity", "Economic", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Volunteers != 100 || o.Duration != 2000 || o.Seed == 0 || o.Load != 0.7 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}
+
+func TestDeterministicScenario(t *testing.T) {
+	a, err := Scenario3(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Scenario3(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i].MeanResponseTime != b.Results[i].MeanResponseTime ||
+			a.Results[i].ProviderSat != b.Results[i].ProviderSat {
+			t.Fatalf("scenario 3 not deterministic at row %d", i)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package knbest implements the KnBest candidate-selection strategy
+// (Quiané-Ruiz, Lamarre, Valduriez, DASFAA 2007) used as the first stage of
+// the SbQA mediation:
+//
+//  1. from the set P_q of providers able to perform query q, draw a set K
+//     of k providers uniformly at random;
+//  2. keep the set Kn of the kn least-utilized providers of K;
+//  3. (performed by the caller) rank Kn by score and allocate q to the
+//     min(q.n, kn) best.
+//
+// Varying k and kn adapts the allocation process to the application: kn close
+// to q.n makes the process a load balancer (the score hardly matters), while
+// k = kn = |P_q| makes it a pure interest matcher. The random first stage
+// bounds the number of intention requests per query, which is what makes the
+// process scale to large provider populations.
+package knbest
+
+import (
+	"fmt"
+	"sort"
+
+	"sbqa/internal/model"
+	"sbqa/internal/stats"
+)
+
+// Params configures the two KnBest stages.
+type Params struct {
+	// K is the number of providers drawn at random from P_q (stage 1).
+	// K <= 0 or K >= |P_q| disables sampling: all of P_q is considered.
+	K int
+
+	// Kn is the number of least-utilized providers kept from K (stage 2).
+	// Kn <= 0 or Kn >= |K| disables the utilization filter.
+	Kn int
+}
+
+// DefaultParams returns the configuration used by the SbQA demo defaults:
+// a moderate random sample with a utilization filter that still leaves the
+// scorer a real choice.
+func DefaultParams() Params { return Params{K: 20, Kn: 10} }
+
+// Validate reports whether the parameters are coherent (Kn ≤ K when both are
+// set).
+func (p Params) Validate() error {
+	if p.K > 0 && p.Kn > p.K {
+		return fmt.Errorf("knbest: kn=%d exceeds k=%d", p.Kn, p.K)
+	}
+	return nil
+}
+
+// String renders the parameters for experiment logs.
+func (p Params) String() string { return fmt.Sprintf("knbest(k=%d,kn=%d)", p.K, p.Kn) }
+
+// Selector applies the two KnBest stages with a private random stream.
+// It is not safe for concurrent use.
+type Selector struct {
+	params Params
+	rng    *stats.RNG
+
+	// scratch buffers reused across calls to avoid per-query allocation.
+	idxBuf []int
+}
+
+// NewSelector returns a selector with the given parameters and RNG. A nil
+// rng gets a fixed-seed stream (useful in tests).
+func NewSelector(params Params, rng *stats.RNG) *Selector {
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	return &Selector{params: params, rng: rng}
+}
+
+// Params returns the selector's configuration.
+func (s *Selector) Params() Params { return s.params }
+
+// SetParams replaces the configuration (Scenario 6 sweeps kn at run time).
+func (s *Selector) SetParams(p Params) { s.params = p }
+
+// Select applies both stages to the candidate snapshots and returns the
+// retained providers (set Kn), ordered by increasing utilization. The input
+// slice is not modified.
+func (s *Selector) Select(candidates []model.ProviderSnapshot) []model.ProviderSnapshot {
+	n := len(candidates)
+	if n == 0 {
+		return nil
+	}
+
+	// Stage 1: K random providers from P_q.
+	k := s.params.K
+	if k <= 0 || k > n {
+		k = n
+	}
+	s.idxBuf = s.rng.SampleK(n, k, s.idxBuf)
+	sample := make([]model.ProviderSnapshot, 0, k)
+	for _, idx := range s.idxBuf {
+		sample = append(sample, candidates[idx])
+	}
+
+	// Stage 2: the kn least-utilized providers of K. Ties break by queue
+	// length, then by ID for determinism.
+	sort.SliceStable(sample, func(i, j int) bool {
+		if sample[i].Utilization != sample[j].Utilization {
+			return sample[i].Utilization < sample[j].Utilization
+		}
+		if sample[i].QueueLen != sample[j].QueueLen {
+			return sample[i].QueueLen < sample[j].QueueLen
+		}
+		return sample[i].ID < sample[j].ID
+	})
+	kn := s.params.Kn
+	if kn <= 0 || kn > len(sample) {
+		kn = len(sample)
+	}
+	return sample[:kn]
+}

@@ -1,0 +1,296 @@
+// Package live embeds the SbQA mediation pipeline in a real concurrent
+// runtime: consumers submit queries from any goroutine, workers (providers)
+// execute work on their own goroutines, and the mediator serializes
+// mediations behind a mutex. This is the embedding a downstream system would
+// use in production — the deterministic twin for experiments lives in
+// internal/boinc.
+//
+// Time is real (wall-clock) here; capacities are in work units per second of
+// real time, usually scaled down in tests.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/mediator"
+	"sbqa/internal/model"
+)
+
+// Result is one completed query execution delivered to the consumer.
+type Result struct {
+	Query    model.Query
+	Provider model.ProviderID
+	Latency  time.Duration
+}
+
+// Service is a thread-safe mediation front end.
+type Service struct {
+	mu    sync.Mutex
+	med   *mediator.Mediator
+	start time.Time
+
+	nextID model.QueryID
+}
+
+// NewService returns a service running the given allocation technique.
+func NewService(allocator alloc.Allocator, window int) *Service {
+	return &Service{
+		med:   mediator.New(allocator, mediator.Config{Window: window}),
+		start: time.Now(),
+	}
+}
+
+// now returns seconds since service start (the mediator's time axis).
+func (s *Service) now() float64 { return time.Since(s.start).Seconds() }
+
+// RegisterWorker attaches a worker to the mediation pipeline.
+func (s *Service) RegisterWorker(w *Worker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.med.RegisterProvider(w)
+}
+
+// UnregisterWorker detaches a worker (its satisfaction memory is dropped).
+func (s *Service) UnregisterWorker(id model.ProviderID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.med.UnregisterProvider(id)
+}
+
+// RegisterConsumer attaches a consumer.
+func (s *Service) RegisterConsumer(c mediator.Consumer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.med.RegisterConsumer(c)
+}
+
+// ProviderSatisfaction reads δs(p) under the service lock.
+func (s *Service) ProviderSatisfaction(id model.ProviderID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.med.Registry().ProviderSatisfaction(id)
+}
+
+// ConsumerSatisfaction reads δs(c) under the service lock.
+func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.med.Registry().ConsumerSatisfaction(id)
+}
+
+// ErrDispatch reports that an allocation succeeded but a selected worker
+// could not accept the query (shut down mid-flight).
+var ErrDispatch = errors.New("live: selected worker rejected the query")
+
+// Submit mediates the query and dispatches it to the selected workers. It
+// assigns the query ID. The returned allocation lists the chosen workers;
+// results arrive asynchronously on the consumer's result channel.
+func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Result) (*model.Allocation, error) {
+	s.mu.Lock()
+	s.nextID++
+	q.ID = s.nextID
+	q.IssuedAt = s.now()
+	a, err := s.med.Mediate(q.IssuedAt, q)
+	var workers []*Worker
+	if err == nil {
+		workers = make([]*Worker, 0, len(a.Selected))
+		for _, pid := range a.Selected {
+			if w, ok := s.med.Provider(pid).(*Worker); ok {
+				workers = append(workers, w)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workers {
+		if !w.accept(ctx, q, results) {
+			return a, ErrDispatch
+		}
+	}
+	return a, nil
+}
+
+// Worker executes queries on its own goroutine at a fixed capacity.
+// It implements mediator.Provider; all mediator-facing reads are
+// mutex-guarded because mediations and executions run on different
+// goroutines.
+type Worker struct {
+	id       model.ProviderID
+	capacity float64 // work units per second (real time)
+
+	// IntentionFn maps a query to this worker's intention; required.
+	intentionFn func(q model.Query) model.Intention
+	// priceFn maps a query to a bid; nil = expected-delay pricing.
+	priceFn func(q model.Query, pendingWork float64) float64
+
+	mu          sync.Mutex
+	pendingWork float64
+	queueLen    int
+	sat         float64 // last satisfaction pushed by the service; info only
+
+	tasks  chan task
+	done   chan struct{}
+	closed sync.Once
+}
+
+type task struct {
+	q       model.Query
+	results chan<- Result
+	start   time.Time
+}
+
+// NewWorker starts a worker goroutine. capacity must be > 0; queueCap bounds
+// the task backlog (0 means 1024).
+func NewWorker(id model.ProviderID, capacity float64, queueCap int, intentionFn func(model.Query) model.Intention) (*Worker, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("live: worker %d capacity %v must be positive", id, capacity)
+	}
+	if intentionFn == nil {
+		return nil, fmt.Errorf("live: worker %d needs an intention function", id)
+	}
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	w := &Worker{
+		id:          id,
+		capacity:    capacity,
+		intentionFn: intentionFn,
+		tasks:       make(chan task, queueCap),
+		done:        make(chan struct{}),
+	}
+	go w.run()
+	return w, nil
+}
+
+// run executes queued tasks serially, simulating service time by sleeping
+// work/capacity seconds of real time.
+func (w *Worker) run() {
+	for t := range w.tasks {
+		service := time.Duration(t.q.Work / w.capacity * float64(time.Second))
+		timer := time.NewTimer(service)
+		select {
+		case <-timer.C:
+		case <-w.done:
+			timer.Stop()
+			return
+		}
+		w.mu.Lock()
+		w.pendingWork -= t.q.Work
+		if w.pendingWork < 0 {
+			w.pendingWork = 0
+		}
+		w.queueLen--
+		w.mu.Unlock()
+		if t.results != nil {
+			t.results <- Result{Query: t.q, Provider: w.id, Latency: time.Since(t.start)}
+		}
+	}
+}
+
+// accept enqueues a task; false if the worker is shutting down, the queue is
+// full, or the context is done.
+func (w *Worker) accept(ctx context.Context, q model.Query, results chan<- Result) bool {
+	select {
+	case <-w.done:
+		return false
+	default:
+	}
+	w.mu.Lock()
+	w.pendingWork += q.Work
+	w.queueLen++
+	w.mu.Unlock()
+	select {
+	case w.tasks <- task{q: q, results: results, start: time.Now()}:
+		return true
+	case <-ctx.Done():
+	case <-w.done:
+	}
+	// Roll back the optimistic accounting.
+	w.mu.Lock()
+	w.pendingWork -= q.Work
+	if w.pendingWork < 0 {
+		w.pendingWork = 0
+	}
+	w.queueLen--
+	w.mu.Unlock()
+	return false
+}
+
+// Close stops the worker; queued tasks are abandoned.
+func (w *Worker) Close() {
+	w.closed.Do(func() {
+		close(w.done)
+		close(w.tasks)
+	})
+}
+
+// ProviderID implements mediator.Provider.
+func (w *Worker) ProviderID() model.ProviderID { return w.id }
+
+// Snapshot implements mediator.Provider.
+func (w *Worker) Snapshot(float64) model.ProviderSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	drain := w.pendingWork / w.capacity
+	util := drain / 10 // 10 s backlog = saturated
+	if util > 1 {
+		util = 1
+	}
+	return model.ProviderSnapshot{
+		ID:          w.id,
+		Utilization: util,
+		QueueLen:    w.queueLen,
+		Capacity:    w.capacity,
+		PendingWork: w.pendingWork,
+	}
+}
+
+// CanPerform implements mediator.Provider; live workers accept any class.
+func (w *Worker) CanPerform(model.Query) bool { return true }
+
+// Intention implements mediator.Provider.
+func (w *Worker) Intention(q model.Query) model.Intention { return w.intentionFn(q) }
+
+// Bid implements mediator.Provider.
+func (w *Worker) Bid(q model.Query) float64 {
+	w.mu.Lock()
+	pending := w.pendingWork
+	w.mu.Unlock()
+	if w.priceFn != nil {
+		return w.priceFn(q, pending)
+	}
+	return (pending + q.Work) / w.capacity
+}
+
+// SetPriceFn installs a custom bidding rule (must be called before the
+// worker is registered).
+func (w *Worker) SetPriceFn(fn func(q model.Query, pendingWork float64) float64) {
+	w.priceFn = fn
+}
+
+// FuncConsumer adapts an intention function to mediator.Consumer.
+type FuncConsumer struct {
+	ID model.ConsumerID
+	Fn func(q model.Query, snap model.ProviderSnapshot) model.Intention
+}
+
+// ConsumerID implements mediator.Consumer.
+func (c FuncConsumer) ConsumerID() model.ConsumerID { return c.ID }
+
+// Intention implements mediator.Consumer.
+func (c FuncConsumer) Intention(q model.Query, snap model.ProviderSnapshot) model.Intention {
+	if c.Fn == nil {
+		return 0
+	}
+	return c.Fn(q, snap)
+}
+
+var _ mediator.Provider = (*Worker)(nil)
+var _ mediator.Consumer = FuncConsumer{}

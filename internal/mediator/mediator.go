@@ -1,0 +1,298 @@
+// Package mediator implements the mediation pipeline of the SbQA
+// architecture (Fig. 1 of the paper): it keeps the registries of online
+// consumers and providers, and for each incoming query builds the candidate
+// set P_q, lets the configured allocation technique mediate it, backfills
+// the intentions the satisfaction model needs, records the outcome in the
+// satisfaction registry, and hands the allocation back to the caller (the
+// simulation world or the live engine) for dispatch.
+//
+// The mediator is technique-agnostic: SbQA, the capacity-based baseline, the
+// economic baseline, and the controls all run behind the same pipeline,
+// which is what lets the satisfaction model "analyze different query
+// allocation techniques no matter their query allocation principle"
+// (Scenario 1 of the demo).
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
+)
+
+// Consumer is the mediator-side view of a consumer.
+type Consumer interface {
+	// ConsumerID identifies the consumer.
+	ConsumerID() model.ConsumerID
+
+	// Intention returns CI_q[p]: the consumer's intention to see its
+	// query q allocated to the provider described by snap.
+	Intention(q model.Query, snap model.ProviderSnapshot) model.Intention
+}
+
+// Provider is the mediator-side view of a provider.
+type Provider interface {
+	// ProviderID identifies the provider.
+	ProviderID() model.ProviderID
+
+	// Snapshot reports the provider's allocation-relevant state at the
+	// given simulation time.
+	Snapshot(now float64) model.ProviderSnapshot
+
+	// CanPerform reports whether the provider is able to perform q
+	// (defines membership of the candidate set P_q).
+	CanPerform(q model.Query) bool
+
+	// Intention returns PI_q[p]: the provider's intention to perform q.
+	Intention(q model.Query) model.Intention
+
+	// Bid returns the price the provider asks to perform q (economic
+	// baseline).
+	Bid(q model.Query) float64
+}
+
+// ShareReporter is an optional Provider extension for BOINC-style resource
+// shares (see alloc.ShareBased): it reports how much capacity the provider
+// still has available for a query's consumer under its declared shares.
+type ShareReporter interface {
+	DevotedAvailable(q model.Query) float64
+}
+
+// ErrNoCandidates is returned when no online provider can perform a query.
+var ErrNoCandidates = errors.New("mediator: no online provider can perform query")
+
+// Config tunes pipeline behaviour.
+type Config struct {
+	// Window is the satisfaction memory length k.
+	Window int
+
+	// AnalyzeBest, when set, computes the consumer's intention toward the
+	// *whole* candidate set for every query so the registry can derive
+	// allocation satisfaction against the true optimum. Costs O(|P_q|)
+	// intention calls per query; experiments with a few hundred providers
+	// keep it on.
+	AnalyzeBest bool
+
+	// OnMediation, when set, observes every successful mediation: the
+	// completed allocation (proposed set, selection, intentions, scores)
+	// and the size of the candidate set P_q it was drawn from. This is the
+	// observability channel the demo's GUIs display; embedders use it for
+	// audit logs. The allocation must not be mutated.
+	OnMediation func(a *model.Allocation, candidates int)
+}
+
+// Mediator is the pipeline. It is not safe for concurrent use.
+type Mediator struct {
+	cfg       Config
+	allocator alloc.Allocator
+	registry  *satisfaction.Registry
+
+	consumers map[model.ConsumerID]Consumer
+	providers map[model.ProviderID]Provider
+
+	// providerOrder caches a sorted ID list so candidate building is
+	// deterministic; rebuilt on registration changes.
+	providerOrder []model.ProviderID
+	orderDirty    bool
+
+	snapBuf []model.ProviderSnapshot
+}
+
+// New returns a mediator running the given allocation technique.
+func New(allocator alloc.Allocator, cfg Config) *Mediator {
+	return &Mediator{
+		cfg:       cfg,
+		allocator: allocator,
+		registry:  satisfaction.NewRegistry(cfg.Window),
+		consumers: make(map[model.ConsumerID]Consumer),
+		providers: make(map[model.ProviderID]Provider),
+	}
+}
+
+// Allocator returns the active allocation technique.
+func (m *Mediator) Allocator() alloc.Allocator { return m.allocator }
+
+// SetAllocator swaps the allocation technique (used by sweeps; satisfaction
+// memory is preserved).
+func (m *Mediator) SetAllocator(a alloc.Allocator) { m.allocator = a }
+
+// Registry exposes the satisfaction registry (read by experiments and by
+// participant departure rules).
+func (m *Mediator) Registry() *satisfaction.Registry { return m.registry }
+
+// RegisterConsumer adds (or replaces) a consumer.
+func (m *Mediator) RegisterConsumer(c Consumer) {
+	m.consumers[c.ConsumerID()] = c
+}
+
+// UnregisterConsumer removes a consumer; its satisfaction memory is dropped
+// (a departed participant that rejoins starts fresh).
+func (m *Mediator) UnregisterConsumer(id model.ConsumerID) {
+	delete(m.consumers, id)
+	m.registry.ForgetConsumer(id)
+}
+
+// RegisterProvider adds (or replaces) a provider.
+func (m *Mediator) RegisterProvider(p Provider) {
+	m.providers[p.ProviderID()] = p
+	m.orderDirty = true
+}
+
+// UnregisterProvider removes a provider and drops its satisfaction memory.
+func (m *Mediator) UnregisterProvider(id model.ProviderID) {
+	delete(m.providers, id)
+	m.registry.ForgetProvider(id)
+	m.orderDirty = true
+}
+
+// Providers returns the number of registered providers.
+func (m *Mediator) Providers() int { return len(m.providers) }
+
+// Consumers returns the number of registered consumers.
+func (m *Mediator) Consumers() int { return len(m.consumers) }
+
+// Provider returns the registered provider with the given ID, or nil.
+func (m *Mediator) Provider(id model.ProviderID) Provider { return m.providers[id] }
+
+// Consumer returns the registered consumer with the given ID, or nil.
+func (m *Mediator) Consumer(id model.ConsumerID) Consumer { return m.consumers[id] }
+
+func (m *Mediator) order() []model.ProviderID {
+	if m.orderDirty {
+		m.providerOrder = m.providerOrder[:0]
+		for id := range m.providers {
+			m.providerOrder = append(m.providerOrder, id)
+		}
+		sort.Slice(m.providerOrder, func(i, j int) bool {
+			return m.providerOrder[i] < m.providerOrder[j]
+		})
+		m.orderDirty = false
+	}
+	return m.providerOrder
+}
+
+// env adapts the participant registries to alloc.Env for one mediation.
+type env struct {
+	m        *Mediator
+	consumer Consumer
+}
+
+func (e env) ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
+	if e.consumer == nil {
+		return 0
+	}
+	return e.consumer.Intention(q, p)
+}
+
+func (e env) ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
+	if prov, ok := e.m.providers[p.ID]; ok {
+		return prov.Intention(q)
+	}
+	return 0
+}
+
+func (e env) ProviderBid(q model.Query, p model.ProviderSnapshot) float64 {
+	if prov, ok := e.m.providers[p.ID]; ok {
+		return prov.Bid(q)
+	}
+	return p.ExpectedDelay(q.Work)
+}
+
+// DevotedAvailable implements alloc.ShareEnv by delegating to providers
+// that declare resource shares; providers without shares expose their plain
+// available capacity.
+func (e env) DevotedAvailable(q model.Query, p model.ProviderSnapshot) float64 {
+	if prov, ok := e.m.providers[p.ID]; ok {
+		if sr, ok := prov.(ShareReporter); ok {
+			return sr.DevotedAvailable(q)
+		}
+	}
+	return p.Capacity * (1 - p.Utilization)
+}
+
+func (e env) ConsumerSatisfaction(c model.ConsumerID) float64 {
+	return e.m.registry.ConsumerSatisfaction(c)
+}
+
+func (e env) ProviderSatisfaction(p model.ProviderID) float64 {
+	return e.m.registry.ProviderSatisfaction(p)
+}
+
+// Mediate runs the full pipeline for query q at simulation time now:
+// candidate discovery, allocation, intention backfill, satisfaction
+// recording. It returns ErrNoCandidates when P_q is empty — the caller
+// records the query as unallocated (the consumer's satisfaction window
+// records the failure either way, as the paper's Equation 1 prescribes:
+// an unserved query contributes zero satisfaction).
+func (m *Mediator) Mediate(now float64, q model.Query) (*model.Allocation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("mediator: %w", err)
+	}
+	consumer := m.consumers[q.Consumer]
+	if consumer == nil {
+		return nil, fmt.Errorf("mediator: query %d from unregistered consumer %d", q.ID, q.Consumer)
+	}
+
+	// Build the candidate set P_q in deterministic ID order.
+	m.snapBuf = m.snapBuf[:0]
+	for _, id := range m.order() {
+		p := m.providers[id]
+		if p.CanPerform(q) {
+			m.snapBuf = append(m.snapBuf, p.Snapshot(now))
+		}
+	}
+	e := env{m: m, consumer: consumer}
+	if len(m.snapBuf) == 0 {
+		// Record the failed mediation so the consumer's dissatisfaction
+		// accumulates, then report.
+		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
+		return nil, ErrNoCandidates
+	}
+
+	a := m.allocator.Allocate(e, q, m.snapBuf)
+	if a == nil || len(a.Selected) == 0 {
+		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
+		return nil, ErrNoCandidates
+	}
+
+	m.backfillIntentions(e, a, now)
+
+	// Optionally evaluate the consumer's intentions over the full
+	// candidate set so allocation satisfaction is measured against the
+	// true optimum rather than the proposed subset.
+	var candidateCI []model.Intention
+	if m.cfg.AnalyzeBest {
+		candidateCI = make([]model.Intention, len(m.snapBuf))
+		for i, snap := range m.snapBuf {
+			candidateCI[i] = e.ConsumerIntention(q, snap)
+		}
+	}
+	m.registry.RecordAllocation(a, candidateCI)
+	if m.cfg.OnMediation != nil {
+		m.cfg.OnMediation(a, len(m.snapBuf))
+	}
+	return a, nil
+}
+
+// backfillIntentions fills any intention the allocator did not collect
+// itself (baseline techniques are interest-blind; the satisfaction model
+// still needs the participants' intentions about what happened).
+func (m *Mediator) backfillIntentions(e env, a *model.Allocation, now float64) {
+	if len(a.ConsumerIntentions) == len(a.Proposed) && len(a.ProviderIntentions) == len(a.Proposed) {
+		return
+	}
+	a.ConsumerIntentions = make([]model.Intention, len(a.Proposed))
+	a.ProviderIntentions = make([]model.Intention, len(a.Proposed))
+	for i, id := range a.Proposed {
+		p, ok := m.providers[id]
+		if !ok {
+			continue
+		}
+		snap := p.Snapshot(now)
+		a.ConsumerIntentions[i] = e.ConsumerIntention(a.Query, snap)
+		a.ProviderIntentions[i] = p.Intention(a.Query)
+	}
+}

@@ -1,0 +1,240 @@
+package mediator
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/core"
+	"sbqa/internal/knbest"
+	"sbqa/internal/model"
+)
+
+// fakeConsumer likes providers according to a fixed table.
+type fakeConsumer struct {
+	id    model.ConsumerID
+	likes map[model.ProviderID]model.Intention
+	asked int
+}
+
+func (c *fakeConsumer) ConsumerID() model.ConsumerID { return c.id }
+func (c *fakeConsumer) Intention(_ model.Query, snap model.ProviderSnapshot) model.Intention {
+	c.asked++
+	return c.likes[snap.ID]
+}
+
+// fakeProvider reports fixed state.
+type fakeProvider struct {
+	id        model.ProviderID
+	util      float64
+	intention model.Intention
+	bid       float64
+	classes   map[int]bool // nil = performs anything
+}
+
+func (p *fakeProvider) ProviderID() model.ProviderID { return p.id }
+func (p *fakeProvider) Snapshot(float64) model.ProviderSnapshot {
+	return model.ProviderSnapshot{ID: p.id, Utilization: p.util, Capacity: 1}
+}
+func (p *fakeProvider) CanPerform(q model.Query) bool {
+	if p.classes == nil {
+		return true
+	}
+	return p.classes[q.Class]
+}
+func (p *fakeProvider) Intention(model.Query) model.Intention { return p.intention }
+func (p *fakeProvider) Bid(model.Query) float64               { return p.bid }
+
+func newTestMediator(a alloc.Allocator) *Mediator {
+	return New(a, Config{Window: 10, AnalyzeBest: true})
+}
+
+func q(id int64, c model.ConsumerID, n int) model.Query {
+	return model.Query{ID: model.QueryID(id), Consumer: c, N: n, Work: 1}
+}
+
+func TestMediateValidation(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	if _, err := m.Mediate(0, model.Query{ID: 1, Consumer: 0, N: 0, Work: 1}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := m.Mediate(0, q(1, 9, 1)); err == nil {
+		t.Error("unregistered consumer accepted")
+	}
+}
+
+func TestMediateNoCandidates(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	c := &fakeConsumer{id: 0}
+	m.RegisterConsumer(c)
+	_, err := m.Mediate(0, q(1, 0, 1))
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+	// The failed mediation must hurt the consumer's satisfaction.
+	if got := m.Registry().ConsumerSatisfaction(0); got != 0 {
+		t.Errorf("consumer δs after failure = %v, want 0", got)
+	}
+}
+
+func TestMediateClassFiltering(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	m.RegisterProvider(&fakeProvider{id: 1, classes: map[int]bool{1: true}})
+	m.RegisterProvider(&fakeProvider{id: 2, classes: map[int]bool{2: true}})
+
+	query := q(1, 0, 1)
+	query.Class = 2
+	a, err := m.Mediate(0, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != 1 || a.Selected[0] != 2 {
+		t.Errorf("Selected = %v, want [2]", a.Selected)
+	}
+
+	query.Class = 3
+	if _, err := m.Mediate(0, query); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("class with no providers: err = %v", err)
+	}
+}
+
+func TestMediateBackfillsIntentionsForBaselines(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	cons := &fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{1: 0.5}}
+	m.RegisterConsumer(cons)
+	m.RegisterProvider(&fakeProvider{id: 1, intention: -0.25})
+
+	a, err := m.Mediate(0, q(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ConsumerIntentions) != 1 || a.ConsumerIntentions[0] != 0.5 {
+		t.Errorf("CI backfill = %v", a.ConsumerIntentions)
+	}
+	if len(a.ProviderIntentions) != 1 || a.ProviderIntentions[0] != -0.25 {
+		t.Errorf("PI backfill = %v", a.ProviderIntentions)
+	}
+	// Satisfactions recorded from those intentions.
+	if got := m.Registry().ConsumerSatisfaction(0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("consumer δs = %v, want 0.75", got)
+	}
+	if got := m.Registry().ProviderSatisfaction(1); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("provider δs = %v, want 0.375", got)
+	}
+}
+
+func TestMediateWithSbQAAllocator(t *testing.T) {
+	sbqa := core.MustNew(core.Config{KnBest: knbest.Params{K: 0, Kn: 0}})
+	m := newTestMediator(sbqa)
+	cons := &fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{
+		1: 0.9, 2: 0.9, 3: -0.9,
+	}}
+	m.RegisterConsumer(cons)
+	m.RegisterProvider(&fakeProvider{id: 1, intention: 0.9})
+	m.RegisterProvider(&fakeProvider{id: 2, intention: -0.9})
+	m.RegisterProvider(&fakeProvider{id: 3, intention: 0.9})
+
+	a, err := m.Mediate(0, q(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Selected[0] != 1 {
+		t.Errorf("Selected = %v, want provider 1 (mutual interest)", a.Selected)
+	}
+	// SbQA collected intentions itself — backfill must not overwrite them.
+	ci, pi, ok := a.IntentionFor(1)
+	if !ok || ci != 0.9 || pi != 0.9 {
+		t.Errorf("IntentionFor(1) = %v/%v/%v", ci, pi, ok)
+	}
+	// All three providers were proposed (kn disabled ⇒ Kn = P_q) and so
+	// all three recorded the interaction.
+	if got := m.Registry().ProviderSatisfaction(2); got != 0 {
+		t.Errorf("unselected provider δs = %v, want 0 (proposed, not performed)", got)
+	}
+}
+
+func TestUnregisterForgetsMemory(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	m.RegisterProvider(&fakeProvider{id: 1, intention: 1})
+	if _, err := m.Mediate(0, q(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Providers() != 1 || m.Consumers() != 1 {
+		t.Error("registration counts wrong")
+	}
+	m.UnregisterProvider(1)
+	if m.Providers() != 0 {
+		t.Error("provider not unregistered")
+	}
+	if got := m.Registry().ProviderSatisfaction(1); got != 0.5 {
+		t.Errorf("departed provider memory kept: %v", got)
+	}
+	m.UnregisterConsumer(0)
+	if got := m.Registry().ConsumerSatisfaction(0); got != 0.5 {
+		t.Errorf("departed consumer memory kept: %v", got)
+	}
+}
+
+func TestMediateDeterministicCandidateOrder(t *testing.T) {
+	// Two mediators with identical state and a seeded SbQA must allocate
+	// identically even though provider registration order differs (the
+	// map-iteration order must not leak into candidate order).
+	build := func(order []int) *Mediator {
+		sbqa := core.MustNew(core.Config{KnBest: knbest.Params{K: 2, Kn: 1}, Seed: 5})
+		m := newTestMediator(sbqa)
+		m.RegisterConsumer(&fakeConsumer{id: 0})
+		for _, id := range order {
+			m.RegisterProvider(&fakeProvider{id: model.ProviderID(id), intention: 0.5})
+		}
+		return m
+	}
+	m1 := build([]int{1, 2, 3, 4, 5})
+	m2 := build([]int{5, 3, 1, 4, 2})
+	for i := int64(0); i < 30; i++ {
+		a1, err1 := m1.Mediate(0, q(i, 0, 1))
+		a2, err2 := m2.Mediate(0, q(i, 0, 1))
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a1.Selected[0] != a2.Selected[0] {
+			t.Fatalf("allocation depends on registration order: %v vs %v", a1.Selected, a2.Selected)
+		}
+	}
+}
+
+func TestSetAllocator(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	if m.Allocator().Name() != "Capacity" {
+		t.Error("initial allocator wrong")
+	}
+	m.SetAllocator(alloc.NewRoundRobin())
+	if m.Allocator().Name() != "RoundRobin" {
+		t.Error("SetAllocator not applied")
+	}
+	if m.Provider(1) != nil || m.Consumer(1) != nil {
+		t.Error("lookups on empty mediator should be nil")
+	}
+}
+
+func TestAnalyzeBestRecordsTrueOptimum(t *testing.T) {
+	// Capacity picks the idle provider the consumer hates; AnalyzeBest
+	// makes allocation satisfaction reflect the missed better option.
+	m := New(alloc.NewCapacity(), Config{Window: 10, AnalyzeBest: true})
+	cons := &fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{
+		1: -1, // idle, will be picked
+		2: 1,  // busy, ignored by capacity
+	}}
+	m.RegisterConsumer(cons)
+	m.RegisterProvider(&fakeProvider{id: 1, util: 0.0})
+	m.RegisterProvider(&fakeProvider{id: 2, util: 0.9})
+	if _, err := m.Mediate(0, q(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Registry().Consumer(0)
+	if got := tr.AllocationSatisfaction(); got != 0 {
+		t.Errorf("allocation satisfaction = %v, want 0 (got hated provider, loved one available)", got)
+	}
+}

@@ -1,0 +1,83 @@
+package mediator
+
+import (
+	"testing"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/model"
+)
+
+func TestOnMediationHook(t *testing.T) {
+	var seen []*model.Allocation
+	var candCounts []int
+	m := New(alloc.NewCapacity(), Config{
+		Window: 10,
+		OnMediation: func(a *model.Allocation, candidates int) {
+			seen = append(seen, a)
+			candCounts = append(candCounts, candidates)
+		},
+	})
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	m.RegisterProvider(&fakeProvider{id: 1})
+	m.RegisterProvider(&fakeProvider{id: 2})
+
+	for i := int64(0); i < 3; i++ {
+		if _, err := m.Mediate(0, q(i, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("hook fired %d times, want 3", len(seen))
+	}
+	for i, a := range seen {
+		if len(a.Selected) != 1 {
+			t.Errorf("trace %d selected %v", i, a.Selected)
+		}
+		if candCounts[i] != 2 {
+			t.Errorf("trace %d candidates = %d, want 2", i, candCounts[i])
+		}
+		// Backfilled intentions are visible to the hook.
+		if len(a.ConsumerIntentions) != len(a.Proposed) {
+			t.Errorf("trace %d intentions incomplete", i)
+		}
+	}
+}
+
+func TestOnMediationNotFiredOnFailure(t *testing.T) {
+	fired := false
+	m := New(alloc.NewCapacity(), Config{
+		Window:      10,
+		OnMediation: func(*model.Allocation, int) { fired = true },
+	})
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	if _, err := m.Mediate(0, q(1, 0, 1)); err == nil {
+		t.Fatal("expected failure with no providers")
+	}
+	if fired {
+		t.Error("hook fired for a failed mediation")
+	}
+}
+
+func TestPerParticipantWindows(t *testing.T) {
+	m := New(alloc.NewCapacity(), Config{Window: 100})
+	reg := m.Registry()
+	// Provider 1 remembers only 2 proposals; provider 2 uses the default.
+	reg.SetProviderWindow(1, 2)
+	tr := reg.Provider(1)
+	if tr.Window() != 2 {
+		t.Fatalf("window = %d", tr.Window())
+	}
+	tr.Record(1, true)
+	tr.Record(-1, true)
+	tr.Record(-1, true) // evicts the liked one
+	if got := tr.Satisfaction(); got != 0 {
+		t.Errorf("short-memory provider δs = %v, want 0", got)
+	}
+	if reg.Provider(2).Window() != 100 {
+		t.Error("default window not applied to provider 2")
+	}
+	reg.SetConsumerWindow(3, 5)
+	if reg.Consumer(3).Window() != 5 {
+		t.Error("consumer window override failed")
+	}
+}

@@ -1,0 +1,194 @@
+// Package model defines the domain types shared by every SbQA package:
+// participant identifiers, queries, intention values, and the descriptors
+// the mediator exchanges with consumers and providers during a mediation.
+//
+// The vocabulary follows the paper (Quiané-Ruiz, Lamarre, Valduriez,
+// "SbQA: A Self-Adaptable Query Allocation Process", ICDE 2009):
+//
+//   - a consumer c ∈ C issues queries and has intentions CI_q[p] ∈ [-1, 1]
+//     about allocating query q to provider p;
+//   - a provider p ∈ P performs queries and has intentions PI_q[p] ∈ [-1, 1]
+//     about performing q;
+//   - the mediator allocates each query q to q.N providers among the set P_q
+//     of providers able to perform it.
+package model
+
+import "fmt"
+
+// ConsumerID identifies a consumer (a BOINC project, an e-commerce buyer, a
+// Web-service client...). IDs are dense small integers so that experiments
+// can use them as slice indices.
+type ConsumerID int
+
+// ProviderID identifies a provider (a BOINC volunteer, a seller, a server...).
+type ProviderID int
+
+// QueryID identifies a query instance. IDs are unique per simulation run and
+// strictly increasing in issue order.
+type QueryID int64
+
+// NoProvider is a sentinel for "no provider"; valid ProviderIDs are >= 0.
+const NoProvider ProviderID = -1
+
+// NoConsumer is a sentinel for "no consumer"; valid ConsumerIDs are >= 0.
+const NoConsumer ConsumerID = -1
+
+// Intention is a participant's interest level in an allocation, in [-1, 1].
+// -1 means "absolutely against", 0 indifferent, +1 "absolutely in favour".
+type Intention float64
+
+// Clamp returns the intention clamped to the legal interval [-1, 1].
+func (i Intention) Clamp() Intention {
+	if i < -1 {
+		return -1
+	}
+	if i > 1 {
+		return 1
+	}
+	return i
+}
+
+// Valid reports whether the intention lies in [-1, 1].
+func (i Intention) Valid() bool { return i >= -1 && i <= 1 }
+
+// Unit maps the intention from [-1, 1] onto [0, 1]; this is the (x+1)/2
+// transform used throughout the satisfaction definitions of the paper.
+func (i Intention) Unit() float64 { return (float64(i) + 1) / 2 }
+
+// Query is one unit of work to allocate. In BOINC terms it is an independent
+// computational task; in e-commerce terms, a purchase request.
+type Query struct {
+	ID       QueryID
+	Consumer ConsumerID
+
+	// Class partitions queries by the kind of work they carry (in BOINC,
+	// the project application; in a marketplace, the product category).
+	// Providers may restrict the classes they can perform.
+	Class int
+
+	// N is the number of results the consumer requires (q.n in the paper).
+	// BOINC consumers replicate tasks (N > 1) to validate results returned
+	// by possibly-malicious volunteers.
+	N int
+
+	// Work is the service demand in abstract work units; a provider with
+	// capacity cap executes the query in Work/cap simulated seconds.
+	Work float64
+
+	// IssuedAt is the simulation time at which the consumer issued q.
+	IssuedAt float64
+}
+
+// Validate reports whether the query is well formed.
+func (q Query) Validate() error {
+	if q.Consumer < 0 {
+		return fmt.Errorf("model: query %d has invalid consumer %d", q.ID, q.Consumer)
+	}
+	if q.N < 1 {
+		return fmt.Errorf("model: query %d requires %d results; want >= 1", q.ID, q.N)
+	}
+	if q.Work <= 0 {
+		return fmt.Errorf("model: query %d has non-positive work %v", q.ID, q.Work)
+	}
+	return nil
+}
+
+// ProviderSnapshot is the mediator-visible state of one candidate provider at
+// mediation time. Allocators must base decisions only on this information
+// (plus the intentions they explicitly collect), never on private state.
+type ProviderSnapshot struct {
+	ID ProviderID
+
+	// Utilization in [0, 1]: fraction of the provider's capacity currently
+	// committed. KnBest's second stage keeps the kn least-utilized
+	// candidates.
+	Utilization float64
+
+	// QueueLen is the number of queries queued at the provider (including
+	// the one in service, if any).
+	QueueLen int
+
+	// Capacity is the provider's processing speed in work units per second.
+	Capacity float64
+
+	// PendingWork is the total work units enqueued, used to estimate the
+	// completion delay a new query would observe.
+	PendingWork float64
+
+	// Satisfaction is the provider's current long-run satisfaction
+	// δs(p) ∈ [0, 1] (Definition 2 of the paper).
+	Satisfaction float64
+}
+
+// ExpectedDelay estimates the response time a new query with the given work
+// would observe at this provider: queued work plus its own service time.
+func (s ProviderSnapshot) ExpectedDelay(work float64) float64 {
+	if s.Capacity <= 0 {
+		return 0
+	}
+	return (s.PendingWork + work) / s.Capacity
+}
+
+// Bid is a provider's sealed bid in the economic (Mariposa-style) baseline:
+// the price it asks to perform a query.
+type Bid struct {
+	Provider ProviderID
+	Price    float64
+}
+
+// Allocation is the outcome of mediating one query.
+type Allocation struct {
+	Query Query
+
+	// Selected lists the providers that received the query, best ranked
+	// first (the paper's ranking vector →R truncated to min(q.N, kn)).
+	Selected []ProviderID
+
+	// Proposed lists every provider that took part in the final mediation
+	// step (set Kn in the paper). The mediator sends the mediation result
+	// to all of them; providers compute satisfaction over *proposed*
+	// queries, so this set defines their interaction memory.
+	Proposed []ProviderID
+
+	// ConsumerIntentions records CI_q[p] for each proposed provider, and
+	// ProviderIntentions records PI_q[p]; keyed by position in Proposed.
+	ConsumerIntentions []Intention
+	ProviderIntentions []Intention
+
+	// Scores holds the allocator's score for each proposed provider
+	// (position-aligned with Proposed); informational, may be nil for
+	// allocators that do not score (e.g. random).
+	Scores []float64
+}
+
+// IntentionFor returns the consumer and provider intentions recorded for
+// provider p in this allocation, and whether p was part of the proposal.
+func (a *Allocation) IntentionFor(p ProviderID) (ci, pi Intention, ok bool) {
+	for i, pp := range a.Proposed {
+		if pp == p {
+			if i < len(a.ConsumerIntentions) {
+				ci = a.ConsumerIntentions[i]
+			}
+			if i < len(a.ProviderIntentions) {
+				pi = a.ProviderIntentions[i]
+			}
+			return ci, pi, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Selected reports whether provider p is among the selected providers.
+func (a *Allocation) SelectedContains(p ProviderID) bool {
+	for _, sp := range a.Selected {
+		if sp == p {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer for debugging output.
+func (a *Allocation) String() string {
+	return fmt.Sprintf("alloc{q=%d c=%d sel=%v of %v}", a.Query.ID, a.Query.Consumer, a.Selected, a.Proposed)
+}

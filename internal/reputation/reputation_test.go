@@ -1,0 +1,129 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBookAlphaRepair(t *testing.T) {
+	for _, bad := range []float64{0, -1, 1.5} {
+		b := NewBook(bad)
+		b.Observe(1, 1)
+		want := (1-DefaultAlpha)*Initial + DefaultAlpha*1
+		if got := b.Reputation(1); math.Abs(got-want) > 1e-12 {
+			t.Errorf("alpha=%v: reputation = %v, want %v", bad, got, want)
+		}
+	}
+}
+
+func TestInitialReputation(t *testing.T) {
+	b := NewBook(0.3)
+	if got := b.Reputation(42); got != Initial {
+		t.Errorf("unknown provider = %v, want %v", got, Initial)
+	}
+	if b.Known() != 0 {
+		t.Errorf("Known = %d", b.Known())
+	}
+}
+
+func TestObserveEWMA(t *testing.T) {
+	b := NewBook(0.5)
+	b.Observe(1, 1)
+	if got := b.Reputation(1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("after one good obs = %v, want 0.75", got)
+	}
+	b.Observe(1, 0)
+	if got := b.Reputation(1); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("after one bad obs = %v, want 0.375", got)
+	}
+	if b.Known() != 1 {
+		t.Errorf("Known = %d", b.Known())
+	}
+}
+
+func TestObserveClamps(t *testing.T) {
+	b := NewBook(1) // reputation = last observation
+	b.Observe(1, 42)
+	if got := b.Reputation(1); got != 1 {
+		t.Errorf("clamped high = %v", got)
+	}
+	b.Observe(1, -5)
+	if got := b.Reputation(1); got != 0 {
+		t.Errorf("clamped low = %v", got)
+	}
+}
+
+func TestReputationStaysInUnitInterval(t *testing.T) {
+	f := func(obs []float64) bool {
+		b := NewBook(0.3)
+		for _, o := range obs {
+			if math.IsNaN(o) {
+				continue
+			}
+			b.Observe(7, o)
+			r := b.Reputation(7)
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvergesToSteadyQuality(t *testing.T) {
+	b := NewBook(0.2)
+	for i := 0; i < 200; i++ {
+		b.Observe(3, 0.9)
+	}
+	if got := b.Reputation(3); math.Abs(got-0.9) > 1e-6 {
+		t.Errorf("steady-state reputation = %v, want ~0.9", got)
+	}
+}
+
+func TestForget(t *testing.T) {
+	b := NewBook(0.5)
+	b.Observe(1, 1)
+	b.Forget(1)
+	if got := b.Reputation(1); got != Initial {
+		t.Errorf("after Forget = %v, want %v", got, Initial)
+	}
+	b.Forget(99) // absent key must not panic
+}
+
+func TestQualityFromLatency(t *testing.T) {
+	if got := QualityFromLatency(0, 10); got != 1 {
+		t.Errorf("zero latency = %v, want 1", got)
+	}
+	if got := QualityFromLatency(10, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("latency at target = %v, want 0.5", got)
+	}
+	if got := QualityFromLatency(90, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("9x target = %v, want 0.1", got)
+	}
+	if got := QualityFromLatency(5, 0); got != 1 {
+		t.Errorf("non-positive target = %v, want 1", got)
+	}
+	if got := QualityFromLatency(-3, 10); got != 1 {
+		t.Errorf("negative latency treated as 0 → %v, want 1", got)
+	}
+}
+
+func TestQualityFromLatencyMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return QualityFromLatency(x, 5) >= QualityFromLatency(y, 5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package satisfaction
+
+import (
+	"sbqa/internal/model"
+)
+
+// Registry holds the satisfaction trackers of every participant known to a
+// mediator. The mediator records every mediation outcome here, and the SbQA
+// allocator reads δs(c) and δs(p) from it to compute the adaptive balance ω
+// of Equation 2.
+//
+// Registry is not safe for concurrent use; the event-driven simulator is
+// single-threaded and the live engine wraps it in its own lock.
+type Registry struct {
+	k         int
+	consumers map[model.ConsumerID]*ConsumerTracker
+	providers map[model.ProviderID]*ProviderTracker
+}
+
+// NewRegistry returns a registry creating trackers with window k on demand.
+func NewRegistry(k int) *Registry {
+	if k < 1 {
+		k = DefaultWindow
+	}
+	return &Registry{
+		k:         k,
+		consumers: make(map[model.ConsumerID]*ConsumerTracker),
+		providers: make(map[model.ProviderID]*ProviderTracker),
+	}
+}
+
+// Window returns the memory length used for new trackers.
+func (r *Registry) Window() int { return r.k }
+
+// SetConsumerWindow installs a tracker with a participant-specific memory
+// length for consumer c, replacing any existing tracker (the paper allows
+// each participant its own k, "depending on its memory capacity"; the demo
+// assumes a common value for simplicity). Existing history is discarded.
+func (r *Registry) SetConsumerWindow(c model.ConsumerID, k int) *ConsumerTracker {
+	t := NewConsumer(k)
+	r.consumers[c] = t
+	return t
+}
+
+// SetProviderWindow installs a tracker with a participant-specific memory
+// length for provider p, replacing any existing tracker.
+func (r *Registry) SetProviderWindow(p model.ProviderID, k int) *ProviderTracker {
+	t := NewProvider(k)
+	r.providers[p] = t
+	return t
+}
+
+// Consumer returns (creating if needed) the tracker for consumer c.
+func (r *Registry) Consumer(c model.ConsumerID) *ConsumerTracker {
+	t, ok := r.consumers[c]
+	if !ok {
+		t = NewConsumer(r.k)
+		r.consumers[c] = t
+	}
+	return t
+}
+
+// Provider returns (creating if needed) the tracker for provider p.
+func (r *Registry) Provider(p model.ProviderID) *ProviderTracker {
+	t, ok := r.providers[p]
+	if !ok {
+		t = NewProvider(r.k)
+		r.providers[p] = t
+	}
+	return t
+}
+
+// ConsumerSatisfaction returns δs(c), Neutral for unknown consumers.
+func (r *Registry) ConsumerSatisfaction(c model.ConsumerID) float64 {
+	if t, ok := r.consumers[c]; ok {
+		return t.Satisfaction()
+	}
+	return Neutral
+}
+
+// ProviderSatisfaction returns δs(p), Neutral for unknown providers.
+func (r *Registry) ProviderSatisfaction(p model.ProviderID) float64 {
+	if t, ok := r.providers[p]; ok {
+		return t.Satisfaction()
+	}
+	return Neutral
+}
+
+// Forget removes the trackers of a departed participant. Departure resets
+// memory: a participant that later rejoins starts from a clean window.
+func (r *Registry) Forget(c model.ConsumerID, p model.ProviderID) {
+	if c != model.NoConsumer {
+		delete(r.consumers, c)
+	}
+	if p != model.NoProvider {
+		delete(r.providers, p)
+	}
+}
+
+// ForgetConsumer removes consumer c's tracker.
+func (r *Registry) ForgetConsumer(c model.ConsumerID) { delete(r.consumers, c) }
+
+// ForgetProvider removes provider p's tracker.
+func (r *Registry) ForgetProvider(p model.ProviderID) { delete(r.providers, p) }
+
+// ConsumerIDs returns the IDs of all tracked consumers (unspecified order).
+func (r *Registry) ConsumerIDs() []model.ConsumerID {
+	out := make([]model.ConsumerID, 0, len(r.consumers))
+	for id := range r.consumers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ProviderIDs returns the IDs of all tracked providers (unspecified order).
+func (r *Registry) ProviderIDs() []model.ProviderID {
+	out := make([]model.ProviderID, 0, len(r.providers))
+	for id := range r.providers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ConsumerSatisfactions returns the δs of every tracked consumer.
+func (r *Registry) ConsumerSatisfactions() []float64 {
+	out := make([]float64, 0, len(r.consumers))
+	for _, t := range r.consumers {
+		out = append(out, t.Satisfaction())
+	}
+	return out
+}
+
+// ProviderSatisfactions returns the δs of every tracked provider.
+func (r *Registry) ProviderSatisfactions() []float64 {
+	out := make([]float64, 0, len(r.providers))
+	for _, t := range r.providers {
+		out = append(out, t.Satisfaction())
+	}
+	return out
+}
+
+// RecordAllocation feeds one mediation outcome into the trackers of the
+// consumer and of every proposed provider. candidates holds CI_q[p] for the
+// full candidate set P_q (used for the consumer's adequation and
+// allocation-satisfaction analysis); it may be nil, in which case the
+// proposed intentions stand in for it.
+func (r *Registry) RecordAllocation(a *model.Allocation, candidates []model.Intention) {
+	performed := make([]model.Intention, 0, len(a.Selected))
+	for i, p := range a.Proposed {
+		isSelected := a.SelectedContains(p)
+		if isSelected && i < len(a.ConsumerIntentions) {
+			performed = append(performed, a.ConsumerIntentions[i])
+		}
+		var pi model.Intention
+		if i < len(a.ProviderIntentions) {
+			pi = a.ProviderIntentions[i]
+		}
+		r.Provider(p).Record(pi, isSelected)
+	}
+	if candidates == nil {
+		candidates = a.ConsumerIntentions
+	}
+	r.Consumer(a.Query.Consumer).RecordQuery(a.Query.N, performed, candidates)
+}

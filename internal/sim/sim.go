@@ -1,0 +1,205 @@
+// Package sim is a deterministic discrete-event simulation kernel — the
+// reproduction's stand-in for the SimJava engine the SbQA demo uses. It
+// provides a virtual clock, an event heap with stable FIFO ordering among
+// simultaneous events, and a small network-latency model for mediator ↔
+// participant message delays.
+//
+// The kernel is single-threaded by design: experiments need bit-for-bit
+// reproducibility under a seed, which free-running goroutines cannot give.
+// The goroutine-based embedding lives in internal/live.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"sbqa/internal/stats"
+)
+
+// Event is a scheduled callback. The callback runs with the engine clock set
+// to the event's time.
+type Event struct {
+	at  float64
+	seq uint64 // tie-break: schedule order
+	fn  func()
+
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Time returns the simulation time the event is scheduled for.
+func (e *Event) Time() float64 { return e.at }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation executive. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns how many events are scheduled (including cancelled ones
+// not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay simulated seconds. Negative delays are
+// treated as zero (fire "now", after already-queued events at the current
+// time). It returns the event handle for cancellation.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t; times before the current clock are
+// clamped to it. It returns the event handle for cancellation.
+func (e *Engine) ScheduleAt(t float64, fn func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in time order until the queue is empty, Stop is
+// called, or the clock would pass until (events at exactly until still
+// fire). It returns the number of events executed. After Run returns because
+// of the horizon, the clock is advanced to until so that measurements read a
+// consistent end time.
+func (e *Engine) Run(until float64) uint64 {
+	e.stopped = false
+	start := e.fired
+	for !e.stopped && len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunAll executes events until the queue empties or Stop is called; it
+// guards against runaway self-scheduling with a generous event budget and
+// panics if it is exceeded (a simulation bug, not a user error).
+func (e *Engine) RunAll() uint64 {
+	const budget = 1 << 32
+	e.stopped = false
+	start := e.fired
+	for !e.stopped && e.Step() {
+		if e.fired-start > budget {
+			panic(fmt.Sprintf("sim: RunAll exceeded %d events; self-scheduling loop?", uint64(budget)))
+		}
+	}
+	return e.fired - start
+}
+
+// Network models mediator ↔ participant message latencies. A zero-valued
+// Network delivers instantly.
+type Network struct {
+	// Latency samples one-way message delay in simulated seconds.
+	Latency stats.Dist
+	rng     *stats.RNG
+}
+
+// NewNetwork returns a network with the given latency distribution; nil
+// means zero latency.
+func NewNetwork(latency stats.Dist, rng *stats.RNG) *Network {
+	if rng == nil {
+		rng = stats.NewRNG(1)
+	}
+	return &Network{Latency: latency, rng: rng}
+}
+
+// Delay samples one message delay.
+func (n *Network) Delay() float64 {
+	if n == nil || n.Latency == nil {
+		return 0
+	}
+	d := n.Latency.Sample(n.rng)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Send schedules fn after one sampled network delay.
+func (n *Network) Send(e *Engine, fn func()) *Event {
+	return e.Schedule(n.Delay(), fn)
+}
+
+// RoundTrip returns one sampled round-trip delay (two one-way samples).
+func (n *Network) RoundTrip() float64 { return n.Delay() + n.Delay() }

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a sampleable distribution over float64.
+type Dist interface {
+	// Sample draws one value using the supplied generator.
+	Sample(r *RNG) float64
+	// Mean returns the distribution's expected value.
+	Mean() float64
+	// String describes the distribution for experiment logs.
+	String() string
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) float64 { return r.Range(u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Exponential is the exponential distribution with the given Rate (λ);
+// its mean is 1/λ. It models Poisson inter-arrival times and memoryless
+// service demands.
+type Exponential struct{ Rate float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) float64 { return r.ExpFloat64() / e.Rate }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(rate=%g)", e.Rate) }
+
+// Normal is the normal distribution with mean Mu and standard deviation
+// Sigma, truncated below at Min (work demands must stay positive).
+type Normal struct {
+	Mu, Sigma float64
+	Min       float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *RNG) float64 {
+	v := n.Mu + n.Sigma*r.NormFloat64()
+	if v < n.Min {
+		return n.Min
+	}
+	return v
+}
+
+// Mean implements Dist. The truncation bias is ignored; callers use Min as a
+// safety floor far below Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(mu=%g,sigma=%g)", n.Mu, n.Sigma) }
+
+// Pareto is the Pareto distribution with scale Xm > 0 and shape Alpha > 0;
+// heavy-tailed service demands use Alpha in (1, 2].
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Dist.
+func (p Pareto) Sample(r *RNG) float64 {
+	u := 1 - r.Float64() // in (0, 1]
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Dist; infinite for Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha) }
+
+// Zipf draws integers in [0, N) with probability proportional to
+// 1/(rank+1)^S. It models skewed popularity (e.g. which consumer issues the
+// next query). S = 0 is uniform.
+type Zipf struct {
+	N int
+	S float64
+
+	cdf []float64 // lazily built cumulative weights
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with skew s >= 0.
+func NewZipf(n int, s float64) *Zipf {
+	z := &Zipf{N: n, S: s}
+	z.cdf = make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// SampleInt draws one rank in [0, N).
+func (z *Zipf) SampleInt(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Sample implements Dist by returning the sampled rank as a float64.
+func (z *Zipf) Sample(r *RNG) float64 { return float64(z.SampleInt(r)) }
+
+// Mean implements Dist.
+func (z *Zipf) Mean() float64 {
+	m := 0.0
+	prev := 0.0
+	for i, c := range z.cdf {
+		m += float64(i) * (c - prev)
+		prev = c
+	}
+	return m
+}
+
+func (z *Zipf) String() string { return fmt.Sprintf("zipf(n=%d,s=%g)", z.N, z.S) }

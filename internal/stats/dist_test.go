@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleMean(d Dist, r *RNG, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 3.5}
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 3.5 {
+			t.Fatal("constant distribution returned non-constant value")
+		}
+	}
+	if d.Mean() != 3.5 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if d.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 6}
+	r := NewRNG(2)
+	m := sampleMean(d, r, 100000)
+	if math.Abs(m-4) > 0.05 {
+		t.Errorf("uniform[2,6) mean = %v, want ~4", m)
+	}
+	if d.Mean() != 4 {
+		t.Errorf("Mean() = %v, want 4", d.Mean())
+	}
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v < 2 || v >= 6 {
+			t.Fatalf("uniform sample out of range: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{Rate: 0.5}
+	r := NewRNG(3)
+	m := sampleMean(d, r, 200000)
+	if math.Abs(m-2) > 0.05 {
+		t.Errorf("exp(0.5) mean = %v, want ~2", m)
+	}
+	if d.Mean() != 2 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	d := Normal{Mu: 1, Sigma: 5, Min: 0.1}
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 0.1 {
+			t.Fatalf("truncated normal returned %v < Min", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	d := Normal{Mu: 10, Sigma: 2, Min: -100}
+	r := NewRNG(5)
+	m := sampleMean(d, r, 100000)
+	if math.Abs(m-10) > 0.1 {
+		t.Errorf("normal mean = %v, want ~10", m)
+	}
+}
+
+func TestParetoMeanAndBound(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 2}
+	r := NewRNG(6)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 1 {
+			t.Fatalf("pareto sample %v below scale", v)
+		}
+	}
+	if got, want := d.Mean(), 2.0; got != want {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("pareto alpha=1 mean should be +Inf")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	r := NewRNG(7)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.SampleInt(r)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.08 {
+			t.Errorf("zipf(s=0) bucket %d = %d, want ~%d", i, c, n/10)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.2)
+	r := NewRNG(8)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.SampleInt(r)]++
+	}
+	// Rank 0 must dominate rank 50 decisively under s=1.2.
+	if counts[0] < counts[50]*5 {
+		t.Errorf("zipf skew too weak: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// All samples in range.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Errorf("zipf produced out-of-range samples: %d accounted of %d", total, n)
+	}
+}
+
+func TestZipfMeanMatchesEmpirical(t *testing.T) {
+	z := NewZipf(20, 0.8)
+	r := NewRNG(9)
+	m := sampleMean(z, r, 200000)
+	if math.Abs(m-z.Mean()) > 0.1 {
+		t.Errorf("zipf empirical mean %v vs analytic %v", m, z.Mean())
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	dists := []Dist{
+		Uniform{0, 1}, Exponential{1}, Normal{0, 1, 0}, Pareto{1, 2}, NewZipf(3, 1),
+	}
+	for _, d := range dists {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}

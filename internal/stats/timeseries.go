@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point is one sample of a time series: a value observed at a simulation
+// time.
+type Point struct {
+	T float64
+	V float64
+}
+
+// TimeSeries records (time, value) samples, e.g. mean provider satisfaction
+// measured every sampling interval. Samples are expected to arrive in
+// non-decreasing time order (the simulator guarantees this).
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Add appends a sample.
+func (ts *TimeSeries) Add(t, v float64) { ts.Points = append(ts.Points, Point{T: t, V: v}) }
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.Points) }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (ts *TimeSeries) Last() Point {
+	if len(ts.Points) == 0 {
+		return Point{}
+	}
+	return ts.Points[len(ts.Points)-1]
+}
+
+// At returns the value in effect at time t (the last sample with T <= t);
+// ok is false if t precedes the first sample.
+func (ts *TimeSeries) At(t float64) (v float64, ok bool) {
+	i := sort.Search(len(ts.Points), func(i int) bool { return ts.Points[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return ts.Points[i-1].V, true
+}
+
+// MeanValue returns the unweighted mean of the sampled values.
+func (ts *TimeSeries) MeanValue() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range ts.Points {
+		sum += p.V
+	}
+	return sum / float64(len(ts.Points))
+}
+
+// TailMean returns the mean of the last fraction frac (0,1] of samples —
+// the steady-state estimate the experiment tables report.
+func (ts *TimeSeries) TailMean(frac float64) float64 {
+	n := len(ts.Points)
+	if n == 0 {
+		return 0
+	}
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	start := n - int(float64(n)*frac)
+	if start >= n {
+		start = n - 1
+	}
+	var sum float64
+	for _, p := range ts.Points[start:] {
+		sum += p.V
+	}
+	return sum / float64(n-start)
+}
+
+// WriteCSV writes "t,<name>" rows to w (with a header row).
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "t,%s\n", ts.Name); err != nil {
+		return err
+	}
+	for _, p := range ts.Points {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", p.T, p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVMulti writes multiple series sharing a time axis as a single CSV
+// table. Series are aligned by sample index; they must have equal lengths
+// (the scenario samplers guarantee this). It returns an error on length
+// mismatch.
+func WriteCSVMulti(w io.Writer, series ...*TimeSeries) error {
+	if len(series) == 0 {
+		return nil
+	}
+	n := series[0].Len()
+	header := "t"
+	for _, s := range series {
+		if s.Len() != n {
+			return fmt.Errorf("stats: series %q has %d points, want %d", s.Name, s.Len(), n)
+		}
+		header += "," + s.Name
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, "%.6f", series[0].Points[i].T); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if _, err := fmt.Fprintf(w, ",%.6f", s.Points[i].V); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram counts observations in equal-width bins over [Lo, Hi); values
+// outside the range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int64
+	N      int64
+}
+
+// NewHistogram builds a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.N++
+}
+
+// Fraction returns the share of observations falling in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 || i < 0 || i >= len(h.Bins) {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.N)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + width*(float64(i)+0.5)
+}

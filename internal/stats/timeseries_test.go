@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesBasics(t *testing.T) {
+	ts := NewTimeSeries("sat")
+	if ts.Len() != 0 {
+		t.Error("new series not empty")
+	}
+	if p := ts.Last(); p.T != 0 || p.V != 0 {
+		t.Error("Last on empty series should be zero Point")
+	}
+	ts.Add(0, 0.5)
+	ts.Add(1, 0.6)
+	ts.Add(2, 0.7)
+	if ts.Len() != 3 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if p := ts.Last(); p.T != 2 || p.V != 0.7 {
+		t.Errorf("Last = %+v", p)
+	}
+	if got := ts.MeanValue(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("MeanValue = %v", got)
+	}
+}
+
+func TestTimeSeriesAt(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(1, 10)
+	ts.Add(3, 30)
+	if _, ok := ts.At(0.5); ok {
+		t.Error("At before first sample should be !ok")
+	}
+	if v, ok := ts.At(1); !ok || v != 10 {
+		t.Errorf("At(1) = %v,%v", v, ok)
+	}
+	if v, ok := ts.At(2.9); !ok || v != 10 {
+		t.Errorf("At(2.9) = %v,%v", v, ok)
+	}
+	if v, ok := ts.At(100); !ok || v != 30 {
+		t.Errorf("At(100) = %v,%v", v, ok)
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	ts := NewTimeSeries("x")
+	for i := 1; i <= 10; i++ {
+		ts.Add(float64(i), float64(i))
+	}
+	if got := ts.TailMean(0.5); math.Abs(got-8) > 1e-12 { // mean of 6..10
+		t.Errorf("TailMean(0.5) = %v, want 8", got)
+	}
+	if got := ts.TailMean(1); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("TailMean(1) = %v, want 5.5", got)
+	}
+	// Degenerate fractions fall back to full mean; tiny fraction = last point.
+	if got := ts.TailMean(-1); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("TailMean(-1) = %v, want 5.5", got)
+	}
+	if got := ts.TailMean(0.01); math.Abs(got-10) > 1e-12 {
+		t.Errorf("TailMean(0.01) = %v, want 10", got)
+	}
+	empty := NewTimeSeries("e")
+	if empty.TailMean(0.5) != 0 {
+		t.Error("TailMean on empty series should be 0")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	ts := NewTimeSeries("sat")
+	ts.Add(0, 1)
+	ts.Add(1, 2)
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t,sat\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.000000,2.000000") {
+		t.Errorf("missing row: %q", out)
+	}
+}
+
+func TestWriteCSVMulti(t *testing.T) {
+	a := NewTimeSeries("a")
+	b := NewTimeSeries("b")
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b.Add(0, 3)
+	b.Add(1, 4)
+	var sb strings.Builder
+	if err := WriteCSVMulti(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "t,a,b\n") {
+		t.Errorf("bad header: %q", out)
+	}
+	if !strings.Contains(out, "1.000000,2.000000,4.000000") {
+		t.Errorf("bad row: %q", out)
+	}
+	b.Add(2, 5)
+	if err := WriteCSVMulti(&sb, a, b); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if err := WriteCSVMulti(&sb); err != nil {
+		t.Errorf("no series should be a no-op, got %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bins[i] != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Bins[i])
+		}
+		if math.Abs(h.Fraction(i)-0.1) > 1e-12 {
+			t.Errorf("Fraction(%d) = %v", i, h.Fraction(i))
+		}
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(100)
+	if h.Bins[0] != 2 || h.Bins[9] != 2 {
+		t.Errorf("clamped counts wrong: %v", h.Bins)
+	}
+	if got, want := h.BinCenter(0), 0.5; got != want {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+	if h.Fraction(-1) != 0 || h.Fraction(10) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+	// Degenerate constructor arguments are repaired.
+	d := NewHistogram(5, 5, 0)
+	d.Add(5)
+	if d.N != 1 || len(d.Bins) != 1 {
+		t.Error("degenerate histogram not repaired")
+	}
+}

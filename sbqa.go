@@ -1,0 +1,382 @@
+// Package sbqa is a Go implementation of SbQA — the Satisfaction-based
+// Query Allocation process of Quiané-Ruiz, Lamarre and Valduriez (ICDE
+// 2009) — together with every substrate the paper's demonstration depends
+// on: the satisfaction model, the SQLB intention-balancing score, the
+// KnBest two-stage provider selection, the baseline allocation techniques
+// it is compared against (capacity-based and Mariposa-style economic
+// mediation), a deterministic discrete-event BOINC-like simulation world,
+// a concurrent (goroutine-based) runtime for real embeddings, and the
+// seven-scenario experiment harness of the demo.
+//
+// # Quick start
+//
+//	allocator := sbqa.NewSbQA(sbqa.SbQAConfig{})      // adaptive ω, KnBest(20,10)
+//	med := sbqa.NewMediator(allocator, sbqa.MediatorConfig{Window: 100})
+//	med.RegisterConsumer(myConsumer)                  // your impl of sbqa.Consumer
+//	med.RegisterProvider(myProvider)                  // your impl of sbqa.Provider
+//	alloc, err := med.Mediate(now, sbqa.Query{Consumer: 0, N: 1, Work: 10})
+//
+// For simulations, build a World instead (see NewWorld), or run the paper's
+// scenarios directly (Scenario1 … Scenario7, RunAllScenarios).
+//
+// # Model vocabulary
+//
+// Consumers issue queries; providers perform them; both are autonomous and
+// express intentions in [-1, 1] about every potential allocation. The
+// mediator allocates each query q to q.N of the providers able to perform
+// it, scoring candidates by Definition 3 of the paper under the
+// satisfaction-adaptive balance ω of Equation 2, after the KnBest stages
+// bound the candidate set. Participants' satisfaction (Definitions 1-2) is
+// computed over their k last interactions; chronically dissatisfied
+// participants leave, costing the system capacity — which is exactly what
+// SbQA is designed to prevent.
+package sbqa
+
+import (
+	"io"
+
+	"sbqa/internal/adwords"
+	"sbqa/internal/alloc"
+	"sbqa/internal/boinc"
+	"sbqa/internal/core"
+	"sbqa/internal/experiments"
+	"sbqa/internal/intention"
+	"sbqa/internal/knbest"
+	"sbqa/internal/live"
+	"sbqa/internal/mediator"
+	"sbqa/internal/metrics"
+	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
+	"sbqa/internal/score"
+	"sbqa/internal/stats"
+	"sbqa/internal/topics"
+	"sbqa/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Domain model
+// ---------------------------------------------------------------------------
+
+// Core domain types (see the model package for full documentation).
+type (
+	// ConsumerID identifies a consumer.
+	ConsumerID = model.ConsumerID
+	// ProviderID identifies a provider.
+	ProviderID = model.ProviderID
+	// QueryID identifies a query instance.
+	QueryID = model.QueryID
+	// Intention is a participant's interest level in [-1, 1].
+	Intention = model.Intention
+	// Query is one unit of work to allocate.
+	Query = model.Query
+	// ProviderSnapshot is the mediator-visible provider state.
+	ProviderSnapshot = model.ProviderSnapshot
+	// Allocation is the outcome of mediating one query.
+	Allocation = model.Allocation
+)
+
+// ---------------------------------------------------------------------------
+// Allocators
+// ---------------------------------------------------------------------------
+
+// Allocation machinery.
+type (
+	// Allocator decides which providers perform a query.
+	Allocator = alloc.Allocator
+	// Env is the mediation environment allocators consult.
+	Env = alloc.Env
+	// SbQAConfig configures the satisfaction-based allocator.
+	SbQAConfig = core.Config
+	// KnBestParams are the two-stage selection parameters (k, kn).
+	KnBestParams = knbest.Params
+	// SbQA is the satisfaction-based allocator itself.
+	SbQA = core.SbQA
+)
+
+// NewSbQA builds the satisfaction-based allocator. The zero config gives the
+// demo defaults: KnBest(k=20, kn=10), adaptive ω per Equation 2, ε = 1.
+// It panics only on contradictory KnBest parameters (kn > k); use
+// core-level validation via NewSbQAChecked for error returns.
+func NewSbQA(cfg SbQAConfig) *SbQA { return core.MustNew(cfg) }
+
+// NewSbQAChecked is NewSbQA returning validation errors instead of
+// panicking.
+func NewSbQAChecked(cfg SbQAConfig) (*SbQA, error) { return core.New(cfg) }
+
+// FixedOmega pins the scoring balance: 0 scores purely by consumer
+// intentions, 1 purely by provider intentions; pass the result in
+// SbQAConfig.Omega. Leaving Omega nil selects the adaptive Equation 2.
+func FixedOmega(v float64) *float64 { return core.FixedOmega(v) }
+
+// NewCapacityAllocator returns the capacity-based baseline (the BOINC-like
+// load balancer of the paper's comparisons).
+func NewCapacityAllocator() Allocator { return alloc.NewCapacity() }
+
+// NewEconomicAllocator returns the Mariposa-style sealed-bid baseline.
+func NewEconomicAllocator(seed uint64) Allocator { return alloc.NewEconomic(stats.NewRNG(seed)) }
+
+// NewRandomAllocator returns the uniform-random control.
+func NewRandomAllocator(seed uint64) Allocator { return alloc.NewRandom(stats.NewRNG(seed)) }
+
+// NewRoundRobinAllocator returns the rotating control.
+func NewRoundRobinAllocator() Allocator { return alloc.NewRoundRobin() }
+
+// NewShareBasedAllocator returns BOINC's native resource-share dispatching
+// (the paper's §IV motivating example); pair it with
+// WorldConfig.EnforceShares.
+func NewShareBasedAllocator() Allocator { return alloc.NewShareBased() }
+
+// ---------------------------------------------------------------------------
+// Scoring and satisfaction (the paper's formulas, exposed directly)
+// ---------------------------------------------------------------------------
+
+// Omega computes the adaptive balance of Equation 2 from the consumer's and
+// provider's long-run satisfactions.
+func Omega(satC, satP float64) float64 { return score.Omega(satC, satP) }
+
+// Scorer is the SQLB scoring rule (Definition 3).
+type Scorer = score.Scorer
+
+// NewScorer returns the adaptive-ω scorer with ε = 1.
+func NewScorer() *Scorer { return score.NewScorer() }
+
+// Satisfaction model types (Definitions 1-2 plus the adequation and
+// allocation-satisfaction notions of the companion model).
+type (
+	// ConsumerTracker tracks one consumer's interaction window.
+	ConsumerTracker = satisfaction.ConsumerTracker
+	// ProviderTracker tracks one provider's proposal window.
+	ProviderTracker = satisfaction.ProviderTracker
+	// SatisfactionRegistry holds every participant's tracker.
+	SatisfactionRegistry = satisfaction.Registry
+)
+
+// NewConsumerTracker returns a consumer satisfaction tracker with window k.
+func NewConsumerTracker(k int) *ConsumerTracker { return satisfaction.NewConsumer(k) }
+
+// NewProviderTracker returns a provider satisfaction tracker with window k.
+func NewProviderTracker(k int) *ProviderTracker { return satisfaction.NewProvider(k) }
+
+// NewSatisfactionRegistry returns a registry creating trackers with window
+// k on demand.
+func NewSatisfactionRegistry(k int) *SatisfactionRegistry { return satisfaction.NewRegistry(k) }
+
+// Intention policies for participants.
+type (
+	// ConsumerPolicy computes consumer intentions.
+	ConsumerPolicy = intention.ConsumerPolicy
+	// ProviderPolicy computes provider intentions.
+	ProviderPolicy = intention.ProviderPolicy
+	// ConsumerInputs feeds a ConsumerPolicy.
+	ConsumerInputs = intention.ConsumerInputs
+	// ProviderInputs feeds a ProviderPolicy.
+	ProviderInputs = intention.ProviderInputs
+	// PreferenceProvider expresses static preferences.
+	PreferenceProvider = intention.PreferenceProvider
+	// LoadOnlyProvider wants queries when idle, refuses when busy.
+	LoadOnlyProvider = intention.LoadOnlyProvider
+	// BlendProvider trades preference for load with fixed β.
+	BlendProvider = intention.BlendProvider
+	// AdaptiveProvider trades preference for load by satisfaction.
+	AdaptiveProvider = intention.AdaptiveProvider
+	// PreferenceConsumer expresses static preferences.
+	PreferenceConsumer = intention.PreferenceConsumer
+	// ReputationBlendConsumer trades preference for reputation.
+	ReputationBlendConsumer = intention.ReputationBlendConsumer
+	// ResponseTimeConsumer cares only about expected delay.
+	ResponseTimeConsumer = intention.ResponseTimeConsumer
+	// AdaptiveConsumer trades preference for reputation by satisfaction.
+	AdaptiveConsumer = intention.AdaptiveConsumer
+)
+
+// ---------------------------------------------------------------------------
+// Mediation pipeline
+// ---------------------------------------------------------------------------
+
+// Mediation pipeline types.
+type (
+	// Mediator runs the technique-agnostic mediation pipeline.
+	Mediator = mediator.Mediator
+	// MediatorConfig tunes the pipeline.
+	MediatorConfig = mediator.Config
+	// Consumer is the mediator-side view of a consumer.
+	Consumer = mediator.Consumer
+	// Provider is the mediator-side view of a provider.
+	Provider = mediator.Provider
+)
+
+// ErrNoCandidates is returned by Mediator.Mediate when no online provider
+// can perform the query.
+var ErrNoCandidates = mediator.ErrNoCandidates
+
+// NewMediator returns a mediator running the given allocation technique.
+func NewMediator(a Allocator, cfg MediatorConfig) *Mediator { return mediator.New(a, cfg) }
+
+// ---------------------------------------------------------------------------
+// Simulation world & experiments
+// ---------------------------------------------------------------------------
+
+// Simulation and experiment types.
+type (
+	// World is the BOINC-like simulated system.
+	World = boinc.World
+	// WorldConfig assembles a world.
+	WorldConfig = boinc.Config
+	// WorldMode selects captive vs autonomous participants.
+	WorldMode = boinc.Mode
+	// WorkloadConfig describes the synthetic population.
+	WorkloadConfig = workload.Config
+	// ProjectSpec declares one consumer project.
+	ProjectSpec = workload.ProjectSpec
+	// Popularity classifies how liked a project is.
+	Popularity = workload.Popularity
+	// RunResult condenses one run into the experiment-table row.
+	RunResult = metrics.Result
+	// ResultTable is an aligned text table of results.
+	ResultTable = metrics.Table
+	// ExperimentOptions sizes a scenario run.
+	ExperimentOptions = experiments.Options
+	// ScenarioResult is one regenerated scenario.
+	ScenarioResult = experiments.ScenarioResult
+)
+
+// World modes.
+const (
+	// Captive participants never leave (Scenarios 1, 3, 5, 6).
+	Captive = boinc.Captive
+	// Autonomous participants leave when chronically dissatisfied
+	// (Scenarios 2, 4, 7).
+	Autonomous = boinc.Autonomous
+)
+
+// Popularity classes for ProjectSpec.
+const (
+	// Popular projects are most volunteers' favourite.
+	Popular = workload.Popular
+	// Normal projects are liked by many volunteers, not most.
+	Normal = workload.Normal
+	// Unpopular projects are favoured by a small fraction.
+	Unpopular = workload.Unpopular
+)
+
+// NewWorld builds a runnable simulation; see WorldConfig and
+// DefaultWorldConfig.
+func NewWorld(a Allocator, cfg WorldConfig) (*World, error) { return boinc.NewWorld(a, cfg) }
+
+// DefaultWorldConfig returns the demo population (three projects with
+// popular/normal/unpopular skew) at the given scale.
+func DefaultWorldConfig(volunteers int, seed uint64) WorldConfig {
+	return boinc.DefaultConfig(volunteers, seed)
+}
+
+// The seven demo scenarios. Each regenerates its paper table(s); see
+// EXPERIMENTS.md for recorded outputs and expected shapes.
+var (
+	// Scenario1 compares the baselines under the satisfaction model
+	// (captive).
+	Scenario1 = experiments.Scenario1
+	// Scenario2 runs the baselines under autonomy and predicts departures.
+	Scenario2 = experiments.Scenario2
+	// Scenario3 compares SbQA with the baselines (captive).
+	Scenario3 = experiments.Scenario3
+	// Scenario4 compares SbQA with the baselines (autonomous).
+	Scenario4 = experiments.Scenario4
+	// Scenario5 flips intentions to performance-only.
+	Scenario5 = experiments.Scenario5
+	// Scenario6 sweeps kn and ω.
+	Scenario6 = experiments.Scenario6
+	// Scenario7 plants probe participants with explicit objectives.
+	Scenario7 = experiments.Scenario7
+	// MotivatingExample reproduces the paper's §IV resource-share
+	// rigidity story (80/20 devotion, ca stops, cb bursts).
+	MotivatingExample = experiments.MotivatingExample
+	// MaliciousStudy exercises the replication/validation substrate with
+	// malicious volunteers and reputation-driven intentions.
+	MaliciousStudy = experiments.MaliciousStudy
+	// ReplicationStudy compares fixed and satisfaction-adaptive query
+	// replication (the SbQR-style extension).
+	ReplicationStudy = experiments.ReplicationStudy
+	// AdWordsStudy reproduces the §I keyword-advertising motivation with
+	// dynamic campaign-driven intentions.
+	AdWordsStudy = experiments.AdWordsStudy
+)
+
+// ---------------------------------------------------------------------------
+// Live (goroutine-based) runtime
+// ---------------------------------------------------------------------------
+
+// Concurrent runtime types for real embeddings (wall-clock time, goroutine
+// workers); see the live package documentation.
+type (
+	// LiveService is a thread-safe mediation front end.
+	LiveService = live.Service
+	// LiveWorker executes queries on its own goroutine.
+	LiveWorker = live.Worker
+	// LiveResult is one completed execution.
+	LiveResult = live.Result
+	// LiveFuncConsumer adapts an intention function to Consumer.
+	LiveFuncConsumer = live.FuncConsumer
+)
+
+// NewLiveService returns a concurrent mediation service with satisfaction
+// window k.
+func NewLiveService(a Allocator, window int) *LiveService { return live.NewService(a, window) }
+
+// NewLiveWorker starts a worker goroutine with the given capacity (work
+// units per real second) and intention function.
+func NewLiveWorker(id ProviderID, capacity float64, queueCap int, intentionFn func(Query) Intention) (*LiveWorker, error) {
+	return live.NewWorker(id, capacity, queueCap, intentionFn)
+}
+
+// ---------------------------------------------------------------------------
+// Topic-based interests and the AdWords world (§I motivation)
+// ---------------------------------------------------------------------------
+
+// Content-based interest types: queries carry topic vectors, participants
+// hold (possibly campaign-boosted) interest vectors, preference = cosine.
+type (
+	// TopicVector is a dense topic weight vector.
+	TopicVector = topics.Vector
+	// TopicInterests is a dynamic interest profile with campaigns.
+	TopicInterests = topics.Interests
+	// TopicCampaign is a temporary interest boost with a deadline.
+	TopicCampaign = topics.Campaign
+	// AdWorld is the keyword-advertising simulation world.
+	AdWorld = adwords.World
+	// AdWorldConfig sizes an AdWorld.
+	AdWorldConfig = adwords.Config
+	// Advertiser is a provider bidding for ad placements.
+	Advertiser = adwords.Advertiser
+)
+
+// TopicPreference maps interest/query similarity onto an intention.
+func TopicPreference(interest, query TopicVector) Intention {
+	return topics.Preference(interest, query)
+}
+
+// NewTopicInterests returns a dynamic interest profile with the given base.
+func NewTopicInterests(base TopicVector) *TopicInterests { return topics.NewInterests(base) }
+
+// NewAdWorld builds a keyword-advertising world running the given
+// allocation technique.
+func NewAdWorld(a Allocator, cfg AdWorldConfig) (*AdWorld, error) {
+	return adwords.NewWorld(a, cfg)
+}
+
+// RunAllScenarios executes Scenarios 1-7 in order.
+func RunAllScenarios(opt ExperimentOptions) ([]*ScenarioResult, error) {
+	return experiments.RunAll(opt)
+}
+
+// RenderScenarios writes every scenario's tables and notes to w.
+func RenderScenarios(w io.Writer, results []*ScenarioResult) error {
+	for _, r := range results {
+		if err := r.Render(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package sbqa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: build an allocator, a mediator,
+	// register participants, mediate a query.
+	allocator := NewSbQA(SbQAConfig{})
+	med := NewMediator(allocator, MediatorConfig{Window: 50})
+
+	med.RegisterConsumer(consumerStub{id: 0})
+	for i := 0; i < 5; i++ {
+		med.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(0.2 * float64(i+1))})
+	}
+
+	a, err := med.Mediate(0, Query{Consumer: 0, N: 2, Work: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != 2 {
+		t.Fatalf("selected %d providers", len(a.Selected))
+	}
+	if s := med.Registry().ConsumerSatisfaction(0); s <= 0 {
+		t.Errorf("consumer satisfaction %v", s)
+	}
+}
+
+type consumerStub struct{ id ConsumerID }
+
+func (c consumerStub) ConsumerID() ConsumerID { return c.id }
+func (c consumerStub) Intention(Query, ProviderSnapshot) Intention {
+	return 0.5
+}
+
+type providerStub struct {
+	id ProviderID
+	pi Intention
+}
+
+func (p providerStub) ProviderID() ProviderID { return p.id }
+func (p providerStub) Snapshot(float64) ProviderSnapshot {
+	return ProviderSnapshot{ID: p.id, Capacity: 1}
+}
+func (p providerStub) CanPerform(Query) bool     { return true }
+func (p providerStub) Intention(Query) Intention { return p.pi }
+func (p providerStub) Bid(q Query) float64       { return q.Work }
+
+func TestPublicOmega(t *testing.T) {
+	if got := Omega(0.5, 0.5); got != 0.5 {
+		t.Errorf("Omega = %v", got)
+	}
+	if got := Omega(1, 0); got != 1 {
+		t.Errorf("Omega = %v", got)
+	}
+}
+
+func TestPublicScorer(t *testing.T) {
+	s := NewScorer()
+	if got := s.Score(1, 1, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Score = %v", got)
+	}
+	if got := s.Score(-1, -1, 0.5); got >= 0 {
+		t.Errorf("Score = %v, want negative", got)
+	}
+}
+
+func TestPublicTrackers(t *testing.T) {
+	ct := NewConsumerTracker(10)
+	ct.Record(1, 1, 1)
+	if ct.Satisfaction() != 1 {
+		t.Error("consumer tracker broken")
+	}
+	pt := NewProviderTracker(10)
+	pt.Record(1, true)
+	if pt.Satisfaction() != 1 {
+		t.Error("provider tracker broken")
+	}
+	reg := NewSatisfactionRegistry(10)
+	if reg.ConsumerSatisfaction(3) != 0.5 {
+		t.Error("registry broken")
+	}
+}
+
+func TestPublicAllocatorConstructors(t *testing.T) {
+	names := map[string]Allocator{
+		"Capacity":   NewCapacityAllocator(),
+		"Economic":   NewEconomicAllocator(1),
+		"Random":     NewRandomAllocator(2),
+		"RoundRobin": NewRoundRobinAllocator(),
+	}
+	for want, a := range names {
+		if a.Name() != want {
+			t.Errorf("Name = %q, want %q", a.Name(), want)
+		}
+	}
+	if NewSbQA(SbQAConfig{}).Name() != "SbQA" {
+		t.Error("SbQA name wrong")
+	}
+	fixed := NewSbQA(SbQAConfig{Omega: FixedOmega(0.5)})
+	if !strings.Contains(fixed.Name(), "0.5") {
+		t.Errorf("fixed-omega name = %q", fixed.Name())
+	}
+	if _, err := NewSbQAChecked(SbQAConfig{KnBest: KnBestParams{K: 1, Kn: 5}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPublicWorldRun(t *testing.T) {
+	cfg := DefaultWorldConfig(30, 3)
+	cfg.Duration = 200
+	cfg.Mode = Captive
+	w, err := NewWorld(NewSbQA(SbQAConfig{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+	if r.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if r.Technique != "SbQA" {
+		t.Errorf("technique = %q", r.Technique)
+	}
+}
+
+func TestPublicScenarioAndRender(t *testing.T) {
+	res, err := Scenario1(ExperimentOptions{Volunteers: 25, Duration: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderScenarios(&sb, []*ScenarioResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Scenario 1") {
+		t.Error("render missing scenario heading")
+	}
+}
+
+func TestPublicErrNoCandidates(t *testing.T) {
+	med := NewMediator(NewCapacityAllocator(), MediatorConfig{Window: 10})
+	med.RegisterConsumer(consumerStub{id: 0})
+	if _, err := med.Mediate(0, Query{Consumer: 0, N: 1, Work: 1}); err == nil {
+		t.Error("want ErrNoCandidates")
+	}
+}
