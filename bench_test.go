@@ -11,6 +11,9 @@
 package sbqa
 
 import (
+	"context"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"sbqa/internal/alloc"
@@ -357,4 +360,124 @@ func BenchmarkReplicationStudy(b *testing.B) {
 		ada := resultOf(r, "adaptive")
 		return map[string]float64{"adaptive_RT": ada.rt}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Live engine benchmarks: sharded mediation throughput
+// ---------------------------------------------------------------------------
+
+// benchEngine builds a sharded engine over constant-snapshot providers (no
+// dispatch — pure mediation throughput) with one consumer per submitting
+// goroutine.
+func benchEngine(b *testing.B, shards, providers, consumers int) *LiveService {
+	b.Helper()
+	svc, err := NewLiveEngine(LiveConfig{
+		Window:      100,
+		Concurrency: shards,
+		NewAllocator: func(shard int) Allocator {
+			cfg := core.DefaultConfig()
+			cfg.Seed = uint64(shard) + 1
+			return core.MustNew(cfg)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < providers; i++ {
+		svc.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(float64(i%9)/9 - 0.3)})
+	}
+	for c := 0; c < consumers; c++ {
+		c := c
+		svc.RegisterConsumer(LiveFuncConsumer{ID: ConsumerID(c), Fn: func(q Query, snap ProviderSnapshot) Intention {
+			return Intention(float64((int(snap.ID)+c)%7)/7 - 0.2)
+		}})
+	}
+	return svc
+}
+
+// benchmarkEngineParallel measures sharded mediation throughput under
+// b.RunParallel: every goroutine drives its own consumer, so shards mediate
+// concurrently. This is the scaling proof for the sharded engine — compare
+// BenchmarkLiveEngineParallel with BenchmarkLiveEngineSingleShard at
+// GOMAXPROCS > 1.
+func benchmarkEngineParallel(b *testing.B, shards int) {
+	const providers = 200
+	maxProcs := runtime.GOMAXPROCS(0)
+	svc := benchEngine(b, shards, providers, maxProcs*4)
+	var nextConsumer atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := ConsumerID(nextConsumer.Add(1) - 1)
+		q := Query{Consumer: c, N: 2, Work: 10}
+		for pb.Next() {
+			if _, err := svc.Submit(context.Background(), q, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkLiveEngineParallel — one mediator shard per CPU.
+func BenchmarkLiveEngineParallel(b *testing.B) {
+	benchmarkEngineParallel(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkLiveEngineSingleShard — the serialized baseline under identical
+// parallel load: every submission funnels through one shard mutex.
+func BenchmarkLiveEngineSingleShard(b *testing.B) {
+	benchmarkEngineParallel(b, 1)
+}
+
+// BenchmarkLiveEngineSubmitBatch measures the amortized batch entry point:
+// each provider is snapshotted at most once per batch per shard, however
+// many of the 64 queries it is a candidate for.
+func BenchmarkLiveEngineSubmitBatch(b *testing.B) {
+	const batchSize = 64
+	svc := benchEngine(b, runtime.GOMAXPROCS(0), 200, 16)
+	queries := make([]Query, batchSize)
+	for i := range queries {
+		queries[i] = Query{Consumer: ConsumerID(i % 16), N: 2, Work: 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, errs := svc.SubmitBatch(context.Background(), queries, nil)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(batchSize), "queries/op")
+}
+
+// BenchmarkDirectoryCandidates measures indexed candidate discovery with a
+// 10%-specialist population: class-restricted discovery touches only the
+// class bucket plus the universal pool.
+func BenchmarkDirectoryCandidates(b *testing.B) {
+	dir := NewDirectory()
+	const providers = 1000
+	for i := 0; i < providers; i++ {
+		w, err := NewLiveWorker(ProviderID(i), 100, 1, func(Query) Intention { return 0 })
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		if i%10 == 0 {
+			w.SetClasses(1, 2)
+		}
+		dir.RegisterProvider(w)
+	}
+	q := Query{Consumer: 0, N: 1, Work: 1, Class: 3}
+	var buf []Provider
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = dir.Candidates(q, buf[:0])
+	}
+	if len(buf) != providers-providers/10 {
+		b.Fatalf("candidates = %d", len(buf))
+	}
 }

@@ -1,7 +1,9 @@
-// Live example: the SbQA mediation embedded in a real concurrent program.
-// Workers run on goroutines with wall-clock service times; submitters send
-// queries from several goroutines at once; the mediator serializes the
-// mediations and the satisfaction model shapes who gets what.
+// Live example: the SbQA mediation embedded in a real concurrent program,
+// running on the sharded engine. Workers run on goroutines with wall-clock
+// service times; submitters send queries from several goroutines at once;
+// queries route to mediator shards by consumer, so distinct consumers
+// mediate in parallel while the shared satisfaction registry shapes who
+// gets what.
 //
 // Run with: go run ./examples/live
 package main
@@ -10,19 +12,33 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 
 	"sbqa"
 )
 
 func main() {
-	// KnBest sized for six workers: sample 4 at random, keep the 2 least
-	// loaded. The random first stage is what rotates work across equally
-	// idle, equally scored workers — without it, deterministic tie-breaks
-	// would starve all but one generalist.
-	svc := sbqa.NewLiveService(sbqa.NewSbQA(sbqa.SbQAConfig{
-		KnBest: sbqa.KnBestParams{K: 4, Kn: 2},
-	}), 50)
+	// One mediator shard per CPU; each shard gets its own seeded allocator
+	// (allocators hold sampling state and cannot be shared). KnBest sized
+	// for six workers: sample 4 at random, keep the 2 least loaded. The
+	// random first stage is what rotates work across equally idle, equally
+	// scored workers — without it, deterministic tie-breaks would starve
+	// all but one generalist.
+	svc, err := sbqa.NewLiveEngine(sbqa.LiveConfig{
+		Window:      50,
+		Concurrency: runtime.GOMAXPROCS(0),
+		NewAllocator: func(shard int) sbqa.Allocator {
+			return sbqa.NewSbQA(sbqa.SbQAConfig{
+				KnBest: sbqa.KnBestParams{K: 4, Kn: 2},
+				Seed:   uint64(shard) + 1,
+			})
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "live example:", err)
+		os.Exit(1)
+	}
 
 	// Six workers: fast generalists, and two specialists that only want
 	// class-1 ("analytics") queries.
@@ -67,17 +83,29 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < perConsumer; i++ {
-				_, err := svc.Submit(context.Background(), sbqa.Query{
-					Consumer: sbqa.ConsumerID(c),
-					Class:    c,
-					N:        1,
-					Work:     2,
-				}, results)
-				if err != nil {
+			// Submit singles and batches: every eighth round hands the
+			// engine a batch of 4, which one shard mediates under a single
+			// lock acquisition with shared candidate snapshots.
+			submitted := 0
+			for submitted < perConsumer {
+				q := sbqa.Query{Consumer: sbqa.ConsumerID(c), Class: c, N: 1, Work: 2}
+				if submitted%8 == 4 && perConsumer-submitted >= 4 {
+					batch := []sbqa.Query{q, q, q, q}
+					_, errs := svc.SubmitBatch(context.Background(), batch, results)
+					for _, err := range errs {
+						if err != nil {
+							fmt.Fprintln(os.Stderr, "submit batch:", err)
+							return
+						}
+					}
+					submitted += len(batch)
+					continue
+				}
+				if _, err := svc.Submit(context.Background(), q, results); err != nil {
 					fmt.Fprintln(os.Stderr, "submit:", err)
 					return
 				}
+				submitted++
 			}
 		}()
 	}
@@ -93,7 +121,7 @@ func main() {
 		byClass[r.Provider] = c
 	}
 
-	fmt.Println("completed 80 queries across 6 concurrent workers:")
+	fmt.Printf("completed 80 queries across 6 workers on %d mediator shard(s):\n", svc.Shards())
 	for i := 0; i < 6; i++ {
 		id := sbqa.ProviderID(i)
 		kind := "generalist"
@@ -104,7 +132,8 @@ func main() {
 			i, kind, byWorker[id], byClass[id][0], byClass[id][1], svc.ProviderSatisfaction(id))
 	}
 	fmt.Println("\nload spreads across all six workers (no starvation), while the")
-	fmt.Println("score tilts analytics toward its specialists: about two thirds of")
-	fmt.Println("their work is analytics versus half of the overall traffic. When a")
-	fmt.Println("specialist does get web work, every sampled alternative was worse.")
+	fmt.Println("score tilts analytics toward its specialists: most of their work")
+	fmt.Println("is analytics even though it is only half of the overall traffic.")
+	fmt.Println("When a specialist does get web work, every sampled alternative")
+	fmt.Println("was worse at mediation time.")
 }

@@ -1,0 +1,3 @@
+module sbqa
+
+go 1.24

@@ -1,0 +1,256 @@
+// Package directory is the participant catalog of the SbQA system: it keeps
+// the registries of online consumers and providers and answers candidate
+// discovery — "which providers can perform query q?" (the set P_q of the
+// paper) — through a capability index instead of a scan over every
+// registered provider.
+//
+// The mediator historically owned these registries and rebuilt P_q per query
+// by iterating all providers and asking each CanPerform. That is fine for a
+// few hundred simulated volunteers, but it makes every mediation O(|P|) and
+// it welds registration to a single mediator instance. Extracting the
+// catalog gives two things at once:
+//
+//   - an index keyed on the query class (the static part of what CanPerform
+//     checks), so discovery is a lookup over the class bucket plus the
+//     universal providers, filtered by the authoritative CanPerform
+//     predicate — O(|P_q|), not O(|P|);
+//   - a concurrency-safe registry that several mediator shards can share,
+//     which is what the sharded live engine is built on.
+//
+// Determinism: Candidates always returns providers in ascending ProviderID
+// order, whatever the registration order, so seeded allocators reproduce
+// bit-for-bit (the experiment tables depend on this).
+package directory
+
+import (
+	"sort"
+	"sync"
+
+	"sbqa/internal/model"
+)
+
+// Consumer is the directory-side view of a consumer (the same contract the
+// mediator consumes; the mediator package aliases this type).
+type Consumer interface {
+	// ConsumerID identifies the consumer.
+	ConsumerID() model.ConsumerID
+
+	// Intention returns CI_q[p]: the consumer's intention to see its
+	// query q allocated to the provider described by snap.
+	Intention(q model.Query, snap model.ProviderSnapshot) model.Intention
+}
+
+// Provider is the directory-side view of a provider (the same contract the
+// mediator consumes; the mediator package aliases this type).
+type Provider interface {
+	// ProviderID identifies the provider.
+	ProviderID() model.ProviderID
+
+	// Snapshot reports the provider's allocation-relevant state at the
+	// given simulation time.
+	Snapshot(now float64) model.ProviderSnapshot
+
+	// CanPerform reports whether the provider is able to perform q
+	// (defines membership of the candidate set P_q).
+	CanPerform(q model.Query) bool
+
+	// Intention returns PI_q[p]: the provider's intention to perform q.
+	Intention(q model.Query) model.Intention
+
+	// Bid returns the price the provider asks to perform q (economic
+	// baseline).
+	Bid(q model.Query) float64
+}
+
+// CapabilityReporter is an optional Provider extension declaring, up front,
+// the query classes the provider can perform. The directory consults it once
+// at registration time and files the provider under those classes; providers
+// that do not implement it (or return an empty list) are treated as
+// universal — able to perform queries of any class.
+//
+// Capabilities narrows candidate discovery; CanPerform stays authoritative
+// and is still applied to every indexed candidate, so a provider may refuse
+// individual queries within its declared classes (load shedding, per-query
+// predicates) without breaking the index.
+type CapabilityReporter interface {
+	Capabilities() []int
+}
+
+// Directory is a concurrency-safe participant catalog with a class-keyed
+// capability index. The zero value is not usable; call New.
+type Directory struct {
+	mu        sync.RWMutex
+	providers map[model.ProviderID]Provider
+	consumers map[model.ConsumerID]Consumer
+
+	// classesOf remembers the classes a provider was filed under at
+	// registration (nil = universal), so unregistration can unindex it
+	// without consulting the provider again.
+	classesOf map[model.ProviderID][]int
+
+	// universal and byClass are sorted ProviderID lists: the candidates for
+	// a query of class c are the ordered merge of universal and byClass[c].
+	universal []model.ProviderID
+	byClass   map[int][]model.ProviderID
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		providers: make(map[model.ProviderID]Provider),
+		consumers: make(map[model.ConsumerID]Consumer),
+		classesOf: make(map[model.ProviderID][]int),
+		byClass:   make(map[int][]model.ProviderID),
+	}
+}
+
+// RegisterProvider adds (or replaces) a provider and files it in the
+// capability index.
+func (d *Directory) RegisterProvider(p Provider) {
+	id := p.ProviderID()
+	var classes []int
+	if cr, ok := p.(CapabilityReporter); ok {
+		if caps := cr.Capabilities(); len(caps) > 0 {
+			classes = append([]int(nil), caps...)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.providers[id]; exists {
+		d.unindexLocked(id)
+	}
+	d.providers[id] = p
+	d.classesOf[id] = classes
+	if classes == nil {
+		d.universal = insertID(d.universal, id)
+		return
+	}
+	for _, c := range classes {
+		d.byClass[c] = insertID(d.byClass[c], id)
+	}
+}
+
+// UnregisterProvider removes a provider from the catalog and the index.
+func (d *Directory) UnregisterProvider(id model.ProviderID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.providers[id]; !exists {
+		return
+	}
+	d.unindexLocked(id)
+	delete(d.providers, id)
+	delete(d.classesOf, id)
+}
+
+func (d *Directory) unindexLocked(id model.ProviderID) {
+	classes := d.classesOf[id]
+	if classes == nil {
+		d.universal = removeID(d.universal, id)
+		return
+	}
+	for _, c := range classes {
+		d.byClass[c] = removeID(d.byClass[c], id)
+		if len(d.byClass[c]) == 0 {
+			delete(d.byClass, c)
+		}
+	}
+}
+
+// RegisterConsumer adds (or replaces) a consumer.
+func (d *Directory) RegisterConsumer(c Consumer) {
+	d.mu.Lock()
+	d.consumers[c.ConsumerID()] = c
+	d.mu.Unlock()
+}
+
+// UnregisterConsumer removes a consumer.
+func (d *Directory) UnregisterConsumer(id model.ConsumerID) {
+	d.mu.Lock()
+	delete(d.consumers, id)
+	d.mu.Unlock()
+}
+
+// Provider returns the registered provider with the given ID, or nil.
+func (d *Directory) Provider(id model.ProviderID) Provider {
+	d.mu.RLock()
+	p := d.providers[id]
+	d.mu.RUnlock()
+	return p
+}
+
+// Consumer returns the registered consumer with the given ID, or nil.
+func (d *Directory) Consumer(id model.ConsumerID) Consumer {
+	d.mu.RLock()
+	c := d.consumers[id]
+	d.mu.RUnlock()
+	return c
+}
+
+// NumProviders returns the number of registered providers.
+func (d *Directory) NumProviders() int {
+	d.mu.RLock()
+	n := len(d.providers)
+	d.mu.RUnlock()
+	return n
+}
+
+// NumConsumers returns the number of registered consumers.
+func (d *Directory) NumConsumers() int {
+	d.mu.RLock()
+	n := len(d.consumers)
+	d.mu.RUnlock()
+	return n
+}
+
+// Candidates appends to buf the providers able to perform q — the candidate
+// set P_q — in ascending ProviderID order, and returns the extended slice.
+// Discovery consults the capability index (universal providers plus the
+// bucket of q's class) and then applies CanPerform to each hit.
+//
+// The returned providers are the live registered instances; callers that
+// mediate concurrently must tolerate providers unregistering after the call
+// returns (see mediator.backfillIntentions).
+func (d *Directory) Candidates(q model.Query, buf []Provider) []Provider {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	uni, cls := d.universal, d.byClass[q.Class]
+	// Ordered merge of the two disjoint sorted ID lists.
+	i, j := 0, 0
+	for i < len(uni) || j < len(cls) {
+		var id model.ProviderID
+		switch {
+		case j >= len(cls) || (i < len(uni) && uni[i] < cls[j]):
+			id = uni[i]
+			i++
+		default:
+			id = cls[j]
+			j++
+		}
+		if p := d.providers[id]; p != nil && p.CanPerform(q) {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}
+
+// insertID inserts id into the sorted slice ids, keeping it sorted; it is a
+// no-op if id is already present.
+func insertID(ids []model.ProviderID, id model.ProviderID) []model.ProviderID {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeID removes id from the sorted slice ids if present.
+func removeID(ids []model.ProviderID, id model.ProviderID) []model.ProviderID {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	if i >= len(ids) || ids[i] != id {
+		return ids
+	}
+	return append(ids[:i], ids[i+1:]...)
+}

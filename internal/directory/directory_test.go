@@ -1,0 +1,217 @@
+package directory
+
+import (
+	"sync"
+	"testing"
+
+	"sbqa/internal/model"
+)
+
+// stub is a minimal provider; classes nil means universal via the
+// CanPerform predicate alone, declared non-nil also reports Capabilities.
+type stub struct {
+	id       model.ProviderID
+	classes  []int // declared capabilities; nil = universal
+	vetoFn   func(q model.Query) bool
+	consumer model.ConsumerID
+}
+
+func (s *stub) ProviderID() model.ProviderID { return s.id }
+func (s *stub) Snapshot(float64) model.ProviderSnapshot {
+	return model.ProviderSnapshot{ID: s.id, Capacity: 1}
+}
+func (s *stub) CanPerform(q model.Query) bool {
+	if s.vetoFn != nil {
+		return s.vetoFn(q)
+	}
+	return true
+}
+func (s *stub) Intention(model.Query) model.Intention { return 0 }
+func (s *stub) Bid(model.Query) float64               { return 1 }
+func (s *stub) Capabilities() []int                   { return s.classes }
+
+type consumerStub struct{ id model.ConsumerID }
+
+func (c consumerStub) ConsumerID() model.ConsumerID { return c.id }
+func (c consumerStub) Intention(model.Query, model.ProviderSnapshot) model.Intention {
+	return 0
+}
+
+func ids(ps []Provider) []model.ProviderID {
+	out := make([]model.ProviderID, len(ps))
+	for i, p := range ps {
+		out[i] = p.ProviderID()
+	}
+	return out
+}
+
+func equalIDs(a, b []model.ProviderID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCandidatesOrderedMerge(t *testing.T) {
+	d := New()
+	// Universal providers 5, 1; class-1 specialists 3, 7; class-2 specialist 2.
+	d.RegisterProvider(&stub{id: 5})
+	d.RegisterProvider(&stub{id: 1})
+	d.RegisterProvider(&stub{id: 3, classes: []int{1}})
+	d.RegisterProvider(&stub{id: 7, classes: []int{1}})
+	d.RegisterProvider(&stub{id: 2, classes: []int{2}})
+
+	got := ids(d.Candidates(model.Query{Class: 1}, nil))
+	if want := []model.ProviderID{1, 3, 5, 7}; !equalIDs(got, want) {
+		t.Errorf("class 1 candidates = %v, want %v", got, want)
+	}
+	got = ids(d.Candidates(model.Query{Class: 2}, nil))
+	if want := []model.ProviderID{1, 2, 5}; !equalIDs(got, want) {
+		t.Errorf("class 2 candidates = %v, want %v", got, want)
+	}
+	// A class with no specialists still reaches the universal providers.
+	got = ids(d.Candidates(model.Query{Class: 9}, nil))
+	if want := []model.ProviderID{1, 5}; !equalIDs(got, want) {
+		t.Errorf("class 9 candidates = %v, want %v", got, want)
+	}
+}
+
+func TestCandidatesOrderIndependentOfRegistration(t *testing.T) {
+	build := func(order []model.ProviderID) *Directory {
+		d := New()
+		for _, id := range order {
+			d.RegisterProvider(&stub{id: id})
+		}
+		return d
+	}
+	a := build([]model.ProviderID{4, 2, 9, 1, 7})
+	b := build([]model.ProviderID{7, 1, 9, 2, 4})
+	ga := ids(a.Candidates(model.Query{}, nil))
+	gb := ids(b.Candidates(model.Query{}, nil))
+	if !equalIDs(ga, gb) {
+		t.Errorf("candidate order depends on registration order: %v vs %v", ga, gb)
+	}
+	for i := 1; i < len(ga); i++ {
+		if ga[i-1] >= ga[i] {
+			t.Fatalf("candidates not in ascending ID order: %v", ga)
+		}
+	}
+}
+
+func TestCanPerformStaysAuthoritative(t *testing.T) {
+	d := New()
+	// Declared class-1 capable, but vetoes odd query IDs.
+	d.RegisterProvider(&stub{
+		id: 1, classes: []int{1},
+		vetoFn: func(q model.Query) bool { return q.ID%2 == 0 },
+	})
+	if got := d.Candidates(model.Query{ID: 2, Class: 1}, nil); len(got) != 1 {
+		t.Errorf("even query candidates = %d, want 1", len(got))
+	}
+	if got := d.Candidates(model.Query{ID: 3, Class: 1}, nil); len(got) != 0 {
+		t.Errorf("vetoed query candidates = %d, want 0", len(got))
+	}
+}
+
+func TestReplaceReindexes(t *testing.T) {
+	d := New()
+	d.RegisterProvider(&stub{id: 1, classes: []int{1}})
+	// Re-register the same ID as a class-2 specialist.
+	d.RegisterProvider(&stub{id: 1, classes: []int{2}})
+	if got := d.Candidates(model.Query{Class: 1}, nil); len(got) != 0 {
+		t.Errorf("stale class-1 index entry survived replacement: %v", ids(got))
+	}
+	if got := d.Candidates(model.Query{Class: 2}, nil); len(got) != 1 {
+		t.Errorf("replacement not indexed under class 2: %v", ids(got))
+	}
+	// And replacement with a universal provider.
+	d.RegisterProvider(&stub{id: 1})
+	if got := d.Candidates(model.Query{Class: 7}, nil); len(got) != 1 {
+		t.Errorf("universal replacement missing: %v", ids(got))
+	}
+}
+
+func TestUnregisterProvider(t *testing.T) {
+	d := New()
+	d.RegisterProvider(&stub{id: 1})
+	d.RegisterProvider(&stub{id: 2, classes: []int{3}})
+	d.UnregisterProvider(1)
+	d.UnregisterProvider(2)
+	d.UnregisterProvider(99) // unknown: no-op
+	if d.NumProviders() != 0 {
+		t.Errorf("NumProviders = %d", d.NumProviders())
+	}
+	if got := d.Candidates(model.Query{Class: 3}, nil); len(got) != 0 {
+		t.Errorf("unregistered providers still discoverable: %v", ids(got))
+	}
+	if d.Provider(1) != nil {
+		t.Error("Provider(1) should be nil after unregistration")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	d := New()
+	d.RegisterConsumer(consumerStub{id: 4})
+	if d.NumConsumers() != 1 || d.Consumer(4) == nil {
+		t.Error("consumer not registered")
+	}
+	d.UnregisterConsumer(4)
+	if d.NumConsumers() != 0 || d.Consumer(4) != nil {
+		t.Error("consumer not unregistered")
+	}
+}
+
+// TestConcurrentChurn exercises the directory under -race: readers discover
+// candidates while writers register and unregister providers.
+func TestConcurrentChurn(t *testing.T) {
+	d := New()
+	for i := 0; i < 8; i++ {
+		d.RegisterProvider(&stub{id: model.ProviderID(i)})
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			id := model.ProviderID(100 + w)
+			for i := 0; i < 500; i++ {
+				d.RegisterProvider(&stub{id: id, classes: []int{w % 2}})
+				d.UnregisterProvider(id)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var buf []Provider
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = d.Candidates(model.Query{Class: 1}, buf[:0])
+				if len(buf) < 8 {
+					t.Errorf("lost permanent providers: %d", len(buf))
+					return
+				}
+				_ = d.Provider(3)
+				_ = d.NumProviders()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if d.NumProviders() != 8 {
+		t.Errorf("NumProviders after churn = %d, want 8", d.NumProviders())
+	}
+}

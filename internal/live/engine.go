@@ -1,0 +1,283 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/directory"
+	"sbqa/internal/mediator"
+	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
+)
+
+// Config assembles a sharded mediation engine. The zero value is not usable
+// on its own: either Allocator (single shard) or NewAllocator must be set.
+type Config struct {
+	// Window is the satisfaction memory length k.
+	Window int
+
+	// Concurrency is the number of mediator shards. Values below 1 mean 1.
+	// Queries route to shards by a hash of their ConsumerID, so a single
+	// consumer's stream is always serialized while distinct consumers
+	// mediate in parallel.
+	Concurrency int
+
+	// Allocator is the allocation technique for a single-shard engine.
+	// Ignored when NewAllocator is set.
+	Allocator alloc.Allocator
+
+	// NewAllocator builds one allocator per shard. Allocators carry
+	// internal state (sampling RNGs, round-robin cursors) and are not safe
+	// for concurrent use, so a multi-shard engine needs one instance per
+	// shard; seed them per shard index for reproducible-yet-decorrelated
+	// sampling streams. Required when Concurrency > 1.
+	NewAllocator func(shard int) alloc.Allocator
+
+	// AnalyzeBest mirrors mediator.Config.AnalyzeBest: evaluate the
+	// consumer's intention over the whole candidate set so allocation
+	// satisfaction is measured against the true optimum.
+	AnalyzeBest bool
+
+	// OnMediation mirrors mediator.Config.OnMediation. With several shards
+	// it is invoked concurrently and must be safe for concurrent use.
+	OnMediation func(a *model.Allocation, candidates int)
+
+	// NowFn overrides the engine clock: it returns the current time in
+	// seconds on the mediation time axis. Nil uses wall-clock seconds
+	// since the service started. Deterministic tests inject a fake clock.
+	NowFn func() float64
+}
+
+// shard is one mediation lane: a single-threaded mediator behind its own
+// mutex. The pointer indirection keeps each shard's hot mutex on its own
+// cache line region.
+type shard struct {
+	mu  sync.Mutex
+	med *mediator.Mediator
+}
+
+// Service is a thread-safe mediation front end: a sharded engine over a
+// shared provider directory and a shared lock-striped satisfaction
+// registry. See the package documentation for the architecture.
+type Service struct {
+	dir    *directory.Directory
+	reg    *satisfaction.Registry
+	shards []*shard
+	nextID atomic.Int64
+	start  time.Time
+	nowFn  func() float64
+}
+
+// NewService returns a single-shard service running the given allocation
+// technique — the historical serialized front end, byte-identical in
+// behavior to the pre-sharding implementation.
+func NewService(allocator alloc.Allocator, window int) *Service {
+	s, err := NewServiceWithConfig(Config{Allocator: allocator, Window: window})
+	if err != nil {
+		// Unreachable: the single-shard path has no invalid configurations
+		// beyond a nil allocator, which fails at first Mediate exactly like
+		// the historical constructor did.
+		panic(err)
+	}
+	return s
+}
+
+// NewServiceWithConfig builds a sharded engine from cfg.
+func NewServiceWithConfig(cfg Config) (*Service, error) {
+	n := cfg.Concurrency
+	if n < 1 {
+		n = 1
+	}
+	if n > 1 && cfg.NewAllocator == nil {
+		return nil, errors.New("live: Concurrency > 1 requires Config.NewAllocator (allocators hold per-shard state and cannot be shared)")
+	}
+	s := &Service{
+		dir:    directory.New(),
+		reg:    satisfaction.NewRegistry(cfg.Window),
+		shards: make([]*shard, n),
+		start:  time.Now(),
+	}
+	if cfg.NowFn != nil {
+		s.nowFn = cfg.NowFn
+	} else {
+		s.nowFn = func() float64 { return time.Since(s.start).Seconds() }
+	}
+	mcfg := mediator.Config{
+		Window:      cfg.Window,
+		AnalyzeBest: cfg.AnalyzeBest,
+		OnMediation: cfg.OnMediation,
+		Registry:    s.reg,
+		Directory:   s.dir,
+	}
+	for i := range s.shards {
+		a := cfg.Allocator
+		if cfg.NewAllocator != nil {
+			a = cfg.NewAllocator(i)
+		}
+		s.shards[i] = &shard{med: mediator.New(a, mcfg)}
+	}
+	return s, nil
+}
+
+// Shards returns the number of mediator shards.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Directory exposes the shared participant catalog.
+func (s *Service) Directory() *directory.Directory { return s.dir }
+
+// Registry exposes the shared lock-striped satisfaction registry.
+func (s *Service) Registry() *satisfaction.Registry { return s.reg }
+
+// shardFor routes a consumer to its mediation shard.
+func (s *Service) shardFor(c model.ConsumerID) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := (uint64(int64(c)) * 0x9E3779B97F4A7C15) >> 32
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// RegisterWorker attaches a worker to the mediation pipeline. Registration
+// goes to the shared directory, so the worker is immediately a candidate on
+// every shard.
+func (s *Service) RegisterWorker(w *Worker) { s.dir.RegisterProvider(w) }
+
+// RegisterProvider attaches an arbitrary provider implementation. Providers
+// that are not *Worker participate in mediation (and satisfaction) but are
+// not dispatched to — embedders deliver the allocation out of band.
+func (s *Service) RegisterProvider(p mediator.Provider) { s.dir.RegisterProvider(p) }
+
+// UnregisterWorker detaches a worker (its satisfaction memory is dropped).
+func (s *Service) UnregisterWorker(id model.ProviderID) {
+	s.dir.UnregisterProvider(id)
+	s.reg.ForgetProvider(id)
+}
+
+// RegisterConsumer attaches a consumer.
+func (s *Service) RegisterConsumer(c mediator.Consumer) { s.dir.RegisterConsumer(c) }
+
+// UnregisterConsumer detaches a consumer and drops its satisfaction memory.
+func (s *Service) UnregisterConsumer(id model.ConsumerID) {
+	s.dir.UnregisterConsumer(id)
+	s.reg.ForgetConsumer(id)
+}
+
+// ProviderSatisfaction reads δs(p) from the shared striped registry.
+func (s *Service) ProviderSatisfaction(id model.ProviderID) float64 {
+	return s.reg.ProviderSatisfaction(id)
+}
+
+// ConsumerSatisfaction reads δs(c) from the shared striped registry.
+func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
+	return s.reg.ConsumerSatisfaction(id)
+}
+
+// ErrDispatch reports that an allocation succeeded but a selected worker
+// could not accept the query (shut down mid-flight).
+var ErrDispatch = errors.New("live: selected worker rejected the query")
+
+// Submit mediates the query on its consumer's shard and dispatches it to the
+// selected workers. It assigns the query ID. The returned allocation lists
+// the chosen workers; results arrive asynchronously on the consumer's
+// result channel.
+func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Result) (*model.Allocation, error) {
+	q.ID = model.QueryID(s.nextID.Add(1))
+	q.IssuedAt = s.nowFn()
+	sh := s.shardFor(q.Consumer)
+	sh.mu.Lock()
+	a, err := sh.med.Mediate(q.IssuedAt, q)
+	var workers []*Worker
+	if err == nil {
+		workers = s.selectedWorkers(a)
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return a, s.dispatch(ctx, q, workers, results)
+}
+
+// selectedWorkers resolves the dispatchable workers of an allocation.
+func (s *Service) selectedWorkers(a *model.Allocation) []*Worker {
+	workers := make([]*Worker, 0, len(a.Selected))
+	for _, pid := range a.Selected {
+		if w, ok := s.dir.Provider(pid).(*Worker); ok {
+			workers = append(workers, w)
+		}
+	}
+	return workers
+}
+
+func (s *Service) dispatch(ctx context.Context, q model.Query, workers []*Worker, results chan<- Result) error {
+	for _, w := range workers {
+		if !w.accept(ctx, q, results) {
+			return ErrDispatch
+		}
+	}
+	return nil
+}
+
+// SubmitBatch mediates a batch of queries and dispatches the allocations,
+// returning position-aligned allocations and errors. Queries are grouped by
+// shard and each shard mediates its group under a single lock acquisition
+// via mediator.MediateBatch, which snapshots each provider at most once per
+// batch; distinct shards run concurrently. Query IDs are
+// assigned in input order and every query carries the same issue timestamp
+// (the batch is one arrival event).
+//
+// A nil error with a non-nil allocation means mediated and dispatched;
+// ErrDispatch means mediated but a selected worker refused the hand-off.
+func (s *Service) SubmitBatch(ctx context.Context, queries []model.Query, results chan<- Result) ([]*model.Allocation, []error) {
+	allocs := make([]*model.Allocation, len(queries))
+	errs := make([]error, len(queries))
+	if len(queries) == 0 {
+		return allocs, errs
+	}
+	now := s.nowFn()
+	batch := make([]model.Query, len(queries))
+	copy(batch, queries)
+	groups := make(map[*shard][]int, len(s.shards))
+	for i := range batch {
+		batch[i].ID = model.QueryID(s.nextID.Add(1))
+		batch[i].IssuedAt = now
+		sh := s.shardFor(batch[i].Consumer)
+		groups[sh] = append(groups[sh], i)
+	}
+	var wg sync.WaitGroup
+	for sh, idxs := range groups {
+		sh, idxs := sh, idxs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := make([]model.Query, len(idxs))
+			for j, i := range idxs {
+				sub[j] = batch[i]
+			}
+			sh.mu.Lock()
+			as, aerrs := sh.med.MediateBatch(now, sub)
+			workers := make([][]*Worker, len(idxs))
+			for j := range as {
+				if aerrs[j] == nil {
+					workers[j] = s.selectedWorkers(as[j])
+				}
+			}
+			sh.mu.Unlock()
+			for j, i := range idxs {
+				allocs[i], errs[i] = as[j], aerrs[j]
+				if aerrs[j] == nil {
+					errs[i] = s.dispatch(ctx, sub[j], workers[j], results)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return allocs, errs
+}
+
+var _ mediator.Provider = (*Worker)(nil)
+var _ directory.CapabilityReporter = (*Worker)(nil)
+var _ mediator.Consumer = FuncConsumer{}

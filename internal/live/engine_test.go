@@ -1,0 +1,328 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/core"
+	"sbqa/internal/knbest"
+	"sbqa/internal/mediator"
+	"sbqa/internal/model"
+)
+
+// constProvider is a provider with a state-independent snapshot, so
+// mediation outcomes depend only on allocator and registry state — the
+// determinism tests need repeatable snapshots, and the throughput paths use
+// it to benchmark mediation without dispatch.
+type constProvider struct {
+	id   model.ProviderID
+	pi   model.Intention
+	util float64
+}
+
+func (p *constProvider) ProviderID() model.ProviderID { return p.id }
+func (p *constProvider) Snapshot(float64) model.ProviderSnapshot {
+	return model.ProviderSnapshot{ID: p.id, Utilization: p.util, Capacity: 1}
+}
+func (p *constProvider) CanPerform(model.Query) bool           { return true }
+func (p *constProvider) Intention(model.Query) model.Intention { return p.pi }
+func (p *constProvider) Bid(q model.Query) float64             { return q.Work }
+
+func sbqaAllocator(seed uint64) alloc.Allocator {
+	c := core.DefaultConfig()
+	c.KnBest = knbest.Params{K: 6, Kn: 3}
+	c.Seed = seed
+	return core.MustNew(c)
+}
+
+// TestSingleShardByteIdenticalToSerializedMediator drives the sharded
+// engine with Concurrency=1 and a plain serialized mediator.Mediator with
+// identical inputs (same allocator seed, same query IDs, same fake clock)
+// and requires byte-identical allocations — the contract that sharding the
+// engine changed nothing about single-lane semantics.
+func TestSingleShardByteIdenticalToSerializedMediator(t *testing.T) {
+	const (
+		window    = 40
+		providers = 10
+		queries   = 200
+		consumers = 3
+	)
+	newConsumer := func(id model.ConsumerID) FuncConsumer {
+		return FuncConsumer{ID: id, Fn: func(q model.Query, snap model.ProviderSnapshot) model.Intention {
+			// Deterministic, provider- and consumer-dependent preference.
+			return model.Intention(float64((int(snap.ID)+int(id))%5)/5 - 0.2)
+		}}
+	}
+
+	// Reference: the serialized pipeline, driven directly.
+	ref := mediator.New(sbqaAllocator(42), mediator.Config{Window: window, AnalyzeBest: true})
+	for c := 0; c < consumers; c++ {
+		ref.RegisterConsumer(newConsumer(model.ConsumerID(c)))
+	}
+	for i := 0; i < providers; i++ {
+		ref.RegisterProvider(&constProvider{
+			id: model.ProviderID(i), pi: model.Intention(float64(i%7)/7 - 0.3), util: float64(i%4) / 4,
+		})
+	}
+
+	// Engine: one shard, fake clock.
+	var clock atomic.Int64 // hundredths of a second
+	svc, err := NewServiceWithConfig(Config{
+		Window:      window,
+		Concurrency: 1,
+		Allocator:   sbqaAllocator(42),
+		AnalyzeBest: true,
+		NowFn:       func() float64 { return float64(clock.Load()) / 100 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < consumers; c++ {
+		svc.RegisterConsumer(newConsumer(model.ConsumerID(c)))
+	}
+	for i := 0; i < providers; i++ {
+		svc.RegisterProvider(&constProvider{
+			id: model.ProviderID(i), pi: model.Intention(float64(i%7)/7 - 0.3), util: float64(i%4) / 4,
+		})
+	}
+
+	for i := 0; i < queries; i++ {
+		clock.Store(int64(i))
+		now := float64(i) / 100
+		q := model.Query{Consumer: model.ConsumerID(i % consumers), N: 1 + i%2, Work: 1 + float64(i%3)}
+
+		refQ := q
+		refQ.ID = model.QueryID(i + 1) // engine assigns 1-based sequential IDs
+		refQ.IssuedAt = now
+		wantA, wantErr := ref.Mediate(now, refQ)
+
+		gotA, gotErr := svc.Submit(context.Background(), q, nil)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("query %d: err %v vs %v", i, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		want := fmt.Sprintf("%+v", *wantA)
+		got := fmt.Sprintf("%+v", *gotA)
+		if want != got {
+			t.Fatalf("query %d allocation diverged:\nserialized: %s\nengine:     %s", i, want, got)
+		}
+	}
+	// Satisfaction state identical afterwards.
+	for c := 0; c < consumers; c++ {
+		if a, b := ref.Registry().ConsumerSatisfaction(model.ConsumerID(c)), svc.ConsumerSatisfaction(model.ConsumerID(c)); a != b {
+			t.Errorf("consumer %d δs: %v vs %v", c, a, b)
+		}
+	}
+	for p := 0; p < providers; p++ {
+		if a, b := ref.Registry().ProviderSatisfaction(model.ProviderID(p)), svc.ProviderSatisfaction(model.ProviderID(p)); a != b {
+			t.Errorf("provider %d δs: %v vs %v", p, a, b)
+		}
+	}
+}
+
+// TestSubmitBatchMatchesSubmit: on a single shard with constant providers, a
+// batch must produce the same allocations as the equivalent Submit sequence.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	build := func() *Service {
+		svc, err := NewServiceWithConfig(Config{
+			Window: 30, Concurrency: 1, Allocator: sbqaAllocator(7),
+			NowFn: func() float64 { return 1 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 2; c++ {
+			c := c
+			svc.RegisterConsumer(FuncConsumer{ID: model.ConsumerID(c), Fn: func(q model.Query, snap model.ProviderSnapshot) model.Intention {
+				return model.Intention(float64((int(snap.ID)+c)%3)/3 - 0.1)
+			}})
+		}
+		for i := 0; i < 8; i++ {
+			svc.RegisterProvider(&constProvider{id: model.ProviderID(i), pi: 0.4})
+		}
+		return svc
+	}
+	queries := make([]model.Query, 20)
+	for i := range queries {
+		queries[i] = model.Query{Consumer: model.ConsumerID(i % 2), N: 1, Work: 2}
+	}
+
+	one := build()
+	var want []string
+	for _, q := range queries {
+		a, err := one.Submit(context.Background(), q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("%+v", *a))
+	}
+
+	batched := build()
+	allocs, errs := batched.SubmitBatch(context.Background(), queries, nil)
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("batch query %d: %v", i, errs[i])
+		}
+		if got := fmt.Sprintf("%+v", *allocs[i]); got != want[i] {
+			t.Errorf("query %d:\nsubmit: %s\nbatch:  %s", i, want[i], got)
+		}
+	}
+}
+
+// TestShardedSubmitBatchDispatches: a multi-shard batch reaches real
+// workers and every result comes back.
+func TestShardedSubmitBatchDispatches(t *testing.T) {
+	svc, err := NewServiceWithConfig(Config{
+		Window:       50,
+		Concurrency:  4,
+		NewAllocator: func(shard int) alloc.Allocator { return sbqaAllocator(uint64(shard + 1)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	for i := 0; i < workers; i++ {
+		w, err := NewWorker(model.ProviderID(i), 1000, 256, func(model.Query) model.Intention { return 0.5 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		svc.RegisterWorker(w)
+	}
+	const consumers = 8
+	for c := 0; c < consumers; c++ {
+		svc.RegisterConsumer(FuncConsumer{ID: model.ConsumerID(c), Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.3 }})
+	}
+	queries := make([]model.Query, 64)
+	for i := range queries {
+		queries[i] = model.Query{Consumer: model.ConsumerID(i % consumers), N: 1, Work: 0.5}
+	}
+	results := make(chan Result, len(queries))
+	allocs, errs := svc.SubmitBatch(context.Background(), queries, results)
+	seen := map[model.QueryID]bool{}
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if allocs[i] == nil || len(allocs[i].Selected) != 1 {
+			t.Fatalf("query %d: allocation %v", i, allocs[i])
+		}
+		if id := allocs[i].Query.ID; id < 1 || seen[id] {
+			t.Errorf("query %d: bad or duplicate ID %d", i, id)
+		} else {
+			seen[id] = true
+		}
+	}
+	for i := 0; i < len(queries); i++ {
+		select {
+		case <-results:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d results", i)
+		}
+	}
+}
+
+// TestClassRestrictedWorkers: SetClasses feeds the directory's capability
+// index; queries of other classes never reach the specialist.
+func TestClassRestrictedWorkers(t *testing.T) {
+	svc := NewService(core.MustNew(core.DefaultConfig()), 50)
+	gen, err := NewWorker(0, 1000, 64, func(model.Query) model.Intention { return 0.2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen.Close()
+	spec, err := NewWorker(1, 1000, 64, func(model.Query) model.Intention { return 0.9 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spec.Close()
+	spec.SetClasses(1)
+	svc.RegisterWorker(gen)
+	svc.RegisterWorker(spec)
+	svc.RegisterConsumer(FuncConsumer{ID: 0, Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+
+	results := make(chan Result, 8)
+	// Class-0 queries can only land on the generalist.
+	for i := 0; i < 4; i++ {
+		a, err := svc.Submit(context.Background(), model.Query{Consumer: 0, Class: 0, N: 1, Work: 1}, results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Selected) != 1 || a.Selected[0] != 0 {
+			t.Fatalf("class-0 query reached specialist: %v", a.Selected)
+		}
+	}
+	// Class-1 queries see both candidates.
+	a, err := svc.Submit(context.Background(), model.Query{Consumer: 0, Class: 1, N: 2, Work: 1}, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != 2 {
+		t.Fatalf("class-1 query selected %v, want both workers", a.Selected)
+	}
+}
+
+func TestNewServiceWithConfigValidation(t *testing.T) {
+	if _, err := NewServiceWithConfig(Config{Concurrency: 4, Allocator: alloc.NewCapacity()}); err == nil {
+		t.Error("multi-shard engine without NewAllocator accepted")
+	}
+	svc, err := NewServiceWithConfig(Config{Concurrency: 3, NewAllocator: func(int) alloc.Allocator { return alloc.NewCapacity() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Shards() != 3 {
+		t.Errorf("Shards = %d", svc.Shards())
+	}
+	if NewService(alloc.NewCapacity(), 10).Shards() != 1 {
+		t.Error("NewService should build a single shard")
+	}
+}
+
+// TestShardRouting: concurrent submitters across many consumers all
+// complete, and every consumer's satisfaction window fills — each consumer's
+// stream serializes on its home shard while shards run in parallel.
+func TestShardRouting(t *testing.T) {
+	svc, err := NewServiceWithConfig(Config{
+		Window:       20,
+		Concurrency:  4,
+		NewAllocator: func(shard int) alloc.Allocator { return alloc.NewCapacity() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		svc.RegisterProvider(&constProvider{id: model.ProviderID(i), pi: 0.5})
+	}
+	const consumers = 16
+	for c := 0; c < consumers; c++ {
+		svc.RegisterConsumer(FuncConsumer{ID: model.ConsumerID(c), Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := svc.Submit(context.Background(), model.Query{Consumer: model.ConsumerID(c), N: 1, Work: 1}, nil); err != nil {
+					t.Errorf("consumer %d: %v", c, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every consumer recorded all 50 outcomes in its window.
+	for c := 0; c < consumers; c++ {
+		if n := svc.Registry().Consumer(model.ConsumerID(c)).Interactions(); n != 20 {
+			t.Errorf("consumer %d interactions = %d, want full window 20", c, n)
+		}
+	}
+}

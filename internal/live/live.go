@@ -1,23 +1,39 @@
 // Package live embeds the SbQA mediation pipeline in a real concurrent
 // runtime: consumers submit queries from any goroutine, workers (providers)
-// execute work on their own goroutines, and the mediator serializes
-// mediations behind a mutex. This is the embedding a downstream system would
-// use in production — the deterministic twin for experiments lives in
+// execute work on their own goroutines, and a sharded mediation engine
+// allocates queries in parallel. This is the embedding a downstream system
+// would use in production — the deterministic twin for experiments lives in
 // internal/boinc.
 //
+// # Engine architecture
+//
+// The Service runs N mediator shards (Config.Concurrency). Each shard owns
+// one single-threaded mediator.Mediator guarded by its own mutex; queries
+// route to shards by a hash of their ConsumerID, so one consumer's stream
+// is always serialized (its satisfaction window stays an ordered history)
+// while different consumers mediate in parallel. All shards share:
+//
+//   - one directory.Directory — the indexed provider/consumer catalog, so a
+//     worker registered once is a candidate on every shard;
+//   - one lock-striped satisfaction.Registry — the adaptive ω of Equation 2
+//     reads cross-shard satisfaction without a global lock.
+//
+// With Concurrency = 1 the engine degenerates to the historical serialized
+// service: one shard, one mutex, output byte-identical to driving a plain
+// mediator.Mediator with the same inputs (the determinism tests assert
+// this).
+//
 // Time is real (wall-clock) here; capacities are in work units per second of
-// real time, usually scaled down in tests.
+// real time, usually scaled down in tests. Deterministic tests inject a
+// fake clock via Config.NowFn.
 package live
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
-	"sbqa/internal/alloc"
-	"sbqa/internal/mediator"
 	"sbqa/internal/model"
 )
 
@@ -28,99 +44,10 @@ type Result struct {
 	Latency  time.Duration
 }
 
-// Service is a thread-safe mediation front end.
-type Service struct {
-	mu    sync.Mutex
-	med   *mediator.Mediator
-	start time.Time
-
-	nextID model.QueryID
-}
-
-// NewService returns a service running the given allocation technique.
-func NewService(allocator alloc.Allocator, window int) *Service {
-	return &Service{
-		med:   mediator.New(allocator, mediator.Config{Window: window}),
-		start: time.Now(),
-	}
-}
-
-// now returns seconds since service start (the mediator's time axis).
-func (s *Service) now() float64 { return time.Since(s.start).Seconds() }
-
-// RegisterWorker attaches a worker to the mediation pipeline.
-func (s *Service) RegisterWorker(w *Worker) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.med.RegisterProvider(w)
-}
-
-// UnregisterWorker detaches a worker (its satisfaction memory is dropped).
-func (s *Service) UnregisterWorker(id model.ProviderID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.med.UnregisterProvider(id)
-}
-
-// RegisterConsumer attaches a consumer.
-func (s *Service) RegisterConsumer(c mediator.Consumer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.med.RegisterConsumer(c)
-}
-
-// ProviderSatisfaction reads δs(p) under the service lock.
-func (s *Service) ProviderSatisfaction(id model.ProviderID) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.med.Registry().ProviderSatisfaction(id)
-}
-
-// ConsumerSatisfaction reads δs(c) under the service lock.
-func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.med.Registry().ConsumerSatisfaction(id)
-}
-
-// ErrDispatch reports that an allocation succeeded but a selected worker
-// could not accept the query (shut down mid-flight).
-var ErrDispatch = errors.New("live: selected worker rejected the query")
-
-// Submit mediates the query and dispatches it to the selected workers. It
-// assigns the query ID. The returned allocation lists the chosen workers;
-// results arrive asynchronously on the consumer's result channel.
-func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Result) (*model.Allocation, error) {
-	s.mu.Lock()
-	s.nextID++
-	q.ID = s.nextID
-	q.IssuedAt = s.now()
-	a, err := s.med.Mediate(q.IssuedAt, q)
-	var workers []*Worker
-	if err == nil {
-		workers = make([]*Worker, 0, len(a.Selected))
-		for _, pid := range a.Selected {
-			if w, ok := s.med.Provider(pid).(*Worker); ok {
-				workers = append(workers, w)
-			}
-		}
-	}
-	s.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	for _, w := range workers {
-		if !w.accept(ctx, q, results) {
-			return a, ErrDispatch
-		}
-	}
-	return a, nil
-}
-
 // Worker executes queries on its own goroutine at a fixed capacity.
 // It implements mediator.Provider; all mediator-facing reads are
 // mutex-guarded because mediations and executions run on different
-// goroutines.
+// goroutines (and, in the sharded engine, on different shards at once).
 type Worker struct {
 	id       model.ProviderID
 	capacity float64 // work units per second (real time)
@@ -129,6 +56,9 @@ type Worker struct {
 	intentionFn func(q model.Query) model.Intention
 	// priceFn maps a query to a bid; nil = expected-delay pricing.
 	priceFn func(q model.Query, pendingWork float64) float64
+	// classes restricts the query classes this worker performs; nil means
+	// any class. Set before registration via SetClasses.
+	classes []int
 
 	mu          sync.Mutex
 	pendingWork float64
@@ -170,9 +100,17 @@ func NewWorker(id model.ProviderID, capacity float64, queueCap int, intentionFn 
 }
 
 // run executes queued tasks serially, simulating service time by sleeping
-// work/capacity seconds of real time.
+// work/capacity seconds of real time. It exits via the done channel — the
+// tasks channel is never closed, because concurrent dispatchers may be
+// mid-send when the worker shuts down (closing it would race).
 func (w *Worker) run() {
-	for t := range w.tasks {
+	for {
+		var t task
+		select {
+		case t = <-w.tasks:
+		case <-w.done:
+			return
+		}
 		service := time.Duration(t.q.Work / w.capacity * float64(time.Second))
 		timer := time.NewTimer(service)
 		select {
@@ -227,7 +165,6 @@ func (w *Worker) accept(ctx context.Context, q model.Query, results chan<- Resul
 func (w *Worker) Close() {
 	w.closed.Do(func() {
 		close(w.done)
-		close(w.tasks)
 	})
 }
 
@@ -252,8 +189,39 @@ func (w *Worker) Snapshot(float64) model.ProviderSnapshot {
 	}
 }
 
-// CanPerform implements mediator.Provider; live workers accept any class.
-func (w *Worker) CanPerform(model.Query) bool { return true }
+// CanPerform implements mediator.Provider; workers accept any class unless
+// restricted with SetClasses.
+func (w *Worker) CanPerform(q model.Query) bool {
+	if w.classes == nil {
+		return true
+	}
+	for _, c := range w.classes {
+		if c == q.Class {
+			return true
+		}
+	}
+	return false
+}
+
+// Capabilities implements directory.CapabilityReporter so class-restricted
+// workers are indexed by class and skipped entirely during candidate
+// discovery for other classes. Nil (unrestricted) workers are universal.
+func (w *Worker) Capabilities() []int { return w.classes }
+
+// SetClasses restricts the worker to the given query classes; calling it
+// with no arguments removes the restriction. It MUST be called before the
+// worker is registered and never afterwards: the directory indexes
+// capabilities once at registration time, and CanPerform reads the class
+// list without synchronization from mediator shards — reconfiguring a
+// registered worker both races and desyncs the capability index. To change
+// classes, unregister the worker and register a fresh one.
+func (w *Worker) SetClasses(classes ...int) {
+	if len(classes) == 0 {
+		w.classes = nil
+		return
+	}
+	w.classes = append([]int(nil), classes...)
+}
 
 // Intention implements mediator.Provider.
 func (w *Worker) Intention(q model.Query) model.Intention { return w.intentionFn(q) }
@@ -291,6 +259,3 @@ func (c FuncConsumer) Intention(q model.Query, snap model.ProviderSnapshot) mode
 	}
 	return c.Fn(q, snap)
 }
-
-var _ mediator.Provider = (*Worker)(nil)
-var _ mediator.Consumer = FuncConsumer{}

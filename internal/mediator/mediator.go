@@ -1,16 +1,28 @@
 // Package mediator implements the mediation pipeline of the SbQA
-// architecture (Fig. 1 of the paper): it keeps the registries of online
-// consumers and providers, and for each incoming query builds the candidate
-// set P_q, lets the configured allocation technique mediate it, backfills
-// the intentions the satisfaction model needs, records the outcome in the
-// satisfaction registry, and hands the allocation back to the caller (the
-// simulation world or the live engine) for dispatch.
+// architecture (Fig. 1 of the paper): for each incoming query it discovers
+// the candidate set P_q through the provider directory, lets the configured
+// allocation technique mediate it, backfills the intentions the satisfaction
+// model needs, records the outcome in the satisfaction registry, and hands
+// the allocation back to the caller (the simulation world or the live
+// engine) for dispatch.
 //
 // The mediator is technique-agnostic: SbQA, the capacity-based baseline, the
 // economic baseline, and the controls all run behind the same pipeline,
 // which is what lets the satisfaction model "analyze different query
 // allocation techniques no matter their query allocation principle"
 // (Scenario 1 of the demo).
+//
+// Participant registration lives in the directory layer
+// (internal/directory); the mediator consumes it through the small Directory
+// interface so a fleet of mediator shards can share one catalog. A mediator
+// constructed with the zero Config owns a private directory and a private
+// satisfaction registry and behaves exactly like the historical
+// single-registry pipeline.
+//
+// One Mediator instance is not safe for concurrent use — its scratch
+// buffers and its allocator are single-threaded. Concurrency comes from
+// running several mediators (shards) over a shared Directory and a shared
+// lock-striped satisfaction.Registry; that wiring lives in internal/live.
 package mediator
 
 import (
@@ -19,39 +31,49 @@ import (
 	"sort"
 
 	"sbqa/internal/alloc"
+	"sbqa/internal/directory"
 	"sbqa/internal/model"
 	"sbqa/internal/satisfaction"
 )
 
-// Consumer is the mediator-side view of a consumer.
-type Consumer interface {
-	// ConsumerID identifies the consumer.
-	ConsumerID() model.ConsumerID
+// Consumer is the mediator-side view of a consumer. It is an alias of the
+// directory's contract: the directory stores participants, the mediator
+// consumes them.
+type Consumer = directory.Consumer
 
-	// Intention returns CI_q[p]: the consumer's intention to see its
-	// query q allocated to the provider described by snap.
-	Intention(q model.Query, snap model.ProviderSnapshot) model.Intention
-}
+// Provider is the mediator-side view of a provider (alias of the directory
+// contract; see Consumer).
+type Provider = directory.Provider
 
-// Provider is the mediator-side view of a provider.
-type Provider interface {
-	// ProviderID identifies the provider.
-	ProviderID() model.ProviderID
+// CapabilityReporter is re-exported from the directory layer: providers that
+// implement it are indexed by query class and skipped entirely during
+// candidate discovery for other classes.
+type CapabilityReporter = directory.CapabilityReporter
 
-	// Snapshot reports the provider's allocation-relevant state at the
-	// given simulation time.
-	Snapshot(now float64) model.ProviderSnapshot
-
-	// CanPerform reports whether the provider is able to perform q
-	// (defines membership of the candidate set P_q).
-	CanPerform(q model.Query) bool
-
-	// Intention returns PI_q[p]: the provider's intention to perform q.
-	Intention(q model.Query) model.Intention
-
-	// Bid returns the price the provider asks to perform q (economic
-	// baseline).
-	Bid(q model.Query) float64
+// Directory is the catalog interface the mediator consults for participant
+// lookup and candidate discovery. *directory.Directory implements it; tests
+// and embedders may substitute their own.
+type Directory interface {
+	// RegisterProvider adds (or replaces) a provider.
+	RegisterProvider(p Provider)
+	// UnregisterProvider removes a provider.
+	UnregisterProvider(id model.ProviderID)
+	// RegisterConsumer adds (or replaces) a consumer.
+	RegisterConsumer(c Consumer)
+	// UnregisterConsumer removes a consumer.
+	UnregisterConsumer(id model.ConsumerID)
+	// Provider returns the registered provider with the given ID, or nil.
+	Provider(id model.ProviderID) Provider
+	// Consumer returns the registered consumer with the given ID, or nil.
+	Consumer(id model.ConsumerID) Consumer
+	// Candidates appends the providers able to perform q to buf in
+	// ascending ProviderID order (deterministic candidate sets are what
+	// make seeded runs reproducible).
+	Candidates(q model.Query, buf []Provider) []Provider
+	// NumProviders returns the number of registered providers.
+	NumProviders() int
+	// NumConsumers returns the number of registered consumers.
+	NumConsumers() int
 }
 
 // ShareReporter is an optional Provider extension for BOINC-style resource
@@ -80,35 +102,58 @@ type Config struct {
 	// completed allocation (proposed set, selection, intentions, scores)
 	// and the size of the candidate set P_q it was drawn from. This is the
 	// observability channel the demo's GUIs display; embedders use it for
-	// audit logs. The allocation must not be mutated.
+	// audit logs. The allocation must not be mutated. When several mediator
+	// shards share one hook it must be safe for concurrent use.
 	OnMediation func(a *model.Allocation, candidates int)
+
+	// Registry, when set, is the satisfaction registry this mediator
+	// records into — the sharded live engine points every shard at one
+	// shared lock-striped registry. Nil gets a private registry with the
+	// configured Window.
+	Registry *satisfaction.Registry
+
+	// Directory, when set, supplies participant storage and candidate
+	// discovery — shared across engine shards. Nil gets a private
+	// directory.
+	Directory Directory
 }
 
-// Mediator is the pipeline. It is not safe for concurrent use.
+// Mediator is the pipeline. One instance is not safe for concurrent use;
+// run one mediator per shard over a shared Directory and Registry instead
+// (see the package doc).
 type Mediator struct {
 	cfg       Config
 	allocator alloc.Allocator
 	registry  *satisfaction.Registry
+	dir       Directory
 
-	consumers map[model.ConsumerID]Consumer
-	providers map[model.ProviderID]Provider
+	// sharedDir records whether the directory was injected (and may thus
+	// see concurrent registration changes mid-mediation); with a private
+	// directory nothing can unregister between candidate discovery and
+	// backfill, so the stale-provider scan is skipped on prefilled
+	// allocations.
+	sharedDir bool
 
-	// providerOrder caches a sorted ID list so candidate building is
-	// deterministic; rebuilt on registration changes.
-	providerOrder []model.ProviderID
-	orderDirty    bool
-
+	candBuf []Provider
 	snapBuf []model.ProviderSnapshot
 }
 
 // New returns a mediator running the given allocation technique.
 func New(allocator alloc.Allocator, cfg Config) *Mediator {
+	registry := cfg.Registry
+	if registry == nil {
+		registry = satisfaction.NewRegistry(cfg.Window)
+	}
+	dir := cfg.Directory
+	if dir == nil {
+		dir = directory.New()
+	}
 	return &Mediator{
 		cfg:       cfg,
 		allocator: allocator,
-		registry:  satisfaction.NewRegistry(cfg.Window),
-		consumers: make(map[model.ConsumerID]Consumer),
-		providers: make(map[model.ProviderID]Provider),
+		registry:  registry,
+		dir:       dir,
+		sharedDir: cfg.Directory != nil,
 	}
 }
 
@@ -123,56 +168,39 @@ func (m *Mediator) SetAllocator(a alloc.Allocator) { m.allocator = a }
 // participant departure rules).
 func (m *Mediator) Registry() *satisfaction.Registry { return m.registry }
 
+// Directory exposes the participant catalog the mediator consults.
+func (m *Mediator) Directory() Directory { return m.dir }
+
 // RegisterConsumer adds (or replaces) a consumer.
-func (m *Mediator) RegisterConsumer(c Consumer) {
-	m.consumers[c.ConsumerID()] = c
-}
+func (m *Mediator) RegisterConsumer(c Consumer) { m.dir.RegisterConsumer(c) }
 
 // UnregisterConsumer removes a consumer; its satisfaction memory is dropped
 // (a departed participant that rejoins starts fresh).
 func (m *Mediator) UnregisterConsumer(id model.ConsumerID) {
-	delete(m.consumers, id)
+	m.dir.UnregisterConsumer(id)
 	m.registry.ForgetConsumer(id)
 }
 
 // RegisterProvider adds (or replaces) a provider.
-func (m *Mediator) RegisterProvider(p Provider) {
-	m.providers[p.ProviderID()] = p
-	m.orderDirty = true
-}
+func (m *Mediator) RegisterProvider(p Provider) { m.dir.RegisterProvider(p) }
 
 // UnregisterProvider removes a provider and drops its satisfaction memory.
 func (m *Mediator) UnregisterProvider(id model.ProviderID) {
-	delete(m.providers, id)
+	m.dir.UnregisterProvider(id)
 	m.registry.ForgetProvider(id)
-	m.orderDirty = true
 }
 
 // Providers returns the number of registered providers.
-func (m *Mediator) Providers() int { return len(m.providers) }
+func (m *Mediator) Providers() int { return m.dir.NumProviders() }
 
 // Consumers returns the number of registered consumers.
-func (m *Mediator) Consumers() int { return len(m.consumers) }
+func (m *Mediator) Consumers() int { return m.dir.NumConsumers() }
 
 // Provider returns the registered provider with the given ID, or nil.
-func (m *Mediator) Provider(id model.ProviderID) Provider { return m.providers[id] }
+func (m *Mediator) Provider(id model.ProviderID) Provider { return m.dir.Provider(id) }
 
 // Consumer returns the registered consumer with the given ID, or nil.
-func (m *Mediator) Consumer(id model.ConsumerID) Consumer { return m.consumers[id] }
-
-func (m *Mediator) order() []model.ProviderID {
-	if m.orderDirty {
-		m.providerOrder = m.providerOrder[:0]
-		for id := range m.providers {
-			m.providerOrder = append(m.providerOrder, id)
-		}
-		sort.Slice(m.providerOrder, func(i, j int) bool {
-			return m.providerOrder[i] < m.providerOrder[j]
-		})
-		m.orderDirty = false
-	}
-	return m.providerOrder
-}
+func (m *Mediator) Consumer(id model.ConsumerID) Consumer { return m.dir.Consumer(id) }
 
 // env adapts the participant registries to alloc.Env for one mediation.
 type env struct {
@@ -188,14 +216,14 @@ func (e env) ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.In
 }
 
 func (e env) ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
-	if prov, ok := e.m.providers[p.ID]; ok {
+	if prov := e.m.candidateOf(p.ID); prov != nil {
 		return prov.Intention(q)
 	}
 	return 0
 }
 
 func (e env) ProviderBid(q model.Query, p model.ProviderSnapshot) float64 {
-	if prov, ok := e.m.providers[p.ID]; ok {
+	if prov := e.m.candidateOf(p.ID); prov != nil {
 		return prov.Bid(q)
 	}
 	return p.ExpectedDelay(q.Work)
@@ -205,12 +233,25 @@ func (e env) ProviderBid(q model.Query, p model.ProviderSnapshot) float64 {
 // that declare resource shares; providers without shares expose their plain
 // available capacity.
 func (e env) DevotedAvailable(q model.Query, p model.ProviderSnapshot) float64 {
-	if prov, ok := e.m.providers[p.ID]; ok {
+	if prov := e.m.candidateOf(p.ID); prov != nil {
 		if sr, ok := prov.(ShareReporter); ok {
 			return sr.DevotedAvailable(q)
 		}
 	}
 	return p.Capacity * (1 - p.Utilization)
+}
+
+// candidateOf resolves a provider of the in-flight mediation from the
+// candidate buffer (sorted by ID), sparing the allocator's per-candidate
+// calls a locked directory lookup on the hot path; providers outside the
+// buffer fall back to the directory.
+func (m *Mediator) candidateOf(id model.ProviderID) Provider {
+	buf := m.candBuf
+	i := sort.Search(len(buf), func(k int) bool { return buf[k].ProviderID() >= id })
+	if i < len(buf) && buf[i].ProviderID() == id {
+		return buf[i]
+	}
+	return m.dir.Provider(id)
 }
 
 func (e env) ConsumerSatisfaction(c model.ConsumerID) float64 {
@@ -228,51 +269,98 @@ func (e env) ProviderSatisfaction(p model.ProviderID) float64 {
 // records the failure either way, as the paper's Equation 1 prescribes:
 // an unserved query contributes zero satisfaction).
 func (m *Mediator) Mediate(now float64, q model.Query) (*model.Allocation, error) {
+	return m.mediate(now, q, nil)
+}
+
+// MediateBatch mediates a batch of queries at time now, in order, and
+// returns position-aligned allocations and errors. Snapshot collection is
+// amortized across the batch: each provider is snapshotted at most once per
+// batch, so B queries sharing P candidates cost O(P) Snapshot calls instead
+// of O(B·P). Candidate *discovery* still runs per query — CanPerform stays
+// authoritative for every individual query, exactly as in sequential
+// Mediate. The snapshots are taken at batch time — provider state changes
+// caused by dispatching earlier queries of the same batch are not visible
+// to later ones, which matches what a serialized caller observes, since
+// dispatch happens after mediation anyway.
+func (m *Mediator) MediateBatch(now float64, qs []model.Query) ([]*model.Allocation, []error) {
+	allocs := make([]*model.Allocation, len(qs))
+	errs := make([]error, len(qs))
+	cache := make(map[model.ProviderID]model.ProviderSnapshot)
+	for i, q := range qs {
+		allocs[i], errs[i] = m.mediate(now, q, cache)
+	}
+	return allocs, errs
+}
+
+// snapshots builds the candidate snapshot set for q, reusing per-provider
+// snapshots from cache when mediating a batch.
+func (m *Mediator) snapshots(now float64, q model.Query, cache map[model.ProviderID]model.ProviderSnapshot) []model.ProviderSnapshot {
+	m.candBuf = m.dir.Candidates(q, m.candBuf[:0])
+	m.snapBuf = m.snapBuf[:0]
+	for _, p := range m.candBuf {
+		if cache != nil {
+			if s, ok := cache[p.ProviderID()]; ok {
+				m.snapBuf = append(m.snapBuf, s)
+				continue
+			}
+		}
+		s := p.Snapshot(now)
+		if cache != nil {
+			cache[p.ProviderID()] = s
+		}
+		m.snapBuf = append(m.snapBuf, s)
+	}
+	return m.snapBuf
+}
+
+func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderID]model.ProviderSnapshot) (*model.Allocation, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("mediator: %w", err)
 	}
-	consumer := m.consumers[q.Consumer]
+	consumer := m.dir.Consumer(q.Consumer)
 	if consumer == nil {
 		return nil, fmt.Errorf("mediator: query %d from unregistered consumer %d", q.ID, q.Consumer)
 	}
 
-	// Build the candidate set P_q in deterministic ID order.
-	m.snapBuf = m.snapBuf[:0]
-	for _, id := range m.order() {
-		p := m.providers[id]
-		if p.CanPerform(q) {
-			m.snapBuf = append(m.snapBuf, p.Snapshot(now))
-		}
-	}
+	// Build the candidate set P_q (ascending ID order, from the directory's
+	// capability index).
+	snaps := m.snapshots(now, q, cache)
 	e := env{m: m, consumer: consumer}
-	if len(m.snapBuf) == 0 {
+	if len(snaps) == 0 {
 		// Record the failed mediation so the consumer's dissatisfaction
 		// accumulates, then report.
 		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
 		return nil, ErrNoCandidates
 	}
 
-	a := m.allocator.Allocate(e, q, m.snapBuf)
+	a := m.allocator.Allocate(e, q, snaps)
 	if a == nil || len(a.Selected) == 0 {
 		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
 		return nil, ErrNoCandidates
 	}
 
-	m.backfillIntentions(e, a, now)
+	m.backfillIntentions(e, a, now, cache)
+	if len(a.Selected) == 0 {
+		// Every selected provider unregistered between candidate discovery
+		// and backfill (only possible when the directory is shared with
+		// concurrent registrars); the query was effectively unallocated.
+		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
+		return nil, ErrNoCandidates
+	}
 
 	// Optionally evaluate the consumer's intentions over the full
 	// candidate set so allocation satisfaction is measured against the
 	// true optimum rather than the proposed subset.
 	var candidateCI []model.Intention
 	if m.cfg.AnalyzeBest {
-		candidateCI = make([]model.Intention, len(m.snapBuf))
-		for i, snap := range m.snapBuf {
+		candidateCI = make([]model.Intention, len(snaps))
+		for i, snap := range snaps {
 			candidateCI[i] = e.ConsumerIntention(q, snap)
 		}
 	}
 	m.registry.RecordAllocation(a, candidateCI)
 	if m.cfg.OnMediation != nil {
-		m.cfg.OnMediation(a, len(m.snapBuf))
+		m.cfg.OnMediation(a, len(snaps))
 	}
 	return a, nil
 }
@@ -280,19 +368,79 @@ func (m *Mediator) Mediate(now float64, q model.Query) (*model.Allocation, error
 // backfillIntentions fills any intention the allocator did not collect
 // itself (baseline techniques are interest-blind; the satisfaction model
 // still needs the participants' intentions about what happened).
-func (m *Mediator) backfillIntentions(e env, a *model.Allocation, now float64) {
-	if len(a.ConsumerIntentions) == len(a.Proposed) && len(a.ProviderIntentions) == len(a.Proposed) {
+//
+// Providers that unregistered between candidate discovery and this point —
+// possible when the directory is shared with concurrent registrars — are
+// dropped from the allocation entirely rather than silently recorded with
+// zero intentions: recording would resurrect the departed provider's
+// satisfaction tracker and skew the consumer's obtained satisfaction with a
+// phantom result.
+func (m *Mediator) backfillIntentions(e env, a *model.Allocation, now float64, cache map[model.ProviderID]model.ProviderSnapshot) {
+	prefilled := len(a.ConsumerIntentions) == len(a.Proposed) &&
+		len(a.ProviderIntentions) == len(a.Proposed)
+	if prefilled && !m.sharedDir {
+		// Private directory: nothing can have unregistered mid-mediation,
+		// and the allocator already collected every intention — the
+		// single-threaded simulation hot path pays no per-provider lookups.
 		return
 	}
-	a.ConsumerIntentions = make([]model.Intention, len(a.Proposed))
-	a.ProviderIntentions = make([]model.Intention, len(a.Proposed))
+	if !prefilled {
+		a.ConsumerIntentions = make([]model.Intention, len(a.Proposed))
+		a.ProviderIntentions = make([]model.Intention, len(a.Proposed))
+	}
+	kept := 0
+	stale := false
 	for i, id := range a.Proposed {
-		p, ok := m.providers[id]
-		if !ok {
+		p := m.dir.Provider(id)
+		if p == nil {
+			stale = true
 			continue
 		}
-		snap := p.Snapshot(now)
-		a.ConsumerIntentions[i] = e.ConsumerIntention(a.Query, snap)
-		a.ProviderIntentions[i] = p.Intention(a.Query)
+		if !prefilled {
+			snap, ok := cache[id]
+			if !ok {
+				snap = p.Snapshot(now)
+				if cache != nil {
+					cache[id] = snap
+				}
+			}
+			a.ConsumerIntentions[i] = e.ConsumerIntention(a.Query, snap)
+			a.ProviderIntentions[i] = p.Intention(a.Query)
+		}
+		if stale {
+			a.Proposed[kept] = a.Proposed[i]
+			a.ConsumerIntentions[kept] = a.ConsumerIntentions[i]
+			a.ProviderIntentions[kept] = a.ProviderIntentions[i]
+			if i < len(a.Scores) {
+				a.Scores[kept] = a.Scores[i]
+			}
+		}
+		kept++
 	}
+	if !stale {
+		return
+	}
+	a.Proposed = a.Proposed[:kept]
+	a.ConsumerIntentions = a.ConsumerIntentions[:kept]
+	a.ProviderIntentions = a.ProviderIntentions[:kept]
+	if a.Scores != nil && kept < len(a.Scores) {
+		a.Scores = a.Scores[:kept]
+	}
+	// Drop stale providers from the selection too; the dispatcher could not
+	// deliver to them anyway.
+	selKept := 0
+	for _, id := range a.Selected {
+		alive := false
+		for _, pid := range a.Proposed {
+			if pid == id {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			a.Selected[selKept] = id
+			selKept++
+		}
+	}
+	a.Selected = a.Selected[:selKept]
 }

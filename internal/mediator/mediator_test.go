@@ -7,8 +7,10 @@ import (
 
 	"sbqa/internal/alloc"
 	"sbqa/internal/core"
+	"sbqa/internal/directory"
 	"sbqa/internal/knbest"
 	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
 )
 
 // fakeConsumer likes providers according to a fixed table.
@@ -236,5 +238,230 @@ func TestAnalyzeBestRecordsTrueOptimum(t *testing.T) {
 	tr := m.Registry().Consumer(0)
 	if got := tr.AllocationSatisfaction(); got != 0 {
 		t.Errorf("allocation satisfaction = %v, want 0 (got hated provider, loved one available)", got)
+	}
+}
+
+// unregisteringAllocator wraps an inner allocator and unregisters a provider
+// from the mediator's directory *during* Allocate — simulating a provider
+// departing mid-flight between candidate discovery and intention backfill,
+// which is possible when the directory is shared with concurrent
+// registrars (the sharded live engine).
+type unregisteringAllocator struct {
+	inner  alloc.Allocator
+	m      *Mediator
+	victim model.ProviderID
+}
+
+func (u *unregisteringAllocator) Name() string { return "unregistering" }
+func (u *unregisteringAllocator) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
+	a := u.inner.Allocate(e, q, cands)
+	u.m.Directory().UnregisterProvider(u.victim)
+	u.m.Registry().ForgetProvider(u.victim)
+	return a
+}
+
+// TestBackfillDropsStaleProvider is the regression test for the historical
+// bug where a provider that unregistered mid-flight was silently recorded
+// with zero intentions: its satisfaction tracker was resurrected and the
+// consumer's window recorded a phantom zero-intention result.
+func TestBackfillDropsStaleProvider(t *testing.T) {
+	m := newTestMediator(nil)
+	cons := &fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{1: 0.5, 2: 0.5}}
+	m.RegisterConsumer(cons)
+	m.RegisterProvider(&fakeProvider{id: 1, intention: 0.5})
+	m.RegisterProvider(&fakeProvider{id: 2, intention: 0.5, util: 0.9})
+	// Capacity proposes both providers, selects idle provider 1; provider 2
+	// unregisters during allocation.
+	m.SetAllocator(&unregisteringAllocator{inner: alloc.NewCapacity(), m: m, victim: 2})
+
+	a, err := m.Mediate(0, q(1, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.Proposed {
+		if id == 2 {
+			t.Errorf("stale provider 2 still in Proposed: %v", a.Proposed)
+		}
+	}
+	for _, id := range a.Selected {
+		if id == 2 {
+			t.Errorf("stale provider 2 still in Selected: %v", a.Selected)
+		}
+	}
+	if len(a.ConsumerIntentions) != len(a.Proposed) || len(a.ProviderIntentions) != len(a.Proposed) {
+		t.Errorf("intentions misaligned after compaction: %d CI / %d PI for %d proposed",
+			len(a.ConsumerIntentions), len(a.ProviderIntentions), len(a.Proposed))
+	}
+	// The departed provider's tracker must NOT have been resurrected.
+	if got := m.Registry().ProviderSatisfaction(2); got != 0.5 {
+		t.Errorf("stale provider tracker resurrected: δs = %v, want Neutral", got)
+	}
+	// The surviving provider recorded the interaction normally.
+	if got := m.Registry().ProviderSatisfaction(1); got != 0.75 {
+		t.Errorf("surviving provider δs = %v, want 0.75", got)
+	}
+}
+
+// TestBackfillAllStale: if every proposed provider departs mid-flight the
+// mediation is reported as unallocated rather than returning an empty
+// allocation.
+func TestBackfillAllStale(t *testing.T) {
+	m := newTestMediator(nil)
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	m.RegisterProvider(&fakeProvider{id: 1, intention: 1})
+	m.SetAllocator(&unregisteringAllocator{inner: alloc.NewCapacity(), m: m, victim: 1})
+	if _, err := m.Mediate(0, q(1, 0, 1)); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("err = %v, want ErrNoCandidates", err)
+	}
+	// The consumer's dissatisfaction accumulated for the failed query.
+	if got := m.Registry().ConsumerSatisfaction(0); got != 0 {
+		t.Errorf("consumer δs = %v, want 0", got)
+	}
+}
+
+func TestMediateBatchMatchesSequential(t *testing.T) {
+	build := func() *Mediator {
+		sb := core.MustNew(core.Config{KnBest: knbest.Params{K: 3, Kn: 2}, Seed: 11})
+		m := New(sb, Config{Window: 20, AnalyzeBest: true})
+		m.RegisterConsumer(&fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{1: 0.9, 2: 0.1, 3: 0.4, 4: -0.2}})
+		m.RegisterConsumer(&fakeConsumer{id: 1, likes: map[model.ProviderID]model.Intention{1: -0.5, 2: 0.8, 3: 0.2, 4: 0.6}})
+		for i := 1; i <= 4; i++ {
+			m.RegisterProvider(&fakeProvider{id: model.ProviderID(i), intention: model.Intention(float64(i)/4 - 0.5)})
+		}
+		return m
+	}
+	queries := make([]model.Query, 12)
+	for i := range queries {
+		queries[i] = q(int64(i+1), model.ConsumerID(i%2), 1)
+	}
+
+	seq := build()
+	wantAllocs := make([]*model.Allocation, len(queries))
+	for i, qq := range queries {
+		a, err := seq.Mediate(5, qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAllocs[i] = a
+	}
+
+	batch := build()
+	gotAllocs, errs := batch.MediateBatch(5, queries)
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("batch query %d: %v", i, errs[i])
+		}
+		if got, want := gotAllocs[i].String(), wantAllocs[i].String(); got != want {
+			t.Errorf("query %d: batch %s != sequential %s", i, got, want)
+		}
+	}
+	// Satisfaction state identical afterwards.
+	for c := 0; c < 2; c++ {
+		if a, b := seq.Registry().ConsumerSatisfaction(model.ConsumerID(c)), batch.Registry().ConsumerSatisfaction(model.ConsumerID(c)); a != b {
+			t.Errorf("consumer %d δs: sequential %v != batch %v", c, a, b)
+		}
+	}
+	for p := 1; p <= 4; p++ {
+		if a, b := seq.Registry().ProviderSatisfaction(model.ProviderID(p)), batch.Registry().ProviderSatisfaction(model.ProviderID(p)); a != b {
+			t.Errorf("provider %d δs: sequential %v != batch %v", p, a, b)
+		}
+	}
+}
+
+func TestMediateBatchReportsPerQueryErrors(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	m.RegisterProvider(&fakeProvider{id: 1, classes: map[int]bool{0: true}})
+	qs := []model.Query{
+		q(1, 0, 1),           // fine
+		q(2, 7, 1),           // unregistered consumer
+		{ID: 3, Consumer: 0}, // invalid (N=0)
+	}
+	qs[0].Class = 0
+	allocs, errs := m.MediateBatch(0, qs)
+	if errs[0] != nil || allocs[0] == nil {
+		t.Errorf("query 0: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Error("unregistered consumer accepted in batch")
+	}
+	if errs[2] == nil {
+		t.Error("invalid query accepted in batch")
+	}
+}
+
+// TestSharedDirectoryAndRegistry: two mediator shards over one directory and
+// one registry see each other's participants and satisfaction state — the
+// wiring the live engine depends on.
+func TestSharedDirectoryAndRegistry(t *testing.T) {
+	dir := directory.New()
+	reg := satisfaction.NewRegistry(10)
+	m1 := New(alloc.NewCapacity(), Config{Window: 10, Registry: reg, Directory: dir})
+	m2 := New(alloc.NewCapacity(), Config{Window: 10, Registry: reg, Directory: dir})
+
+	m1.RegisterProvider(&fakeProvider{id: 1, intention: 1})
+	m1.RegisterConsumer(&fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{1: 1}})
+	m2.RegisterConsumer(&fakeConsumer{id: 1, likes: map[model.ProviderID]model.Intention{1: 1}})
+
+	if m2.Providers() != 1 {
+		t.Fatal("shard 2 does not see shard 1's provider")
+	}
+	if _, err := m1.Mediate(0, q(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Mediate(0, q(2, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Both mediations recorded into the one registry.
+	if got := reg.ProviderSatisfaction(1); got != 1 {
+		t.Errorf("shared provider δs = %v, want 1", got)
+	}
+	if got := m1.Registry().ConsumerSatisfaction(1); got != 1 {
+		t.Errorf("shard 1 cannot read shard 2's consumer δs: %v", got)
+	}
+}
+
+// vetoProvider rejects individual queries by predicate — the "per-query
+// CanPerform within a declared class" contract of the directory layer.
+type vetoProvider struct {
+	fakeProvider
+	veto func(q model.Query) bool
+}
+
+func (p *vetoProvider) CanPerform(q model.Query) bool { return !p.veto(q) }
+
+// TestMediateBatchRespectsPerQueryCanPerform: snapshot amortization must not
+// bypass CanPerform for later queries of a batch — a provider that vetoes
+// heavy queries must never be proposed one, even when a light same-class
+// query already populated the snapshot cache.
+func TestMediateBatchRespectsPerQueryCanPerform(t *testing.T) {
+	m := newTestMediator(alloc.NewCapacity())
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	// Provider 1 vetoes Work > 5; provider 2 (heavily loaded, so capacity
+	// ranks it last) accepts anything.
+	m.RegisterProvider(&vetoProvider{
+		fakeProvider: fakeProvider{id: 1, intention: 1},
+		veto:         func(q model.Query) bool { return q.Work > 5 },
+	})
+	m.RegisterProvider(&fakeProvider{id: 2, intention: 1, util: 0.9})
+
+	light := q(1, 0, 1)
+	light.Work = 1
+	heavy := q(2, 0, 1)
+	heavy.Work = 10
+	allocs, errs := m.MediateBatch(0, []model.Query{light, heavy})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatal(errs)
+	}
+	if allocs[0].Selected[0] != 1 {
+		t.Errorf("light query selected %v, want idle provider 1", allocs[0].Selected)
+	}
+	for _, id := range allocs[1].Proposed {
+		if id == 1 {
+			t.Errorf("heavy query proposed to vetoing provider: %v", allocs[1].Proposed)
+		}
+	}
+	if allocs[1].Selected[0] != 2 {
+		t.Errorf("heavy query selected %v, want provider 2", allocs[1].Selected)
 	}
 }

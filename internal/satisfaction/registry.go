@@ -1,20 +1,55 @@
 package satisfaction
 
 import (
+	"sync"
+
 	"sbqa/internal/model"
 )
+
+// shardCount is the number of lock stripes per participant kind. Sixteen
+// stripes keep contention negligible for the live engine's shard counts
+// (queries route by consumer, so consumer stripes see at most one writer per
+// engine shard) while the per-registry footprint stays small.
+const shardCount = 16
+
+// shardOf spreads participant IDs over the stripes. IDs are dense small
+// integers, so a Fibonacci-style multiplicative hash keeps adjacent IDs on
+// different stripes without any modulo bias.
+func shardOf(id int64) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> 60)
+}
+
+type consumerShard struct {
+	mu sync.RWMutex
+	m  map[model.ConsumerID]*ConsumerTracker
+}
+
+type providerShard struct {
+	mu sync.RWMutex
+	m  map[model.ProviderID]*ProviderTracker
+}
 
 // Registry holds the satisfaction trackers of every participant known to a
 // mediator. The mediator records every mediation outcome here, and the SbQA
 // allocator reads δs(c) and δs(p) from it to compute the adaptive balance ω
 // of Equation 2.
 //
-// Registry is not safe for concurrent use; the event-driven simulator is
-// single-threaded and the live engine wraps it in its own lock.
+// Registry is safe for concurrent use: the tracker maps are lock-striped by
+// participant ID, so the engine's mediator shards record and read in
+// parallel with contention only when two shards touch the same stripe. All
+// mutation done *through the registry* (RecordAllocation, Forget*,
+// SetXWindow) happens under the owning stripe's lock.
+//
+// The trackers returned by Consumer and Provider are NOT themselves
+// synchronized: they hand out direct access for the single-threaded
+// embeddings (the event-driven simulator, the experiment harness). Callers
+// that mediate concurrently must stick to the registry-level methods and
+// must not mutate a tracker obtained this way while mediations are in
+// flight.
 type Registry struct {
 	k         int
-	consumers map[model.ConsumerID]*ConsumerTracker
-	providers map[model.ProviderID]*ProviderTracker
+	consumers [shardCount]consumerShard
+	providers [shardCount]providerShard
 }
 
 // NewRegistry returns a registry creating trackers with window k on demand.
@@ -22,15 +57,26 @@ func NewRegistry(k int) *Registry {
 	if k < 1 {
 		k = DefaultWindow
 	}
-	return &Registry{
-		k:         k,
-		consumers: make(map[model.ConsumerID]*ConsumerTracker),
-		providers: make(map[model.ProviderID]*ProviderTracker),
+	r := &Registry{k: k}
+	for i := range r.consumers {
+		r.consumers[i].m = make(map[model.ConsumerID]*ConsumerTracker)
 	}
+	for i := range r.providers {
+		r.providers[i].m = make(map[model.ProviderID]*ProviderTracker)
+	}
+	return r
 }
 
 // Window returns the memory length used for new trackers.
 func (r *Registry) Window() int { return r.k }
+
+func (r *Registry) cshard(c model.ConsumerID) *consumerShard {
+	return &r.consumers[shardOf(int64(c))]
+}
+
+func (r *Registry) pshard(p model.ProviderID) *providerShard {
+	return &r.providers[shardOf(int64(p))]
+}
 
 // SetConsumerWindow installs a tracker with a participant-specific memory
 // length for consumer c, replacing any existing tracker (the paper allows
@@ -38,7 +84,10 @@ func (r *Registry) Window() int { return r.k }
 // assumes a common value for simplicity). Existing history is discarded.
 func (r *Registry) SetConsumerWindow(c model.ConsumerID, k int) *ConsumerTracker {
 	t := NewConsumer(k)
-	r.consumers[c] = t
+	sh := r.cshard(c)
+	sh.mu.Lock()
+	sh.m[c] = t
+	sh.mu.Unlock()
 	return t
 }
 
@@ -46,33 +95,47 @@ func (r *Registry) SetConsumerWindow(c model.ConsumerID, k int) *ConsumerTracker
 // length for provider p, replacing any existing tracker.
 func (r *Registry) SetProviderWindow(p model.ProviderID, k int) *ProviderTracker {
 	t := NewProvider(k)
-	r.providers[p] = t
+	sh := r.pshard(p)
+	sh.mu.Lock()
+	sh.m[p] = t
+	sh.mu.Unlock()
 	return t
 }
 
-// Consumer returns (creating if needed) the tracker for consumer c.
+// Consumer returns (creating if needed) the tracker for consumer c. The
+// returned tracker is unsynchronized; see the Registry doc.
 func (r *Registry) Consumer(c model.ConsumerID) *ConsumerTracker {
-	t, ok := r.consumers[c]
+	sh := r.cshard(c)
+	sh.mu.Lock()
+	t, ok := sh.m[c]
 	if !ok {
 		t = NewConsumer(r.k)
-		r.consumers[c] = t
+		sh.m[c] = t
 	}
+	sh.mu.Unlock()
 	return t
 }
 
-// Provider returns (creating if needed) the tracker for provider p.
+// Provider returns (creating if needed) the tracker for provider p. The
+// returned tracker is unsynchronized; see the Registry doc.
 func (r *Registry) Provider(p model.ProviderID) *ProviderTracker {
-	t, ok := r.providers[p]
+	sh := r.pshard(p)
+	sh.mu.Lock()
+	t, ok := sh.m[p]
 	if !ok {
 		t = NewProvider(r.k)
-		r.providers[p] = t
+		sh.m[p] = t
 	}
+	sh.mu.Unlock()
 	return t
 }
 
 // ConsumerSatisfaction returns δs(c), Neutral for unknown consumers.
 func (r *Registry) ConsumerSatisfaction(c model.ConsumerID) float64 {
-	if t, ok := r.consumers[c]; ok {
+	sh := r.cshard(c)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if t, ok := sh.m[c]; ok {
 		return t.Satisfaction()
 	}
 	return Neutral
@@ -80,7 +143,10 @@ func (r *Registry) ConsumerSatisfaction(c model.ConsumerID) float64 {
 
 // ProviderSatisfaction returns δs(p), Neutral for unknown providers.
 func (r *Registry) ProviderSatisfaction(p model.ProviderID) float64 {
-	if t, ok := r.providers[p]; ok {
+	sh := r.pshard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if t, ok := sh.m[p]; ok {
 		return t.Satisfaction()
 	}
 	return Neutral
@@ -90,53 +156,111 @@ func (r *Registry) ProviderSatisfaction(p model.ProviderID) float64 {
 // memory: a participant that later rejoins starts from a clean window.
 func (r *Registry) Forget(c model.ConsumerID, p model.ProviderID) {
 	if c != model.NoConsumer {
-		delete(r.consumers, c)
+		r.ForgetConsumer(c)
 	}
 	if p != model.NoProvider {
-		delete(r.providers, p)
+		r.ForgetProvider(p)
 	}
 }
 
 // ForgetConsumer removes consumer c's tracker.
-func (r *Registry) ForgetConsumer(c model.ConsumerID) { delete(r.consumers, c) }
+func (r *Registry) ForgetConsumer(c model.ConsumerID) {
+	sh := r.cshard(c)
+	sh.mu.Lock()
+	delete(sh.m, c)
+	sh.mu.Unlock()
+}
 
 // ForgetProvider removes provider p's tracker.
-func (r *Registry) ForgetProvider(p model.ProviderID) { delete(r.providers, p) }
+func (r *Registry) ForgetProvider(p model.ProviderID) {
+	sh := r.pshard(p)
+	sh.mu.Lock()
+	delete(sh.m, p)
+	sh.mu.Unlock()
+}
 
 // ConsumerIDs returns the IDs of all tracked consumers (unspecified order).
 func (r *Registry) ConsumerIDs() []model.ConsumerID {
-	out := make([]model.ConsumerID, 0, len(r.consumers))
-	for id := range r.consumers {
-		out = append(out, id)
+	var out []model.ConsumerID
+	for i := range r.consumers {
+		sh := &r.consumers[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // ProviderIDs returns the IDs of all tracked providers (unspecified order).
 func (r *Registry) ProviderIDs() []model.ProviderID {
-	out := make([]model.ProviderID, 0, len(r.providers))
-	for id := range r.providers {
-		out = append(out, id)
+	var out []model.ProviderID
+	for i := range r.providers {
+		sh := &r.providers[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // ConsumerSatisfactions returns the δs of every tracked consumer.
 func (r *Registry) ConsumerSatisfactions() []float64 {
-	out := make([]float64, 0, len(r.consumers))
-	for _, t := range r.consumers {
-		out = append(out, t.Satisfaction())
+	var out []float64
+	for i := range r.consumers {
+		sh := &r.consumers[i]
+		sh.mu.RLock()
+		for _, t := range sh.m {
+			out = append(out, t.Satisfaction())
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // ProviderSatisfactions returns the δs of every tracked provider.
 func (r *Registry) ProviderSatisfactions() []float64 {
-	out := make([]float64, 0, len(r.providers))
-	for _, t := range r.providers {
-		out = append(out, t.Satisfaction())
+	var out []float64
+	for i := range r.providers {
+		sh := &r.providers[i]
+		sh.mu.RLock()
+		for _, t := range sh.m {
+			out = append(out, t.Satisfaction())
+		}
+		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// recordProvider feeds one proposal outcome into provider p's tracker under
+// its stripe lock.
+func (r *Registry) recordProvider(p model.ProviderID, pi model.Intention, performed bool) {
+	sh := r.pshard(p)
+	sh.mu.Lock()
+	t, ok := sh.m[p]
+	if !ok {
+		t = NewProvider(r.k)
+		sh.m[p] = t
+	}
+	t.Record(pi, performed)
+	sh.mu.Unlock()
+}
+
+// recordConsumer feeds one query outcome into consumer c's tracker under its
+// stripe lock.
+func (r *Registry) recordConsumer(c model.ConsumerID, n int, performed, candidates []model.Intention) {
+	sh := r.cshard(c)
+	sh.mu.Lock()
+	t, ok := sh.m[c]
+	if !ok {
+		t = NewConsumer(r.k)
+		sh.m[c] = t
+	}
+	t.RecordQuery(n, performed, candidates)
+	sh.mu.Unlock()
 }
 
 // RecordAllocation feeds one mediation outcome into the trackers of the
@@ -144,6 +268,9 @@ func (r *Registry) ProviderSatisfactions() []float64 {
 // full candidate set P_q (used for the consumer's adequation and
 // allocation-satisfaction analysis); it may be nil, in which case the
 // proposed intentions stand in for it.
+//
+// Stripe locks are taken one participant at a time, never nested, so
+// concurrent recorders cannot deadlock however their proposal sets overlap.
 func (r *Registry) RecordAllocation(a *model.Allocation, candidates []model.Intention) {
 	performed := make([]model.Intention, 0, len(a.Selected))
 	for i, p := range a.Proposed {
@@ -155,10 +282,10 @@ func (r *Registry) RecordAllocation(a *model.Allocation, candidates []model.Inte
 		if i < len(a.ProviderIntentions) {
 			pi = a.ProviderIntentions[i]
 		}
-		r.Provider(p).Record(pi, isSelected)
+		r.recordProvider(p, pi, isSelected)
 	}
 	if candidates == nil {
 		candidates = a.ConsumerIntentions
 	}
-	r.Consumer(a.Query.Consumer).RecordQuery(a.Query.N, performed, candidates)
+	r.recordConsumer(a.Query.Consumer, a.Query.N, performed, candidates)
 }

@@ -1,0 +1,132 @@
+package satisfaction
+
+import (
+	"sync"
+	"testing"
+
+	"sbqa/internal/model"
+)
+
+// TestRegistryConcurrentRecording drives the striped registry the way the
+// sharded live engine does: several mediator shards record allocations whose
+// proposal sets overlap on the same providers, while other goroutines read
+// satisfactions and participants churn in and out. Run with -race.
+func TestRegistryConcurrentRecording(t *testing.T) {
+	r := NewRegistry(50)
+	const (
+		recorders   = 8
+		perRecorder = 300
+		providers   = 12
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < recorders; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perRecorder; i++ {
+				// Every recorder proposes to the same provider trio, so the
+				// stripe locks see genuine cross-shard contention.
+				base := model.ProviderID(i % providers)
+				a := &model.Allocation{
+					Query:              model.Query{ID: model.QueryID(g*perRecorder + i), Consumer: model.ConsumerID(g), N: 1, Work: 1},
+					Selected:           []model.ProviderID{base},
+					Proposed:           []model.ProviderID{base, (base + 1) % providers, (base + 2) % providers},
+					ConsumerIntentions: []model.Intention{0.5, 0.2, -0.1},
+					ProviderIntentions: []model.Intention{0.8, 0.1, -0.5},
+				}
+				r.RecordAllocation(a, nil)
+			}
+		}()
+	}
+	// Concurrent readers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for p := 0; p < providers; p++ {
+					s := r.ProviderSatisfaction(model.ProviderID(p))
+					if s < 0 || s > 1 {
+						t.Errorf("provider %d satisfaction %v out of range", p, s)
+						return
+					}
+				}
+				_ = r.ConsumerSatisfactions()
+				_ = r.ProviderIDs()
+			}
+		}()
+	}
+	// Concurrent churn on IDs outside the recorded range.
+	var churn sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		g := g
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			id := model.ProviderID(1000 + g)
+			cid := model.ConsumerID(1000 + g)
+			for i := 0; i < 500; i++ {
+				r.Provider(id).Record(1, true)
+				r.ForgetProvider(id)
+				r.Consumer(cid)
+				r.ForgetConsumer(cid)
+			}
+		}()
+	}
+	wg.Wait()
+	churn.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Every recorder consumer has a full window of outcomes.
+	for g := 0; g < recorders; g++ {
+		if n := r.Consumer(model.ConsumerID(g)).Interactions(); n != 50 {
+			t.Errorf("consumer %d interactions = %d, want full window 50", g, n)
+		}
+	}
+	// Providers saw proposals from all recorders; satisfaction well defined.
+	for p := 0; p < providers; p++ {
+		if s := r.ProviderSatisfaction(model.ProviderID(p)); s < 0 || s > 1 {
+			t.Errorf("provider %d satisfaction %v", p, s)
+		}
+	}
+}
+
+// TestRegistryStripingPreservesSemantics checks that the striped registry
+// gives byte-identical satisfactions to sequential recording (striping is a
+// locking strategy, not a semantic change).
+func TestRegistryStripingPreservesSemantics(t *testing.T) {
+	record := func(r *Registry) {
+		for i := 0; i < 40; i++ {
+			a := &model.Allocation{
+				Query:              model.Query{ID: model.QueryID(i), Consumer: model.ConsumerID(i % 3), N: 1, Work: 1},
+				Selected:           []model.ProviderID{model.ProviderID(i % 5)},
+				Proposed:           []model.ProviderID{model.ProviderID(i % 5), model.ProviderID((i + 1) % 5)},
+				ConsumerIntentions: []model.Intention{model.Intention(float64(i%7)/7 - 0.4), 0.2},
+				ProviderIntentions: []model.Intention{0.6, model.Intention(float64(i%3)/3 - 0.5)},
+			}
+			r.RecordAllocation(a, nil)
+		}
+	}
+	r1, r2 := NewRegistry(10), NewRegistry(10)
+	record(r1)
+	record(r2)
+	for c := 0; c < 3; c++ {
+		if a, b := r1.ConsumerSatisfaction(model.ConsumerID(c)), r2.ConsumerSatisfaction(model.ConsumerID(c)); a != b {
+			t.Errorf("consumer %d: %v != %v", c, a, b)
+		}
+	}
+	for p := 0; p < 5; p++ {
+		if a, b := r1.ProviderSatisfaction(model.ProviderID(p)), r2.ProviderSatisfaction(model.ProviderID(p)); a != b {
+			t.Errorf("provider %d: %v != %v", p, a, b)
+		}
+	}
+}

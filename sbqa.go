@@ -39,6 +39,7 @@ import (
 	"sbqa/internal/alloc"
 	"sbqa/internal/boinc"
 	"sbqa/internal/core"
+	"sbqa/internal/directory"
 	"sbqa/internal/experiments"
 	"sbqa/internal/intention"
 	"sbqa/internal/knbest"
@@ -197,13 +198,31 @@ type (
 type (
 	// Mediator runs the technique-agnostic mediation pipeline.
 	Mediator = mediator.Mediator
-	// MediatorConfig tunes the pipeline.
+	// MediatorConfig tunes the pipeline (including shared Registry and
+	// Directory injection for sharded embeddings).
 	MediatorConfig = mediator.Config
 	// Consumer is the mediator-side view of a consumer.
 	Consumer = mediator.Consumer
 	// Provider is the mediator-side view of a provider.
 	Provider = mediator.Provider
+	// MediatorDirectory is the catalog interface the mediator consults.
+	MediatorDirectory = mediator.Directory
 )
+
+// Directory layer: the indexed participant catalog (candidate discovery by
+// capability index instead of a full-provider scan).
+type (
+	// ProviderDirectory is the concurrency-safe participant catalog.
+	ProviderDirectory = directory.Directory
+	// CapabilityReporter is the optional provider extension declaring the
+	// query classes a provider performs; implementing it gets the provider
+	// indexed by class.
+	CapabilityReporter = directory.CapabilityReporter
+)
+
+// NewDirectory returns an empty participant catalog. Pass it as
+// MediatorConfig.Directory to share one catalog between several mediators.
+func NewDirectory() *ProviderDirectory { return directory.New() }
 
 // ErrNoCandidates is returned by Mediator.Mediate when no online provider
 // can perform the query.
@@ -306,10 +325,15 @@ var (
 // ---------------------------------------------------------------------------
 
 // Concurrent runtime types for real embeddings (wall-clock time, goroutine
-// workers); see the live package documentation.
+// workers, sharded mediation engine); see the live package documentation.
 type (
-	// LiveService is a thread-safe mediation front end.
+	// LiveService is a thread-safe mediation front end: a sharded engine
+	// over a shared provider directory and a lock-striped satisfaction
+	// registry.
 	LiveService = live.Service
+	// LiveConfig assembles a sharded engine (shard count, per-shard
+	// allocators, clock injection).
+	LiveConfig = live.Config
 	// LiveWorker executes queries on its own goroutine.
 	LiveWorker = live.Worker
 	// LiveResult is one completed execution.
@@ -318,9 +342,28 @@ type (
 	LiveFuncConsumer = live.FuncConsumer
 )
 
-// NewLiveService returns a concurrent mediation service with satisfaction
-// window k.
+// ErrDispatch reports that an allocation succeeded but a selected worker
+// could not accept the query (shut down mid-flight).
+var ErrDispatch = live.ErrDispatch
+
+// NewLiveService returns a single-shard concurrent mediation service with
+// satisfaction window k — the serialized front end; use NewLiveEngine for
+// parallel mediation across shards.
 func NewLiveService(a Allocator, window int) *LiveService { return live.NewService(a, window) }
+
+// NewLiveEngine builds a sharded mediation engine. With cfg.Concurrency > 1
+// queries from distinct consumers mediate in parallel (one consumer's
+// stream stays serialized on its home shard); cfg.NewAllocator must then
+// supply one allocator per shard, e.g.:
+//
+//	svc, err := sbqa.NewLiveEngine(sbqa.LiveConfig{
+//		Window:      100,
+//		Concurrency: runtime.GOMAXPROCS(0),
+//		NewAllocator: func(shard int) sbqa.Allocator {
+//			return sbqa.NewSbQA(sbqa.SbQAConfig{Seed: uint64(shard) + 1})
+//		},
+//	})
+func NewLiveEngine(cfg LiveConfig) (*LiveService, error) { return live.NewServiceWithConfig(cfg) }
 
 // NewLiveWorker starts a worker goroutine with the given capacity (work
 // units per real second) and intention function.
