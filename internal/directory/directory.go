@@ -131,6 +131,12 @@ func (d *Directory) RegisterProvider(p Provider) {
 }
 
 // UnregisterProvider removes a provider from the catalog and the index.
+// Removal does not synchronize with in-flight discovery or mediation: a
+// concurrent Candidates call that already captured the provider may still
+// invoke CanPerform after this returns (just as a mediator holding the
+// candidate may still call Snapshot or Intention), so provider
+// implementations must keep those methods safe to call until in-flight
+// mediations quiesce — not merely until unregistration returns.
 func (d *Directory) UnregisterProvider(id model.ProviderID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -209,10 +215,13 @@ func (d *Directory) NumConsumers() int {
 //
 // The returned providers are the live registered instances; callers that
 // mediate concurrently must tolerate providers unregistering after the call
-// returns (see mediator.backfillIntentions).
+// returns (see mediator.backfillIntentions). Symmetrically, because the
+// predicate runs outside the lock, CanPerform may be invoked on a provider
+// that a concurrent UnregisterProvider has already removed (see the
+// UnregisterProvider doc).
 func (d *Directory) Candidates(q model.Query, buf []Provider) []Provider {
+	base := len(buf)
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	uni, cls := d.universal, d.byClass[q.Class]
 	// Ordered merge of the two disjoint sorted ID lists.
 	i, j := 0, 0
@@ -226,11 +235,23 @@ func (d *Directory) Candidates(q model.Query, buf []Provider) []Provider {
 			id = cls[j]
 			j++
 		}
-		if p := d.providers[id]; p != nil && p.CanPerform(q) {
+		if p := d.providers[id]; p != nil {
 			buf = append(buf, p)
 		}
 	}
-	return buf
+	d.mu.RUnlock()
+	// CanPerform is user code: run it after releasing the lock so a slow
+	// predicate cannot stall registration engine-wide, and one that calls
+	// back into the directory cannot deadlock. In-place compaction keeps
+	// the ascending-ID order.
+	kept := base
+	for _, p := range buf[base:] {
+		if p.CanPerform(q) {
+			buf[kept] = p
+			kept++
+		}
+	}
+	return buf[:kept]
 }
 
 // insertID inserts id into the sorted slice ids, keeping it sorted; it is a

@@ -3,6 +3,7 @@ package directory
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"sbqa/internal/model"
 )
@@ -163,6 +164,36 @@ func TestConsumers(t *testing.T) {
 	d.UnregisterConsumer(4)
 	if d.NumConsumers() != 0 || d.Consumer(4) != nil {
 		t.Error("consumer not unregistered")
+	}
+}
+
+// TestCanPerformMayReenterDirectory: the CanPerform predicate is user code
+// and runs outside the directory's critical section, so a predicate that
+// reads — or even writes — the directory must not deadlock Candidates (it
+// would with the predicate applied under the RLock: a write from the
+// goroutine holding the read lock can never acquire the write lock).
+func TestCanPerformMayReenterDirectory(t *testing.T) {
+	d := New()
+	d.RegisterProvider(&stub{id: 1})
+	d.RegisterProvider(&stub{id: 2, vetoFn: func(q model.Query) bool {
+		if d.NumProviders() < 1 { // read re-entry
+			t.Error("directory empty inside CanPerform")
+		}
+		d.RegisterConsumer(consumerStub{id: 42}) // write re-entry
+		return false
+	}})
+	done := make(chan []Provider, 1)
+	go func() { done <- d.Candidates(model.Query{}, nil) }()
+	select {
+	case got := <-done:
+		if want := []model.ProviderID{1}; !equalIDs(ids(got), want) {
+			t.Errorf("candidates = %v, want %v", ids(got), want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Candidates deadlocked on a re-entrant CanPerform")
+	}
+	if d.Consumer(42) == nil {
+		t.Error("write from CanPerform was lost")
 	}
 }
 

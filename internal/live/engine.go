@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -176,9 +177,32 @@ func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
 	return s.reg.ConsumerSatisfaction(id)
 }
 
-// ErrDispatch reports that an allocation succeeded but a selected worker
-// could not accept the query (shut down mid-flight).
+// ErrDispatch reports that an allocation succeeded but the query could not
+// be fully delivered: a selected worker shut down mid-flight, its queue was
+// full, or (mediator.ErrStaleSelection, which this error wraps in that
+// case) every selected provider unregistered before hand-off. When the
+// caller's context was done during dispatch the context error is wrapped
+// too, so errors.Is(err, context.Canceled) tells "stop" apart from the
+// transient delivery races, which — unlike mediator.ErrNoCandidates — can
+// be retried. Two caveats for retry loops: workers that accepted before the
+// failure keep the query (their Results still arrive), so resubmitting a
+// multi-worker (N > 1) allocation re-executes it on them; and the mediation
+// is recorded in the satisfaction registry either way, since satisfaction
+// measures the allocation decision (the paper's model), not delivery. In
+// the stale-selection case the returned allocation is nil — nothing was
+// handed to any worker, so that retry is clean.
 var ErrDispatch = errors.New("live: selected worker rejected the query")
+
+// dispatchErr folds the mediator's stale-selection failure into the
+// engine's dispatch-level sentinel: every selected provider unregistering
+// before hand-off is the same transient delivery race as a worker shutting
+// down mid-dispatch. Both sentinels match errors.Is on the result.
+func dispatchErr(err error) error {
+	if err != nil && errors.Is(err, mediator.ErrStaleSelection) {
+		return fmt.Errorf("%w: %w", ErrDispatch, err)
+	}
+	return err
+}
 
 // Submit mediates the query on its consumer's shard and dispatches it to the
 // selected workers. It assigns the query ID. The returned allocation lists
@@ -196,7 +220,7 @@ func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Resu
 	}
 	sh.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, dispatchErr(err)
 	}
 	return a, s.dispatch(ctx, q, workers, results)
 }
@@ -215,6 +239,9 @@ func (s *Service) selectedWorkers(a *model.Allocation) []*Worker {
 func (s *Service) dispatch(ctx context.Context, q model.Query, workers []*Worker, results chan<- Result) error {
 	for _, w := range workers {
 		if !w.accept(ctx, q, results) {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("%w: %w", ErrDispatch, err)
+			}
 			return ErrDispatch
 		}
 	}
@@ -229,8 +256,12 @@ func (s *Service) dispatch(ctx context.Context, q model.Query, workers []*Worker
 // assigned in input order and every query carries the same issue timestamp
 // (the batch is one arrival event).
 //
-// A nil error with a non-nil allocation means mediated and dispatched;
-// ErrDispatch means mediated but a selected worker refused the hand-off.
+// A nil error with a non-nil allocation means mediated and dispatched.
+// ErrDispatch with a non-nil allocation means mediated but a selected
+// worker refused the hand-off; ErrDispatch with a nil allocation means the
+// selection went stale before hand-off (it wraps mediator.ErrStaleSelection
+// and nothing reached any worker) — check the allocation before inspecting
+// it.
 func (s *Service) SubmitBatch(ctx context.Context, queries []model.Query, results chan<- Result) ([]*model.Allocation, []error) {
 	allocs := make([]*model.Allocation, len(queries))
 	errs := make([]error, len(queries))
@@ -267,7 +298,7 @@ func (s *Service) SubmitBatch(ctx context.Context, queries []model.Query, result
 			}
 			sh.mu.Unlock()
 			for j, i := range idxs {
-				allocs[i], errs[i] = as[j], aerrs[j]
+				allocs[i], errs[i] = as[j], dispatchErr(aerrs[j])
 				if aerrs[j] == nil {
 					errs[i] = s.dispatch(ctx, sub[j], workers[j], results)
 				}

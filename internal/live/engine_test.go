@@ -2,6 +2,7 @@ package live
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -282,6 +283,79 @@ func TestNewServiceWithConfigValidation(t *testing.T) {
 	}
 	if NewService(alloc.NewCapacity(), 10).Shards() != 1 {
 		t.Error("NewService should build a single shard")
+	}
+}
+
+// unregisterOnAllocate unregisters every provider it selects and registers a
+// fresh replacement, forcing the whole selection stale on every mediation
+// attempt — the registration race the engine must report as a dispatch-level
+// failure.
+type unregisterOnAllocate struct {
+	inner alloc.Allocator
+	svc   *Service
+	next  int64
+}
+
+func (u *unregisterOnAllocate) Name() string { return "unregister-on-allocate" }
+func (u *unregisterOnAllocate) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
+	a := u.inner.Allocate(e, q, cands)
+	if a != nil {
+		for _, id := range a.Selected {
+			u.svc.Directory().UnregisterProvider(id)
+		}
+	}
+	u.next++
+	u.svc.RegisterProvider(&constProvider{id: model.ProviderID(u.next), pi: 0.5})
+	return a
+}
+
+// TestSubmitStaleSelectionIsDispatchError: when churn empties a mediated
+// selection before hand-off, Submit reports the engine's retryable dispatch
+// failure (wrapping mediator.ErrStaleSelection) — never ErrNoCandidates,
+// because capacity existed throughout.
+func TestSubmitStaleSelectionIsDispatchError(t *testing.T) {
+	u := &unregisterOnAllocate{inner: alloc.NewCapacity(), next: 100}
+	svc, err := NewServiceWithConfig(Config{Window: 10, Allocator: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.svc = svc
+	svc.RegisterProvider(&constProvider{id: 1, pi: 0.5})
+	svc.RegisterConsumer(FuncConsumer{ID: 0, Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+
+	_, err = svc.Submit(context.Background(), model.Query{Consumer: 0, N: 1, Work: 1}, nil)
+	if !errors.Is(err, ErrDispatch) {
+		t.Fatalf("err = %v, want ErrDispatch", err)
+	}
+	if !errors.Is(err, mediator.ErrStaleSelection) {
+		t.Errorf("err = %v, should wrap mediator.ErrStaleSelection", err)
+	}
+
+	// The batch path maps the same way.
+	_, errs := svc.SubmitBatch(context.Background(), []model.Query{{Consumer: 0, N: 1, Work: 1}}, nil)
+	if !errors.Is(errs[0], ErrDispatch) || !errors.Is(errs[0], mediator.ErrStaleSelection) {
+		t.Errorf("batch err = %v, want ErrDispatch wrapping ErrStaleSelection", errs[0])
+	}
+}
+
+// TestSubmitCancelledContext: a done context surfaces through ErrDispatch
+// wrapping the context error, so retry loops can tell a dead context from a
+// transient delivery race.
+func TestSubmitCancelledContext(t *testing.T) {
+	svc := NewService(core.MustNew(core.DefaultConfig()), 10)
+	w, err := NewWorker(1, 1000, 4, func(model.Query) model.Intention { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	svc.RegisterWorker(w)
+	svc.RegisterConsumer(FuncConsumer{ID: 0, Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = svc.Submit(ctx, model.Query{Consumer: 0, N: 1, Work: 1}, nil)
+	if !errors.Is(err, ErrDispatch) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrDispatch wrapping context.Canceled", err)
 	}
 }
 

@@ -132,13 +132,19 @@ func (w *Worker) run() {
 	}
 }
 
-// accept enqueues a task; false if the worker is shutting down, the queue is
-// full, or the context is done.
+// accept enqueues a task without blocking: false if the worker is shutting
+// down, the queue is full, or the context is already done. Dispatch must
+// never park a mediation shard or stall a batch behind one saturated
+// worker, so a full queue refuses the hand-off immediately (the engine
+// reports ErrDispatch) rather than waiting for space.
 func (w *Worker) accept(ctx context.Context, q model.Query, results chan<- Result) bool {
 	select {
 	case <-w.done:
 		return false
 	default:
+	}
+	if ctx.Err() != nil {
+		return false
 	}
 	w.mu.Lock()
 	w.pendingWork += q.Work
@@ -147,8 +153,8 @@ func (w *Worker) accept(ctx context.Context, q model.Query, results chan<- Resul
 	select {
 	case w.tasks <- task{q: q, results: results, start: time.Now()}:
 		return true
-	case <-ctx.Done():
 	case <-w.done:
+	default:
 	}
 	// Roll back the optimistic accounting.
 	w.mu.Lock()

@@ -131,6 +131,45 @@ func TestWorkerCloseRejectsTasks(t *testing.T) {
 	}
 }
 
+// TestAcceptFullQueueNonBlocking: a saturated worker refuses the hand-off
+// immediately, as accept documents — it must never park a dispatcher (and,
+// through it, a whole batch) until queue space frees.
+func TestAcceptFullQueueNonBlocking(t *testing.T) {
+	// Capacity 0.001 makes the first task service for hours, so the backlog
+	// never drains during the test.
+	w, err := NewWorker(3, 0.001, 1, func(model.Query) model.Intention { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	accepted := 0
+	refused := false
+	for i := 0; i < 8 && !refused; i++ {
+		if w.accept(context.Background(), model.Query{ID: model.QueryID(i + 1), Consumer: 0, N: 1, Work: 10}, nil) {
+			accepted++
+		} else {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("accept never refused on a saturated worker")
+	}
+	// At most one task in service plus the single queued slot.
+	if accepted < 1 || accepted > 2 {
+		t.Errorf("accepted %d tasks before refusing, want 1 or 2", accepted)
+	}
+	// The refused task's optimistic accounting was rolled back.
+	if snap := w.Snapshot(0); snap.QueueLen != accepted {
+		t.Errorf("queue length %d after %d accepted tasks", snap.QueueLen, accepted)
+	}
+	// A cancelled context is refused outright.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if w.accept(ctx, model.Query{ID: 99, Consumer: 0, N: 1, Work: 1}, nil) {
+		t.Error("accept succeeded with a cancelled context")
+	}
+}
+
 func TestWorkerDoubleCloseSafe(t *testing.T) {
 	w := fastWorker(t, 9, 0)
 	w.Close()

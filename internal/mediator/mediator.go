@@ -86,6 +86,15 @@ type ShareReporter interface {
 // ErrNoCandidates is returned when no online provider can perform a query.
 var ErrNoCandidates = errors.New("mediator: no online provider can perform query")
 
+// ErrStaleSelection is returned when the candidate set was non-empty but
+// every selected provider unregistered between candidate discovery and
+// intention backfill — a transient registration race, only possible when the
+// directory is shared with concurrent registrars. It is distinct from
+// ErrNoCandidates so callers can retry instead of giving up: capacity
+// existed, it just churned away mid-mediation. The pipeline already retries
+// discovery once against the refreshed directory before reporting this.
+var ErrStaleSelection = errors.New("mediator: every selected provider unregistered during mediation")
+
 // Config tunes pipeline behaviour.
 type Config struct {
 	// Window is the satisfaction memory length k.
@@ -267,7 +276,10 @@ func (e env) ProviderSatisfaction(p model.ProviderID) float64 {
 // recording. It returns ErrNoCandidates when P_q is empty — the caller
 // records the query as unallocated (the consumer's satisfaction window
 // records the failure either way, as the paper's Equation 1 prescribes:
-// an unserved query contributes zero satisfaction).
+// an unserved query contributes zero satisfaction). When a shared
+// directory's churn empties the selection mid-flight, mediation is retried
+// once against the refreshed candidate set; if that attempt also goes
+// stale, Mediate returns ErrStaleSelection.
 func (m *Mediator) Mediate(now float64, q model.Query) (*model.Allocation, error) {
 	return m.mediate(now, q, nil)
 }
@@ -322,47 +334,64 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 		return nil, fmt.Errorf("mediator: query %d from unregistered consumer %d", q.ID, q.Consumer)
 	}
 
-	// Build the candidate set P_q (ascending ID order, from the directory's
-	// capability index).
-	snaps := m.snapshots(now, q, cache)
 	e := env{m: m, consumer: consumer}
-	if len(snaps) == 0 {
-		// Record the failed mediation so the consumer's dissatisfaction
-		// accumulates, then report.
-		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
-		return nil, ErrNoCandidates
-	}
 
-	a := m.allocator.Allocate(e, q, snaps)
-	if a == nil || len(a.Selected) == 0 {
-		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
-		return nil, ErrNoCandidates
-	}
-
-	m.backfillIntentions(e, a, now, cache)
-	if len(a.Selected) == 0 {
-		// Every selected provider unregistered between candidate discovery
-		// and backfill (only possible when the directory is shared with
-		// concurrent registrars); the query was effectively unallocated.
-		m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
-		return nil, ErrNoCandidates
-	}
-
-	// Optionally evaluate the consumer's intentions over the full
-	// candidate set so allocation satisfaction is measured against the
-	// true optimum rather than the proposed subset.
-	var candidateCI []model.Intention
-	if m.cfg.AnalyzeBest {
-		candidateCI = make([]model.Intention, len(snaps))
-		for i, snap := range snaps {
-			candidateCI[i] = e.ConsumerIntention(q, snap)
+	// One retry when a shared directory's churn empties the selection
+	// between candidate discovery and backfill: re-discover against the
+	// refreshed catalog before reporting failure. Nothing is recorded for
+	// the abandoned attempt — the query's outcome is recorded exactly once.
+	const staleRetries = 1
+	for attempt := 0; ; attempt++ {
+		// Build the candidate set P_q (ascending ID order, from the
+		// directory's capability index).
+		snaps := m.snapshots(now, q, cache)
+		if len(snaps) == 0 {
+			// Record the failed mediation so the consumer's dissatisfaction
+			// accumulates, then report. On a retry the first attempt proved
+			// capacity existed — it churned away entirely before re-discovery
+			// (e.g. the registrar's unregister→reregister gap), which is the
+			// transient sentinel, not the terminal one.
+			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
+			if attempt > 0 {
+				return nil, ErrStaleSelection
+			}
+			return nil, ErrNoCandidates
 		}
+
+		a := m.allocator.Allocate(e, q, snaps)
+		if a == nil || len(a.Selected) == 0 {
+			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
+			return nil, ErrNoCandidates
+		}
+
+		m.backfillIntentions(e, a, now, cache)
+		if len(a.Selected) == 0 {
+			// Every selected provider unregistered between candidate
+			// discovery and backfill (only possible when the directory is
+			// shared with concurrent registrars).
+			if attempt < staleRetries {
+				continue
+			}
+			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
+			return nil, ErrStaleSelection
+		}
+
+		// Optionally evaluate the consumer's intentions over the full
+		// candidate set so allocation satisfaction is measured against the
+		// true optimum rather than the proposed subset.
+		var candidateCI []model.Intention
+		if m.cfg.AnalyzeBest {
+			candidateCI = make([]model.Intention, len(snaps))
+			for i, snap := range snaps {
+				candidateCI[i] = e.ConsumerIntention(q, snap)
+			}
+		}
+		m.registry.RecordAllocation(a, candidateCI)
+		if m.cfg.OnMediation != nil {
+			m.cfg.OnMediation(a, len(snaps))
+		}
+		return a, nil
 	}
-	m.registry.RecordAllocation(a, candidateCI)
-	if m.cfg.OnMediation != nil {
-		m.cfg.OnMediation(a, len(snaps))
-	}
-	return a, nil
 }
 
 // backfillIntentions fills any intention the allocator did not collect

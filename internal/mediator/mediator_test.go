@@ -302,18 +302,113 @@ func TestBackfillDropsStaleProvider(t *testing.T) {
 	}
 }
 
-// TestBackfillAllStale: if every proposed provider departs mid-flight the
-// mediation is reported as unallocated rather than returning an empty
-// allocation.
+// TestBackfillAllStale: if every proposed provider departs mid-flight and
+// the retry finds the directory drained, the mediation is reported with the
+// transient stale-selection sentinel (capacity existed at discovery time)
+// rather than an empty allocation or the terminal ErrNoCandidates.
 func TestBackfillAllStale(t *testing.T) {
 	m := newTestMediator(nil)
 	m.RegisterConsumer(&fakeConsumer{id: 0})
 	m.RegisterProvider(&fakeProvider{id: 1, intention: 1})
 	m.SetAllocator(&unregisteringAllocator{inner: alloc.NewCapacity(), m: m, victim: 1})
-	if _, err := m.Mediate(0, q(1, 0, 1)); !errors.Is(err, ErrNoCandidates) {
-		t.Errorf("err = %v, want ErrNoCandidates", err)
+	if _, err := m.Mediate(0, q(1, 0, 1)); !errors.Is(err, ErrStaleSelection) {
+		t.Errorf("err = %v, want ErrStaleSelection", err)
 	}
 	// The consumer's dissatisfaction accumulated for the failed query.
+	if got := m.Registry().ConsumerSatisfaction(0); got != 0 {
+		t.Errorf("consumer δs = %v, want 0", got)
+	}
+}
+
+// oneShotStaleAllocator unregisters victim during its first Allocate only —
+// the churn settles, so the pipeline's stale retry sees a stable refreshed
+// candidate set.
+type oneShotStaleAllocator struct {
+	inner  alloc.Allocator
+	m      *Mediator
+	victim model.ProviderID
+	fired  bool
+}
+
+func (u *oneShotStaleAllocator) Name() string { return "one-shot-stale" }
+func (u *oneShotStaleAllocator) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
+	a := u.inner.Allocate(e, q, cands)
+	if !u.fired {
+		u.fired = true
+		u.m.Directory().UnregisterProvider(u.victim)
+		u.m.Registry().ForgetProvider(u.victim)
+	}
+	return a
+}
+
+// TestStaleSelectionRetries: when the whole selection goes stale mid-flight
+// but other capacity is still registered, mediation re-discovers against the
+// refreshed directory and serves the query instead of failing it.
+func TestStaleSelectionRetries(t *testing.T) {
+	m := newTestMediator(nil)
+	m.RegisterConsumer(&fakeConsumer{id: 0, likes: map[model.ProviderID]model.Intention{1: 0.5, 2: 0.5}})
+	m.RegisterProvider(&fakeProvider{id: 1, intention: 0.5})            // idle: capacity picks it first
+	m.RegisterProvider(&fakeProvider{id: 2, intention: 0.5, util: 0.9}) // busy survivor
+	m.SetAllocator(&oneShotStaleAllocator{inner: alloc.NewCapacity(), m: m, victim: 1})
+
+	a, err := m.Mediate(0, q(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Selected) != 1 || a.Selected[0] != 2 {
+		t.Fatalf("retry selected %v, want surviving provider 2", a.Selected)
+	}
+	// Exactly one outcome recorded — the abandoned first attempt left no
+	// trace in the consumer's window.
+	if n := m.Registry().Consumer(0).Interactions(); n != 1 {
+		t.Errorf("consumer interactions = %d, want 1", n)
+	}
+}
+
+// churningAllocator unregisters every provider it selects and registers a
+// fresh replacement, so each attempt's selection goes stale while registered
+// capacity always exists — the pathological churn that must surface as
+// ErrStaleSelection rather than ErrNoCandidates.
+type churningAllocator struct {
+	inner alloc.Allocator
+	m     *Mediator
+	next  model.ProviderID
+}
+
+func (u *churningAllocator) Name() string { return "churning" }
+func (u *churningAllocator) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
+	a := u.inner.Allocate(e, q, cands)
+	if a != nil {
+		for _, id := range a.Selected {
+			u.m.Directory().UnregisterProvider(id)
+			u.m.Registry().ForgetProvider(id)
+		}
+	}
+	u.m.RegisterProvider(&fakeProvider{id: u.next, intention: 0.5})
+	u.next++
+	return a
+}
+
+// TestStaleSelectionError: when even the retry's selection churns away,
+// Mediate reports ErrStaleSelection — distinct from ErrNoCandidates, since
+// capacity was registered the whole time — and records the query as
+// unserved exactly once.
+func TestStaleSelectionError(t *testing.T) {
+	m := newTestMediator(nil)
+	m.RegisterConsumer(&fakeConsumer{id: 0})
+	m.RegisterProvider(&fakeProvider{id: 1, intention: 0.5})
+	m.SetAllocator(&churningAllocator{inner: alloc.NewCapacity(), m: m, next: 2})
+
+	_, err := m.Mediate(0, q(1, 0, 1))
+	if !errors.Is(err, ErrStaleSelection) {
+		t.Fatalf("err = %v, want ErrStaleSelection", err)
+	}
+	if errors.Is(err, ErrNoCandidates) {
+		t.Error("ErrStaleSelection must not match ErrNoCandidates")
+	}
+	if n := m.Registry().Consumer(0).Interactions(); n != 1 {
+		t.Errorf("consumer interactions = %d, want 1", n)
+	}
 	if got := m.Registry().ConsumerSatisfaction(0); got != 0 {
 		t.Errorf("consumer δs = %v, want 0", got)
 	}

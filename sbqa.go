@@ -228,6 +228,13 @@ func NewDirectory() *ProviderDirectory { return directory.New() }
 // can perform the query.
 var ErrNoCandidates = mediator.ErrNoCandidates
 
+// ErrStaleSelection is returned by Mediator.Mediate when capacity existed
+// but every selected provider unregistered mid-mediation (a transient
+// registration race on a shared directory, already retried once). Unlike
+// ErrNoCandidates it is retryable; the live engine folds it into
+// ErrDispatch.
+var ErrStaleSelection = mediator.ErrStaleSelection
+
 // NewMediator returns a mediator running the given allocation technique.
 func NewMediator(a Allocator, cfg MediatorConfig) *Mediator { return mediator.New(a, cfg) }
 
@@ -342,8 +349,13 @@ type (
 	LiveFuncConsumer = live.FuncConsumer
 )
 
-// ErrDispatch reports that an allocation succeeded but a selected worker
-// could not accept the query (shut down mid-flight).
+// ErrDispatch reports that an allocation succeeded but the query could not
+// be fully delivered: a selected worker shut down mid-flight, its queue was
+// full, or the whole selection unregistered before hand-off
+// (ErrStaleSelection, which it then wraps; a done context is wrapped too).
+// Transient and retryable, unlike ErrNoCandidates — but workers that
+// accepted before the failure keep the query, so retrying a multi-worker
+// allocation re-executes it on them; see live.ErrDispatch for details.
 var ErrDispatch = live.ErrDispatch
 
 // NewLiveService returns a single-shard concurrent mediation service with
