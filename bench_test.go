@@ -453,6 +453,52 @@ func BenchmarkLiveEngineSubmitBatch(b *testing.B) {
 	b.ReportMetric(float64(batchSize), "queries/op")
 }
 
+// BenchmarkLiveEngineTickets measures the asynchronous ticket path under
+// the same parallel load as BenchmarkLiveEngineParallel: every goroutine
+// submits through the Engine's shard queues and awaits the mediation
+// outcome on the ticket. The delta against the blocking bench is the cost
+// of queue hand-off plus ticket allocation.
+func BenchmarkLiveEngineTickets(b *testing.B) {
+	const providers = 200
+	maxProcs := runtime.GOMAXPROCS(0)
+	eng, err := NewEngine(
+		WithWindow(100),
+		WithConcurrency(maxProcs),
+		WithAllocatorFactory(func(shard int) Allocator {
+			cfg := core.DefaultConfig()
+			cfg.Seed = uint64(shard) + 1
+			return core.MustNew(cfg)
+		}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < providers; i++ {
+		eng.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(float64(i%9)/9 - 0.3)})
+	}
+	consumers := maxProcs * 4
+	for c := 0; c < consumers; c++ {
+		c := c
+		eng.RegisterConsumer(LiveFuncConsumer{ID: ConsumerID(c), Fn: func(q Query, snap ProviderSnapshot) Intention {
+			return Intention(float64((int(snap.ID)+c)%7)/7 - 0.2)
+		}})
+	}
+	var nextConsumer atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := ConsumerID(nextConsumer.Add(1) - 1)
+		q := Query{Consumer: c, N: 2, Work: 10}
+		for pb.Next() {
+			if _, err := eng.Submit(context.Background(), q).Allocation(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkDirectoryCandidates measures indexed candidate discovery with a
 // 10%-specialist population: class-restricted discovery touches only the
 // class bucket plus the universal pool.

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strconv"
+	"sync"
+
+	"sbqa"
+)
+
+// sseEvent is one event on the gateway's stream: a kind tag and a
+// JSON-serializable payload.
+type sseEvent struct {
+	kind string
+	data any
+}
+
+// hub fans engine events out to the SSE subscribers. Publication never
+// blocks: a subscriber that cannot keep up (its buffer is full) drops
+// events rather than stalling the engine's observer callbacks.
+type hub struct {
+	mu   sync.Mutex
+	subs map[chan sseEvent]struct{}
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan sseEvent]struct{})}
+}
+
+// subscriberBuffer is each SSE connection's event backlog; past it, events
+// are dropped for that subscriber.
+const subscriberBuffer = 256
+
+func (h *hub) subscribe() (<-chan sseEvent, func()) {
+	ch := make(chan sseEvent, subscriberBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+func (h *hub) publish(kind string, data any) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- sseEvent{kind: kind, data: data}:
+		default: // slow subscriber: drop
+		}
+	}
+	h.mu.Unlock()
+}
+
+// allocationEvent summarizes one successful mediation for the stream.
+type allocationEvent struct {
+	QueryID    int64             `json:"query_id"`
+	Consumer   int               `json:"consumer"`
+	Selected   []sbqa.ProviderID `json:"selected"`
+	Candidates int               `json:"candidates"`
+}
+
+type rejectionEvent struct {
+	QueryID  int64  `json:"query_id"`
+	Consumer int    `json:"consumer"`
+	Reason   string `json:"reason"`
+}
+
+type dispatchFailureEvent struct {
+	QueryID int64  `json:"query_id"`
+	Error   string `json:"error"`
+}
+
+type participantEvent struct {
+	Kind string `json:"kind"` // "provider" | "consumer"
+	ID   int    `json:"id"`
+}
+
+type satisfactionEvent struct {
+	Time      float64            `json:"time"`
+	Consumers map[string]float64 `json:"consumers"`
+	Providers map[string]float64 `json:"providers"`
+}
+
+// observer adapts the hub to the engine's Observer interface.
+func (h *hub) observer() sbqa.Observer {
+	return sbqa.ObserverFuncs{
+		Allocation: func(a *sbqa.Allocation, candidates int) {
+			h.publish("allocation", allocationEvent{
+				QueryID:    int64(a.Query.ID),
+				Consumer:   int(a.Query.Consumer),
+				Selected:   append([]sbqa.ProviderID(nil), a.Selected...),
+				Candidates: candidates,
+			})
+		},
+		Rejection: func(q sbqa.Query, reason error) {
+			h.publish("rejection", rejectionEvent{
+				QueryID:  int64(q.ID),
+				Consumer: int(q.Consumer),
+				Reason:   reason.Error(),
+			})
+		},
+		DispatchFailure: func(q sbqa.Query, _ *sbqa.Allocation, err error) {
+			h.publish("dispatch_failure", dispatchFailureEvent{
+				QueryID: int64(q.ID),
+				Error:   err.Error(),
+			})
+		},
+		ProviderRegistered: func(id sbqa.ProviderID) {
+			h.publish("registered", participantEvent{Kind: "provider", ID: int(id)})
+		},
+		ProviderDeparted: func(id sbqa.ProviderID) {
+			h.publish("departed", participantEvent{Kind: "provider", ID: int(id)})
+		},
+		ConsumerRegistered: func(id sbqa.ConsumerID) {
+			h.publish("registered", participantEvent{Kind: "consumer", ID: int(id)})
+		},
+		ConsumerDeparted: func(id sbqa.ConsumerID) {
+			h.publish("departed", participantEvent{Kind: "consumer", ID: int(id)})
+		},
+		SatisfactionSnapshot: func(snap sbqa.SatisfactionSnapshot) {
+			ev := satisfactionEvent{
+				Time:      snap.Time,
+				Consumers: make(map[string]float64, len(snap.Consumers)),
+				Providers: make(map[string]float64, len(snap.Providers)),
+			}
+			for id, s := range snap.Consumers {
+				ev.Consumers[strconv.Itoa(int(id))] = s
+			}
+			for id, s := range snap.Providers {
+				ev.Providers[strconv.Itoa(int(id))] = s
+			}
+			h.publish("satisfaction", ev)
+		},
+	}
+}

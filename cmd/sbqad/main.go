@@ -1,0 +1,68 @@
+// Command sbqad runs the SbQA mediation engine behind an HTTP/JSON gateway
+// — the network-facing embedding of the asynchronous Engine API.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/consumers      register a consumer {id, intention, prefer_idle}
+//	POST   /v1/workers        start+register a worker {id, capacity, queue_cap, intention, classes}
+//	DELETE /v1/workers/{id}   stop and unregister a worker
+//	POST   /v1/queries        submit {consumer, class, n, work, wait:none|allocation|results}
+//	GET    /v1/stats          engine counters + per-participant satisfaction
+//	GET    /v1/events         server-sent events: allocation, rejection,
+//	                          dispatch_failure, registered, departed,
+//	                          result, satisfaction
+//
+// Example session:
+//
+//	sbqad -addr :8080 -shards 4 &
+//	curl -XPOST localhost:8080/v1/workers -d '{"id":1,"capacity":100,"intention":0.5}'
+//	curl -XPOST localhost:8080/v1/consumers -d '{"id":0,"intention":0.6,"prefer_idle":true}'
+//	curl -XPOST localhost:8080/v1/queries -d '{"consumer":0,"n":1,"work":2,"wait":"results"}'
+//	curl localhost:8080/v1/stats
+//	curl -N localhost:8080/v1/events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"sbqa"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 1, "mediator shards (distinct consumers mediate in parallel)")
+		window   = flag.Int("window", 100, "satisfaction memory length k")
+		k        = flag.Int("k", 20, "KnBest stage-1 sample size")
+		kn       = flag.Int("kn", 10, "KnBest stage-2 keep size")
+		seed     = flag.Uint64("seed", 1, "base allocator seed (shard i uses seed+i)")
+		queue    = flag.Int("queue-depth", 1024, "per-shard async submission queue bound")
+		snapshot = flag.Duration("snapshot", 10*time.Second, "satisfaction snapshot interval on the event stream (0 disables)")
+	)
+	flag.Parse()
+
+	gw, err := newGateway(
+		sbqa.WithWindow(*window),
+		sbqa.WithConcurrency(*shards),
+		sbqa.WithAllocatorFactory(func(shard int) sbqa.Allocator {
+			return sbqa.NewSbQA(sbqa.SbQAConfig{
+				KnBest: sbqa.KnBestParams{K: *k, Kn: *kn},
+				Seed:   *seed + uint64(shard),
+			})
+		}),
+		sbqa.WithQueueDepth(*queue),
+		sbqa.WithSnapshotInterval(*snapshot),
+	)
+	if err != nil {
+		log.Fatalf("sbqad: %v", err)
+	}
+	defer gw.close()
+
+	fmt.Printf("sbqad: %d shard(s), window %d, KnBest(%d,%d), listening on %s\n",
+		*shards, *window, *k, *kn, *addr)
+	log.Fatal(http.ListenAndServe(*addr, gw.handler()))
+}

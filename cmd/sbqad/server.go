@@ -1,0 +1,345 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"sbqa"
+)
+
+// gateway is the HTTP/JSON front end over the asynchronous Engine API:
+// submit, register-worker/consumer, stats, and a server-sent-events stream
+// of the engine's observer events plus per-query results.
+type gateway struct {
+	eng *sbqa.Engine
+	hub *hub
+
+	mu      sync.Mutex
+	workers map[sbqa.ProviderID]*sbqa.LiveWorker
+}
+
+// newGateway builds the engine from the given options with the gateway's
+// event hub installed as the engine observer (composed with nothing else;
+// callers wanting their own observer wrap the returned engine's events via
+// the SSE stream instead).
+func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
+	g := &gateway{hub: newHub(), workers: make(map[sbqa.ProviderID]*sbqa.LiveWorker)}
+	eng, err := sbqa.NewEngine(append(opts, sbqa.WithObserver(g.hub.observer()))...)
+	if err != nil {
+		return nil, err
+	}
+	g.eng = eng
+	return g, nil
+}
+
+// close shuts the engine and every worker the gateway started.
+func (g *gateway) close() {
+	g.eng.Close()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, w := range g.workers {
+		w.Close()
+	}
+}
+
+// handler routes the gateway's endpoints.
+func (g *gateway) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/consumers", g.handleRegisterConsumer)
+	mux.HandleFunc("POST /v1/workers", g.handleRegisterWorker)
+	mux.HandleFunc("DELETE /v1/workers/{id}", g.handleUnregisterWorker)
+	mux.HandleFunc("POST /v1/queries", g.handleSubmit)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/events", g.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// consumerRequest registers a consumer with a constant intention toward
+// every provider, optionally discounted by provider utilization ("prefer
+// idle" — the useful default for load-aware consumers).
+type consumerRequest struct {
+	ID         int     `json:"id"`
+	Intention  float64 `json:"intention"`
+	PreferIdle bool    `json:"prefer_idle"`
+}
+
+func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request) {
+	var req consumerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	base := req.Intention
+	preferIdle := req.PreferIdle
+	g.eng.RegisterConsumer(sbqa.LiveFuncConsumer{
+		ID: sbqa.ConsumerID(req.ID),
+		Fn: func(_ sbqa.Query, snap sbqa.ProviderSnapshot) sbqa.Intention {
+			v := base
+			if preferIdle {
+				v -= snap.Utilization
+			}
+			return sbqa.Intention(v).Clamp()
+		},
+	})
+	writeJSON(w, http.StatusCreated, map[string]int{"id": req.ID})
+}
+
+// workerRequest starts a goroutine worker with a constant intention,
+// optionally class-restricted.
+type workerRequest struct {
+	ID        int     `json:"id"`
+	Capacity  float64 `json:"capacity"`
+	QueueCap  int     `json:"queue_cap"`
+	Intention float64 `json:"intention"`
+	Classes   []int   `json:"classes"`
+}
+
+func (g *gateway) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var req workerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	in := sbqa.Intention(req.Intention).Clamp()
+	worker, err := sbqa.NewLiveWorker(sbqa.ProviderID(req.ID), req.Capacity, req.QueueCap,
+		func(sbqa.Query) sbqa.Intention { return in })
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Classes) > 0 {
+		worker.SetClasses(req.Classes...)
+	}
+	g.mu.Lock()
+	if old, ok := g.workers[worker.ProviderID()]; ok {
+		old.Close()
+	}
+	g.workers[worker.ProviderID()] = worker
+	g.mu.Unlock()
+	g.eng.RegisterWorker(worker)
+	writeJSON(w, http.StatusCreated, map[string]int{"id": req.ID})
+}
+
+func (g *gateway) handleUnregisterWorker(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker id: %w", err))
+		return
+	}
+	pid := sbqa.ProviderID(id)
+	g.mu.Lock()
+	worker, ok := g.workers[pid]
+	delete(g.workers, pid)
+	g.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("worker %d not registered via this gateway", id))
+		return
+	}
+	g.eng.UnregisterWorker(pid)
+	worker.Close()
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}
+
+// queryRequest submits one query. wait selects how much of the lifecycle
+// the HTTP response covers: "none" returns the ticket's query ID
+// immediately, "allocation" (the default) waits for the mediation outcome,
+// "results" waits for every per-worker result.
+type queryRequest struct {
+	Consumer int     `json:"consumer"`
+	Class    int     `json:"class"`
+	N        int     `json:"n"`
+	Work     float64 `json:"work"`
+	Wait     string  `json:"wait"`
+}
+
+type queryResponse struct {
+	QueryID  int64             `json:"query_id"`
+	Selected []sbqa.ProviderID `json:"selected,omitempty"`
+	Proposed []sbqa.ProviderID `json:"proposed,omitempty"`
+	Results  []resultJSON      `json:"results,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+type resultJSON struct {
+	QueryID   int64   `json:"query_id"`
+	Provider  int     `json:"provider"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.N < 1 {
+		req.N = 1
+	}
+	q := sbqa.Query{
+		Consumer: sbqa.ConsumerID(req.Consumer),
+		Class:    req.Class,
+		N:        req.N,
+		Work:     req.Work,
+	}
+	// Submit with a detached context: once the gateway accepts a query its
+	// lifecycle must not be tied to the HTTP request — net/http cancels
+	// r.Context() the moment the handler returns, which would make
+	// wait:"none" submissions fail dispatch before the shard ever picked
+	// them up. The request context still bounds how long the caller waits
+	// below.
+	t := g.eng.Submit(context.WithoutCancel(r.Context()), q)
+	// Results reach the SSE stream whatever the caller waits for.
+	go g.publishResults(t)
+
+	resp := queryResponse{QueryID: int64(t.Query().ID)}
+	switch req.Wait {
+	case "none":
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	case "results":
+		results, err := t.Await(r.Context())
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		if a, _ := t.Allocation(); a != nil {
+			resp.Selected, resp.Proposed = a.Selected, a.Proposed
+		}
+		for _, res := range results {
+			resp.Results = append(resp.Results, resultJSON{
+				QueryID:   int64(res.Query.ID),
+				Provider:  int(res.Provider),
+				LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+			})
+		}
+	default: // "allocation"
+		a, err := t.Allocation()
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		if a != nil {
+			resp.Selected, resp.Proposed = a.Selected, a.Proposed
+		}
+	}
+	status := http.StatusOK
+	if resp.Error != "" && resp.Selected == nil {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}
+
+// publishResults forwards a ticket's completion to the event stream as one
+// "result" event per worker delivery.
+func (g *gateway) publishResults(t *sbqa.Ticket) {
+	<-t.Done()
+	for _, res := range t.Results() {
+		g.hub.publish("result", resultJSON{
+			QueryID:   int64(res.Query.ID),
+			Provider:  int(res.Provider),
+			LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+		})
+	}
+}
+
+// statsResponse is Engine.Stats plus the current satisfaction of every
+// tracked participant.
+type statsResponse struct {
+	Shards           []shardJSON     `json:"shards"`
+	QueriesSubmitted int64           `json:"queries_submitted"`
+	Providers        int             `json:"providers"`
+	Consumers        int             `json:"consumers"`
+	WorkerQueues     map[string]int  `json:"worker_queue_depths"`
+	Satisfaction     satisfactionMap `json:"satisfaction"`
+}
+
+type shardJSON struct {
+	Mediations       uint64  `json:"mediations"`
+	Rejections       uint64  `json:"rejections"`
+	DispatchFailures uint64  `json:"dispatch_failures"`
+	MeanCandidates   float64 `json:"mean_candidates"`
+	QueueDepth       int     `json:"queue_depth"`
+}
+
+type satisfactionMap struct {
+	Consumers map[string]float64 `json:"consumers"`
+	Providers map[string]float64 `json:"providers"`
+}
+
+func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := g.eng.Stats()
+	resp := statsResponse{
+		Shards:           make([]shardJSON, len(st.Shards)),
+		QueriesSubmitted: st.QueriesSubmitted,
+		Providers:        st.Providers,
+		Consumers:        st.Consumers,
+		WorkerQueues:     make(map[string]int, len(st.WorkerQueueDepths)),
+		Satisfaction: satisfactionMap{
+			Consumers: make(map[string]float64),
+			Providers: make(map[string]float64),
+		},
+	}
+	for i, sh := range st.Shards {
+		resp.Shards[i] = shardJSON{
+			Mediations:       sh.Mediations,
+			Rejections:       sh.Rejections,
+			DispatchFailures: sh.DispatchFailures,
+			MeanCandidates:   sh.MeanCandidates,
+			QueueDepth:       sh.QueueDepth,
+		}
+	}
+	for id, depth := range st.WorkerQueueDepths {
+		resp.WorkerQueues[strconv.Itoa(int(id))] = depth
+	}
+	reg := g.eng.Registry()
+	for _, id := range reg.ConsumerIDs() {
+		resp.Satisfaction.Consumers[strconv.Itoa(int(id))] = reg.ConsumerSatisfaction(id)
+	}
+	for _, id := range reg.ProviderIDs() {
+		resp.Satisfaction.Providers[strconv.Itoa(int(id))] = reg.ProviderSatisfaction(id)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEvents streams the engine's event feed as server-sent events.
+func (g *gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ch, unsubscribe := g.hub.subscribe()
+	defer unsubscribe()
+	for {
+		select {
+		case ev := <-ch:
+			data, err := json.Marshal(ev.data)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.kind, data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,9 +1,11 @@
 // Live example: the SbQA mediation embedded in a real concurrent program,
-// running on the sharded engine. Workers run on goroutines with wall-clock
-// service times; submitters send queries from several goroutines at once;
-// queries route to mediator shards by consumer, so distinct consumers
-// mediate in parallel while the shared satisfaction registry shapes who
-// gets what.
+// running on the asynchronous Engine API. Workers run on goroutines with
+// wall-clock service times; submitters fan tickets out from several
+// goroutines at once; queries route to mediator shards by consumer, so
+// distinct consumers mediate in parallel while the shared satisfaction
+// registry shapes who gets what. Ticket submission means nobody blocks on
+// worker execution: each submitter collects its own queries' results from
+// their tickets, and an Observer watches the allocation stream go by.
 //
 // Run with: go run ./examples/live
 package main
@@ -14,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sbqa"
 )
@@ -25,24 +28,28 @@ func main() {
 	// random first stage is what rotates work across equally idle, equally
 	// scored workers — without it, deterministic tie-breaks would starve
 	// all but one generalist.
-	svc, err := sbqa.NewLiveEngine(sbqa.LiveConfig{
-		Window:      50,
-		Concurrency: runtime.GOMAXPROCS(0),
-		NewAllocator: func(shard int) sbqa.Allocator {
+	var observed atomic.Int64
+	eng, err := sbqa.NewEngine(
+		sbqa.WithWindow(50),
+		sbqa.WithConcurrency(runtime.GOMAXPROCS(0)),
+		sbqa.WithAllocatorFactory(func(shard int) sbqa.Allocator {
 			return sbqa.NewSbQA(sbqa.SbQAConfig{
 				KnBest: sbqa.KnBestParams{K: 4, Kn: 2},
 				Seed:   uint64(shard) + 1,
 			})
-		},
-	})
+		}),
+		sbqa.WithObserver(sbqa.ObserverFuncs{
+			Allocation: func(*sbqa.Allocation, int) { observed.Add(1) },
+		}),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "live example:", err)
 		os.Exit(1)
 	}
+	defer eng.Close()
 
 	// Six workers: fast generalists, and two specialists that only want
 	// class-1 ("analytics") queries.
-	var workers []*sbqa.LiveWorker
 	for i := 0; i < 6; i++ {
 		i := i
 		w, err := sbqa.NewLiveWorker(sbqa.ProviderID(i), 500, 256, func(q sbqa.Query) sbqa.Intention {
@@ -60,13 +67,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer w.Close()
-		workers = append(workers, w)
-		svc.RegisterWorker(w)
+		eng.RegisterWorker(w)
 	}
 
 	// Two consumers: one web tier (class 0), one analytics tier (class 1).
 	for c := 0; c < 2; c++ {
-		svc.RegisterConsumer(sbqa.LiveFuncConsumer{
+		eng.RegisterConsumer(sbqa.LiveFuncConsumer{
 			ID: sbqa.ConsumerID(c),
 			Fn: func(q sbqa.Query, snap sbqa.ProviderSnapshot) sbqa.Intention {
 				// Prefer lightly loaded workers.
@@ -76,36 +82,46 @@ func main() {
 	}
 
 	const perConsumer = 40
-	results := make(chan sbqa.LiveResult, 2*perConsumer)
+	type tally struct {
+		byWorker map[sbqa.ProviderID]int
+		byClass  map[sbqa.ProviderID][2]int
+	}
+	tallies := make([]tally, 2)
 	var wg sync.WaitGroup
 	for c := 0; c < 2; c++ {
 		c := c
+		tallies[c] = tally{byWorker: map[sbqa.ProviderID]int{}, byClass: map[sbqa.ProviderID][2]int{}}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ctx := context.Background()
 			// Submit singles and batches: every eighth round hands the
 			// engine a batch of 4, which one shard mediates under a single
-			// lock acquisition with shared candidate snapshots.
-			submitted := 0
-			for submitted < perConsumer {
-				q := sbqa.Query{Consumer: sbqa.ConsumerID(c), Class: c, N: 1, Work: 2}
-				if submitted%8 == 4 && perConsumer-submitted >= 4 {
-					batch := []sbqa.Query{q, q, q, q}
-					_, errs := svc.SubmitBatch(context.Background(), batch, results)
-					for _, err := range errs {
-						if err != nil {
-							fmt.Fprintln(os.Stderr, "submit batch:", err)
-							return
-						}
-					}
-					submitted += len(batch)
+			// lock acquisition with shared candidate snapshots. Nothing here
+			// waits for execution until the tickets are all in flight.
+			var tickets []*sbqa.Ticket
+			q := sbqa.Query{Consumer: sbqa.ConsumerID(c), Class: c, N: 1, Work: 2}
+			for len(tickets) < perConsumer {
+				if len(tickets)%8 == 4 && perConsumer-len(tickets) >= 4 {
+					tickets = append(tickets, eng.SubmitBatch(ctx, []sbqa.Query{q, q, q, q})...)
 					continue
 				}
-				if _, err := svc.Submit(context.Background(), q, results); err != nil {
-					fmt.Fprintln(os.Stderr, "submit:", err)
+				tickets = append(tickets, eng.Submit(ctx, q))
+			}
+			// Collect each ticket's own results — no shared channel, no
+			// fan-in bookkeeping.
+			for _, t := range tickets {
+				results, err := t.Await(ctx)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "await:", err)
 					return
 				}
-				submitted++
+				for _, r := range results {
+					tallies[c].byWorker[r.Provider]++
+					cl := tallies[c].byClass[r.Provider]
+					cl[r.Query.Class]++
+					tallies[c].byClass[r.Provider] = cl
+				}
 			}
 		}()
 	}
@@ -113,15 +129,21 @@ func main() {
 
 	byWorker := map[sbqa.ProviderID]int{}
 	byClass := map[sbqa.ProviderID][2]int{}
-	for i := 0; i < 2*perConsumer; i++ {
-		r := <-results
-		byWorker[r.Provider]++
-		c := byClass[r.Provider]
-		c[r.Query.Class]++
-		byClass[r.Provider] = c
+	for _, tl := range tallies {
+		for id, n := range tl.byWorker {
+			byWorker[id] += n
+		}
+		for id, cl := range tl.byClass {
+			agg := byClass[id]
+			agg[0] += cl[0]
+			agg[1] += cl[1]
+			byClass[id] = agg
+		}
 	}
 
-	fmt.Printf("completed 80 queries across 6 workers on %d mediator shard(s):\n", svc.Shards())
+	st := eng.Stats()
+	fmt.Printf("completed %d queries across 6 workers on %d mediator shard(s); observer saw %d allocations:\n",
+		st.Mediations(), eng.Shards(), observed.Load())
 	for i := 0; i < 6; i++ {
 		id := sbqa.ProviderID(i)
 		kind := "generalist"
@@ -129,7 +151,7 @@ func main() {
 			kind = "analytics specialist"
 		}
 		fmt.Printf("  worker %d (%-20s) served %2d  (web %2d / analytics %2d)  δs=%.3f\n",
-			i, kind, byWorker[id], byClass[id][0], byClass[id][1], svc.ProviderSatisfaction(id))
+			i, kind, byWorker[id], byClass[id][0], byClass[id][1], eng.ProviderSatisfaction(id))
 	}
 	fmt.Println("\nload spreads across all six workers (no starvation), while the")
 	fmt.Println("score tilts analytics toward its specialists: most of their work")

@@ -25,7 +25,9 @@ package directory
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"sbqa/internal/event"
 	"sbqa/internal/model"
 )
 
@@ -92,6 +94,10 @@ type Directory struct {
 	// a query of class c are the ordered merge of universal and byClass[c].
 	universal []model.ProviderID
 	byClass   map[int][]model.ProviderID
+
+	// obs holds the registration observer (an event.Observer), swapped
+	// atomically so SetObserver is safe while the directory is shared.
+	obs atomic.Value
 }
 
 // New returns an empty directory.
@@ -102,6 +108,28 @@ func New() *Directory {
 		classesOf: make(map[model.ProviderID][]int),
 		byClass:   make(map[int][]model.ProviderID),
 	}
+}
+
+// SetObserver installs an observer for registration churn: every
+// RegisterProvider/Consumer emits OnProviderRegistered/OnConsumerRegistered
+// and every successful Unregister* emits the matching departure event.
+// Events fire after the directory lock is released, on the registering
+// goroutine; under concurrent churn the emission order may therefore differ
+// from the serialization order the catalog itself observed. A nil observer
+// disables emission. Safe to call while the directory is shared.
+func (d *Directory) SetObserver(o event.Observer) {
+	if o == nil {
+		o = event.Nop{}
+	}
+	d.obs.Store(&o)
+}
+
+// observer returns the installed observer, or nil.
+func (d *Directory) observer() event.Observer {
+	if v := d.obs.Load(); v != nil {
+		return *v.(*event.Observer)
+	}
+	return nil
 }
 
 // RegisterProvider adds (or replaces) a provider and files it in the
@@ -115,7 +143,6 @@ func (d *Directory) RegisterProvider(p Provider) {
 		}
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, exists := d.providers[id]; exists {
 		d.unindexLocked(id)
 	}
@@ -123,10 +150,14 @@ func (d *Directory) RegisterProvider(p Provider) {
 	d.classesOf[id] = classes
 	if classes == nil {
 		d.universal = insertID(d.universal, id)
-		return
+	} else {
+		for _, c := range classes {
+			d.byClass[c] = insertID(d.byClass[c], id)
+		}
 	}
-	for _, c := range classes {
-		d.byClass[c] = insertID(d.byClass[c], id)
+	d.mu.Unlock()
+	if obs := d.observer(); obs != nil {
+		obs.OnProviderRegistered(id)
 	}
 }
 
@@ -139,13 +170,19 @@ func (d *Directory) RegisterProvider(p Provider) {
 // mediations quiesce — not merely until unregistration returns.
 func (d *Directory) UnregisterProvider(id model.ProviderID) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, exists := d.providers[id]; !exists {
+	_, exists := d.providers[id]
+	if exists {
+		d.unindexLocked(id)
+		delete(d.providers, id)
+		delete(d.classesOf, id)
+	}
+	d.mu.Unlock()
+	if !exists {
 		return
 	}
-	d.unindexLocked(id)
-	delete(d.providers, id)
-	delete(d.classesOf, id)
+	if obs := d.observer(); obs != nil {
+		obs.OnProviderDeparted(id)
+	}
 }
 
 func (d *Directory) unindexLocked(id model.ProviderID) {
@@ -164,16 +201,27 @@ func (d *Directory) unindexLocked(id model.ProviderID) {
 
 // RegisterConsumer adds (or replaces) a consumer.
 func (d *Directory) RegisterConsumer(c Consumer) {
+	id := c.ConsumerID()
 	d.mu.Lock()
-	d.consumers[c.ConsumerID()] = c
+	d.consumers[id] = c
 	d.mu.Unlock()
+	if obs := d.observer(); obs != nil {
+		obs.OnConsumerRegistered(id)
+	}
 }
 
 // UnregisterConsumer removes a consumer.
 func (d *Directory) UnregisterConsumer(id model.ConsumerID) {
 	d.mu.Lock()
+	_, exists := d.consumers[id]
 	delete(d.consumers, id)
 	d.mu.Unlock()
+	if !exists {
+		return
+	}
+	if obs := d.observer(); obs != nil {
+		obs.OnConsumerDeparted(id)
+	}
 }
 
 // Provider returns the registered provider with the given ID, or nil.
@@ -198,6 +246,20 @@ func (d *Directory) NumProviders() int {
 	n := len(d.providers)
 	d.mu.RUnlock()
 	return n
+}
+
+// ProviderIDs returns the IDs of every registered provider in ascending
+// order — a point-in-time snapshot; under concurrent churn the set may be
+// stale by the time the caller consults it.
+func (d *Directory) ProviderIDs() []model.ProviderID {
+	d.mu.RLock()
+	ids := make([]model.ProviderID, 0, len(d.providers))
+	for id := range d.providers {
+		ids = append(ids, id)
+	}
+	d.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // NumConsumers returns the number of registered consumers.

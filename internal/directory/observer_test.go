@@ -1,0 +1,54 @@
+package directory
+
+import (
+	"testing"
+
+	"sbqa/internal/event"
+	"sbqa/internal/model"
+)
+
+// TestDirectoryObserverChurnEvents: registrations and departures emit, with
+// re-registrations emitting again and no-op unregistrations staying silent.
+func TestDirectoryObserverChurnEvents(t *testing.T) {
+	var preg, pdep, creg, cdep int
+	d := New()
+	d.SetObserver(event.Funcs{
+		ProviderRegistered: func(model.ProviderID) { preg++ },
+		ProviderDeparted:   func(model.ProviderID) { pdep++ },
+		ConsumerRegistered: func(model.ConsumerID) { creg++ },
+		ConsumerDeparted:   func(model.ConsumerID) { cdep++ },
+	})
+
+	d.RegisterProvider(&stub{id: 1})
+	d.RegisterProvider(&stub{id: 1, classes: []int{2}}) // replacement re-emits
+	d.RegisterConsumer(consumerStub{id: 5})
+	d.UnregisterProvider(1)
+	d.UnregisterProvider(1) // already gone: silent
+	d.UnregisterConsumer(5)
+	d.UnregisterConsumer(9) // never registered: silent
+
+	if preg != 2 || pdep != 1 || creg != 1 || cdep != 1 {
+		t.Errorf("events = preg:%d pdep:%d creg:%d cdep:%d, want 2/1/1/1", preg, pdep, creg, cdep)
+	}
+
+	// Clearing the observer silences subsequent churn.
+	d.SetObserver(nil)
+	d.RegisterProvider(&stub{id: 7})
+	d.UnregisterProvider(7)
+	if preg != 2 || pdep != 1 {
+		t.Errorf("nil observer still received events: preg:%d pdep:%d", preg, pdep)
+	}
+}
+
+// TestDirectoryProviderIDs: the listing is sorted and point-in-time.
+func TestDirectoryProviderIDs(t *testing.T) {
+	d := New()
+	for _, id := range []model.ProviderID{5, 1, 3} {
+		d.RegisterProvider(&stub{id: id})
+	}
+	got := d.ProviderIDs()
+	want := []model.ProviderID{1, 3, 5}
+	if !equalIDs(got, want) {
+		t.Errorf("ProviderIDs = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,255 @@
+// Package event defines the engine's observability contract: a typed
+// Observer interface that replaces the single mediator.Config.OnMediation
+// hook with a first-class event stream covering the whole allocation
+// lifecycle — mediation outcomes (success and the two distinct failure
+// modes), dispatch failures, participant registration churn, and periodic
+// satisfaction snapshots.
+//
+// The package sits below every runtime layer (it imports only
+// internal/model) so the mediator, the directory, and the live engine can
+// all emit into one observer without import cycles.
+//
+// # Delivery semantics
+//
+// Events are emitted synchronously on the path that produced them: an
+// OnAllocation call runs on the mediating shard while it still holds the
+// shard lock, OnProviderRegistered runs on the registering goroutine (after
+// the directory lock is released), and so on. Observers must therefore be
+// fast and must never call back into the engine from the callback; buffer
+// into a channel and process elsewhere if the handler does real work. With
+// several engine shards an observer is invoked concurrently and must be
+// safe for concurrent use.
+//
+// Implementations should embed Nop so that adding a method to Observer is
+// not a breaking change; Funcs adapts free functions for callers that only
+// care about a subset of events.
+package event
+
+import (
+	"sbqa/internal/model"
+)
+
+// SatisfactionSnapshot is a periodic sample of every tracked participant's
+// long-run satisfaction δs (Definitions 1-2 of the paper), emitted by the
+// engine's snapshot ticker. The maps are owned by the receiver.
+type SatisfactionSnapshot struct {
+	// Time is the engine-clock timestamp of the sample, in seconds on the
+	// mediation time axis (Config.NowFn's axis).
+	Time float64
+
+	// Consumers maps every tracked consumer to its δs(c) ∈ [0, 1].
+	Consumers map[model.ConsumerID]float64
+
+	// Providers maps every tracked provider to its δs(p) ∈ [0, 1].
+	Providers map[model.ProviderID]float64
+}
+
+// Observer receives the engine's lifecycle events. All methods may be
+// invoked concurrently; implementations must not block. Embed Nop to stay
+// forward-compatible with new events.
+type Observer interface {
+	// OnAllocation observes every successful mediation: the completed
+	// allocation (proposed set, selection, intentions, scores) and the size
+	// of the candidate set P_q it was drawn from. The allocation must not
+	// be mutated or retained past the call; copy what you need.
+	OnAllocation(a *model.Allocation, candidates int)
+
+	// OnRejection observes a failed mediation. reason distinguishes the
+	// failure modes: errors.Is(reason, mediator.ErrNoCandidates) means no
+	// capacity existed, errors.Is(reason, mediator.ErrStaleSelection) means
+	// capacity churned away mid-mediation (retryable); anything else is a
+	// malformed or misaddressed query.
+	OnRejection(q model.Query, reason error)
+
+	// OnDispatchFailure observes an allocation that mediated successfully
+	// but could not be (fully) delivered to its selected workers. a may be
+	// nil when the selection went stale before hand-off; err is the
+	// engine's dispatch error (a *live.DispatchError when partial delivery
+	// information is available).
+	OnDispatchFailure(q model.Query, a *model.Allocation, err error)
+
+	// OnProviderRegistered observes a provider joining the directory.
+	OnProviderRegistered(id model.ProviderID)
+
+	// OnProviderDeparted observes a provider leaving the directory.
+	OnProviderDeparted(id model.ProviderID)
+
+	// OnConsumerRegistered observes a consumer joining the directory.
+	OnConsumerRegistered(id model.ConsumerID)
+
+	// OnConsumerDeparted observes a consumer leaving the directory.
+	OnConsumerDeparted(id model.ConsumerID)
+
+	// OnSatisfactionSnapshot observes a periodic satisfaction sample (see
+	// live.WithSnapshotInterval). The snapshot is owned by the receiver.
+	OnSatisfactionSnapshot(snap SatisfactionSnapshot)
+}
+
+// Nop is an Observer that ignores every event. Embed it to implement only
+// the events you care about.
+type Nop struct{}
+
+// OnAllocation implements Observer.
+func (Nop) OnAllocation(*model.Allocation, int) {}
+
+// OnRejection implements Observer.
+func (Nop) OnRejection(model.Query, error) {}
+
+// OnDispatchFailure implements Observer.
+func (Nop) OnDispatchFailure(model.Query, *model.Allocation, error) {}
+
+// OnProviderRegistered implements Observer.
+func (Nop) OnProviderRegistered(model.ProviderID) {}
+
+// OnProviderDeparted implements Observer.
+func (Nop) OnProviderDeparted(model.ProviderID) {}
+
+// OnConsumerRegistered implements Observer.
+func (Nop) OnConsumerRegistered(model.ConsumerID) {}
+
+// OnConsumerDeparted implements Observer.
+func (Nop) OnConsumerDeparted(model.ConsumerID) {}
+
+// OnSatisfactionSnapshot implements Observer.
+func (Nop) OnSatisfactionSnapshot(SatisfactionSnapshot) {}
+
+// Funcs adapts free functions to Observer; nil fields ignore their event.
+// The zero Funcs is a valid no-op observer.
+type Funcs struct {
+	Allocation           func(a *model.Allocation, candidates int)
+	Rejection            func(q model.Query, reason error)
+	DispatchFailure      func(q model.Query, a *model.Allocation, err error)
+	ProviderRegistered   func(id model.ProviderID)
+	ProviderDeparted     func(id model.ProviderID)
+	ConsumerRegistered   func(id model.ConsumerID)
+	ConsumerDeparted     func(id model.ConsumerID)
+	SatisfactionSnapshot func(snap SatisfactionSnapshot)
+}
+
+var _ Observer = Funcs{}
+
+// OnAllocation implements Observer.
+func (f Funcs) OnAllocation(a *model.Allocation, candidates int) {
+	if f.Allocation != nil {
+		f.Allocation(a, candidates)
+	}
+}
+
+// OnRejection implements Observer.
+func (f Funcs) OnRejection(q model.Query, reason error) {
+	if f.Rejection != nil {
+		f.Rejection(q, reason)
+	}
+}
+
+// OnDispatchFailure implements Observer.
+func (f Funcs) OnDispatchFailure(q model.Query, a *model.Allocation, err error) {
+	if f.DispatchFailure != nil {
+		f.DispatchFailure(q, a, err)
+	}
+}
+
+// OnProviderRegistered implements Observer.
+func (f Funcs) OnProviderRegistered(id model.ProviderID) {
+	if f.ProviderRegistered != nil {
+		f.ProviderRegistered(id)
+	}
+}
+
+// OnProviderDeparted implements Observer.
+func (f Funcs) OnProviderDeparted(id model.ProviderID) {
+	if f.ProviderDeparted != nil {
+		f.ProviderDeparted(id)
+	}
+}
+
+// OnConsumerRegistered implements Observer.
+func (f Funcs) OnConsumerRegistered(id model.ConsumerID) {
+	if f.ConsumerRegistered != nil {
+		f.ConsumerRegistered(id)
+	}
+}
+
+// OnConsumerDeparted implements Observer.
+func (f Funcs) OnConsumerDeparted(id model.ConsumerID) {
+	if f.ConsumerDeparted != nil {
+		f.ConsumerDeparted(id)
+	}
+}
+
+// OnSatisfactionSnapshot implements Observer.
+func (f Funcs) OnSatisfactionSnapshot(snap SatisfactionSnapshot) {
+	if f.SatisfactionSnapshot != nil {
+		f.SatisfactionSnapshot(snap)
+	}
+}
+
+// Multi fans every event out to each observer in order. Nil entries are
+// skipped.
+func Multi(obs ...Observer) Observer {
+	kept := make(multi, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}
+
+type multi []Observer
+
+// OnAllocation implements Observer.
+func (m multi) OnAllocation(a *model.Allocation, candidates int) {
+	for _, o := range m {
+		o.OnAllocation(a, candidates)
+	}
+}
+
+// OnRejection implements Observer.
+func (m multi) OnRejection(q model.Query, reason error) {
+	for _, o := range m {
+		o.OnRejection(q, reason)
+	}
+}
+
+// OnDispatchFailure implements Observer.
+func (m multi) OnDispatchFailure(q model.Query, a *model.Allocation, err error) {
+	for _, o := range m {
+		o.OnDispatchFailure(q, a, err)
+	}
+}
+
+// OnProviderRegistered implements Observer.
+func (m multi) OnProviderRegistered(id model.ProviderID) {
+	for _, o := range m {
+		o.OnProviderRegistered(id)
+	}
+}
+
+// OnProviderDeparted implements Observer.
+func (m multi) OnProviderDeparted(id model.ProviderID) {
+	for _, o := range m {
+		o.OnProviderDeparted(id)
+	}
+}
+
+// OnConsumerRegistered implements Observer.
+func (m multi) OnConsumerRegistered(id model.ConsumerID) {
+	for _, o := range m {
+		o.OnConsumerRegistered(id)
+	}
+}
+
+// OnConsumerDeparted implements Observer.
+func (m multi) OnConsumerDeparted(id model.ConsumerID) {
+	for _, o := range m {
+		o.OnConsumerDeparted(id)
+	}
+}
+
+// OnSatisfactionSnapshot implements Observer.
+func (m multi) OnSatisfactionSnapshot(snap SatisfactionSnapshot) {
+	for _, o := range m {
+		o.OnSatisfactionSnapshot(snap)
+	}
+}

@@ -1,0 +1,356 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/directory"
+	"sbqa/internal/event"
+	"sbqa/internal/mediator"
+	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
+)
+
+// ErrEngineClosed is returned (via the ticket) for submissions made after
+// Engine.Close.
+var ErrEngineClosed = errors.New("live: engine closed")
+
+// Option configures an Engine under construction (see NewEngine).
+type Option func(*Config)
+
+// WithWindow sets the satisfaction memory length k.
+func WithWindow(k int) Option { return func(c *Config) { c.Window = k } }
+
+// WithConcurrency sets the number of mediator shards. Values below 1 mean
+// one shard. With more than one shard an allocator factory is required
+// (WithAllocatorFactory); queries route to shards by a hash of their
+// ConsumerID, so one consumer's stream stays serialized while distinct
+// consumers mediate in parallel.
+func WithConcurrency(n int) Option { return func(c *Config) { c.Concurrency = n } }
+
+// WithAllocator sets the allocation technique of a single-shard engine.
+// Ignored when an allocator factory is set.
+func WithAllocator(a alloc.Allocator) Option { return func(c *Config) { c.Allocator = a } }
+
+// WithAllocatorFactory supplies one allocator per shard. Allocators carry
+// internal state (sampling RNGs, cursors) and are not safe for concurrent
+// use; seed them per shard index for reproducible-yet-decorrelated
+// sampling streams. Required when the concurrency is above 1.
+func WithAllocatorFactory(f func(shard int) alloc.Allocator) Option {
+	return func(c *Config) { c.NewAllocator = f }
+}
+
+// WithAnalyzeBest evaluates the consumer's intention over the whole
+// candidate set for every query, so allocation satisfaction is measured
+// against the true optimum (costs O(|P_q|) intention calls per query).
+func WithAnalyzeBest(on bool) Option { return func(c *Config) { c.AnalyzeBest = on } }
+
+// WithClock overrides the engine clock: now returns the current time in
+// seconds on the mediation time axis. Deterministic tests inject a fake
+// clock; the default is wall-clock seconds since the engine started.
+func WithClock(now func() float64) Option { return func(c *Config) { c.NowFn = now } }
+
+// WithObserver installs the engine's event stream: allocations, rejections,
+// dispatch failures, registration churn, and (with WithSnapshotInterval)
+// periodic satisfaction snapshots. Callbacks run synchronously on the
+// emitting goroutine — with several shards, concurrently — and must be
+// fast, non-blocking, and safe for concurrent use. Use event.Multi to
+// install several observers.
+func WithObserver(o event.Observer) Option { return func(c *Config) { c.Observer = o } }
+
+// WithQueueDepth bounds each shard's asynchronous submission queue (the
+// ticket path). Submissions beyond the bound block in Engine.Submit until
+// the shard drains or the submission context is done. Values below 1 mean
+// 1024.
+func WithQueueDepth(n int) Option { return func(c *Config) { c.QueueDepth = n } }
+
+// WithSnapshotInterval makes the engine emit OnSatisfactionSnapshot to the
+// configured observer every interval of wall-clock time. Zero (the
+// default) disables snapshots.
+func WithSnapshotInterval(d time.Duration) Option {
+	return func(c *Config) { c.SnapshotInterval = d }
+}
+
+// submitOptions collects per-query options.
+type submitOptions struct {
+	results       chan<- Result
+	fireAndForget bool
+}
+
+// QueryOption configures one submission (see Engine.Submit).
+type QueryOption func(*submitOptions)
+
+// WithResults forwards the query's per-worker results to ch, in addition to
+// collecting them on the ticket. Forwarding happens on the ticket's
+// collector goroutine; a full channel stalls that ticket's collection, not
+// the engine.
+func WithResults(ch chan<- Result) QueryOption {
+	return func(o *submitOptions) { o.results = ch }
+}
+
+// FireAndForget disables the ticket's result collection: the ticket is done
+// at worker hand-off and Results stays empty. Combined with WithResults the
+// workers deliver straight to the caller's channel (the v1 contract);
+// without it the results are discarded on completion.
+func FireAndForget() QueryOption {
+	return func(o *submitOptions) { o.fireAndForget = true }
+}
+
+// Engine is the asynchronous front end of the sharded mediation service:
+// Submit returns a *Ticket immediately and the query is mediated and
+// dispatched by the consumer's shard loop in the background, preserving
+// per-consumer submission order (one consumer's tickets mediate in the
+// order they were submitted; distinct consumers run in parallel).
+//
+// The blocking v1 surface remains available through Service (and the
+// Service accessor); both fronts drive the same shards, directory, and
+// satisfaction registry and may be mixed freely — the shard mutex
+// serializes them.
+type Engine struct {
+	svc    *Service
+	queues []chan engineItem
+
+	mu     sync.RWMutex // guards closed vs in-flight enqueues
+	closed bool
+
+	stopSnap chan struct{}
+	wg       sync.WaitGroup
+}
+
+// engineItem is one unit of shard-loop work: a single ticket, or a batch
+// group mediated under one lock acquisition.
+type engineItem struct {
+	ctx     context.Context
+	tickets []*Ticket
+	batch   bool
+}
+
+// NewEngine builds an asynchronous engine from functional options:
+//
+//	eng, err := live.NewEngine(
+//		live.WithWindow(100),
+//		live.WithConcurrency(runtime.GOMAXPROCS(0)),
+//		live.WithAllocatorFactory(func(shard int) alloc.Allocator { ... }),
+//	)
+//	defer eng.Close()
+//
+// The zero option set is invalid (an allocator or factory is required),
+// matching NewServiceWithConfig's validation.
+func NewEngine(opts ...Option) (*Engine, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newEngine(cfg)
+}
+
+// NewEngineFromConfig builds the asynchronous engine from a v1 Config —
+// the bridge for code still holding struct configs.
+func NewEngineFromConfig(cfg Config) (*Engine, error) { return newEngine(cfg) }
+
+func newEngine(cfg Config) (*Engine, error) {
+	svc, err := NewServiceWithConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	depth := cfg.QueueDepth
+	if depth < 1 {
+		depth = 1024
+	}
+	e := &Engine{
+		svc:      svc,
+		queues:   make([]chan engineItem, len(svc.shards)),
+		stopSnap: make(chan struct{}),
+	}
+	for i := range e.queues {
+		e.queues[i] = make(chan engineItem, depth)
+		e.wg.Add(1)
+		go e.shardLoop(i)
+	}
+	if cfg.SnapshotInterval > 0 && cfg.Observer != nil {
+		e.wg.Add(1)
+		go e.snapshotLoop(cfg.SnapshotInterval, cfg.Observer)
+	}
+	return e, nil
+}
+
+// shardLoop drains one shard's submission queue until Close.
+func (e *Engine) shardLoop(i int) {
+	defer e.wg.Done()
+	sh := e.svc.shards[i]
+	for item := range e.queues[i] {
+		if item.batch {
+			e.svc.processGroup(item.ctx, sh, item.tickets)
+		} else {
+			e.svc.process(item.ctx, item.tickets[0])
+		}
+	}
+}
+
+// snapshotLoop emits periodic satisfaction snapshots until Close.
+func (e *Engine) snapshotLoop(every time.Duration, obs event.Observer) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			obs.OnSatisfactionSnapshot(e.svc.satisfactionSnapshot())
+		case <-e.stopSnap:
+			return
+		}
+	}
+}
+
+// Submit assigns the query its engine ID and enqueues it on its consumer's
+// shard, returning a *Ticket immediately — mediation, dispatch, and worker
+// execution all happen asynchronously. Track the outcome on the ticket:
+// Allocation blocks for the mediation result, Await/Done for the
+// per-worker results.
+//
+// ctx covers the whole submission: if it is done before the shard picks the
+// query up (or during dispatch), the ticket fails with the context error.
+// When the shard queue is full, Submit blocks until space frees or ctx is
+// done — backpressure, not load shedding. After Close, tickets fail with
+// ErrEngineClosed.
+func (e *Engine) Submit(ctx context.Context, q model.Query, opts ...QueryOption) *Ticket {
+	var so submitOptions
+	for _, o := range opts {
+		o(&so)
+	}
+	q.ID = model.QueryID(e.svc.nextID.Add(1))
+	q.IssuedAt = e.svc.nowFn()
+	t := newTicket(q, so.results, !so.fireAndForget)
+	e.enqueue(ctx, e.svc.shardIndex(q.Consumer), engineItem{ctx: ctx, tickets: []*Ticket{t}})
+	return t
+}
+
+// SubmitBatch assigns IDs in input order, stamps the whole batch with one
+// arrival time, and enqueues each shard's group as a unit (mediated under a
+// single lock acquisition with amortized provider snapshots). It returns
+// the position-aligned tickets immediately; per-query options apply to
+// every ticket in the batch.
+func (e *Engine) SubmitBatch(ctx context.Context, queries []model.Query, opts ...QueryOption) []*Ticket {
+	var so submitOptions
+	for _, o := range opts {
+		o(&so)
+	}
+	tickets := make([]*Ticket, len(queries))
+	if len(queries) == 0 {
+		return tickets
+	}
+	now := e.svc.nowFn()
+	groups := make(map[int][]*Ticket, len(e.queues))
+	for i, q := range queries {
+		q.ID = model.QueryID(e.svc.nextID.Add(1))
+		q.IssuedAt = now
+		t := newTicket(q, so.results, !so.fireAndForget)
+		tickets[i] = t
+		idx := e.svc.shardIndex(q.Consumer)
+		groups[idx] = append(groups[idx], t)
+	}
+	for idx, group := range groups {
+		e.enqueue(ctx, idx, engineItem{ctx: ctx, tickets: group, batch: true})
+	}
+	return tickets
+}
+
+// enqueue hands an item to a shard loop, failing its tickets when the
+// engine is closed or ctx is done first. The read lock spans the check and
+// the send so Close cannot close the queue under an in-flight enqueue.
+func (e *Engine) enqueue(ctx context.Context, idx int, item engineItem) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		failTickets(item.tickets, ErrEngineClosed)
+		return
+	}
+	select {
+	case e.queues[idx] <- item:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		failTickets(item.tickets, ctx.Err())
+	}
+}
+
+// failTickets completes tickets that never reached a shard.
+func failTickets(tickets []*Ticket, err error) {
+	for _, t := range tickets {
+		t.finish(nil, err, nil, 0)
+	}
+}
+
+// Close stops the engine's background work: shard loops finish the
+// submissions already queued (their tickets complete normally), the
+// snapshot ticker stops, and subsequent submissions fail with
+// ErrEngineClosed. Close does not stop workers — they keep executing
+// accepted queries — and does not touch the blocking Service surface.
+// Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopSnap)
+	for _, q := range e.queues {
+		close(q)
+	}
+	e.wg.Wait()
+}
+
+// Service exposes the blocking v1 surface sharing this engine's shards,
+// directory, and registry — the two fronts may be mixed freely.
+func (e *Engine) Service() *Service { return e.svc }
+
+// Shards returns the number of mediator shards.
+func (e *Engine) Shards() int { return e.svc.Shards() }
+
+// Directory exposes the shared participant catalog.
+func (e *Engine) Directory() *directory.Directory { return e.svc.Directory() }
+
+// Registry exposes the shared lock-striped satisfaction registry.
+func (e *Engine) Registry() *satisfaction.Registry { return e.svc.Registry() }
+
+// RegisterWorker attaches a worker; it is immediately a candidate on every
+// shard.
+func (e *Engine) RegisterWorker(w *Worker) { e.svc.RegisterWorker(w) }
+
+// RegisterProvider attaches an arbitrary provider implementation (not
+// dispatched to unless it is a *Worker; see Service.RegisterProvider).
+func (e *Engine) RegisterProvider(p mediator.Provider) { e.svc.RegisterProvider(p) }
+
+// UnregisterWorker detaches a worker and drops its satisfaction memory.
+func (e *Engine) UnregisterWorker(id model.ProviderID) { e.svc.UnregisterWorker(id) }
+
+// RegisterConsumer attaches a consumer.
+func (e *Engine) RegisterConsumer(c mediator.Consumer) { e.svc.RegisterConsumer(c) }
+
+// UnregisterConsumer detaches a consumer and drops its satisfaction memory.
+func (e *Engine) UnregisterConsumer(id model.ConsumerID) { e.svc.UnregisterConsumer(id) }
+
+// ProviderSatisfaction reads δs(p) from the shared registry.
+func (e *Engine) ProviderSatisfaction(id model.ProviderID) float64 {
+	return e.svc.ProviderSatisfaction(id)
+}
+
+// ConsumerSatisfaction reads δs(c) from the shared registry.
+func (e *Engine) ConsumerSatisfaction(id model.ConsumerID) float64 {
+	return e.svc.ConsumerSatisfaction(id)
+}
+
+// Stats snapshots the engine's counters: the service counters plus each
+// shard's current asynchronous queue depth.
+func (e *Engine) Stats() Stats {
+	st := e.svc.Stats()
+	for i := range st.Shards {
+		st.Shards[i].QueueDepth = len(e.queues[i])
+	}
+	return st
+}

@@ -1,0 +1,120 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/mediator"
+	"sbqa/internal/model"
+)
+
+// TestSubmitBatchMixedErrorPaths: one batch mixing a success, an
+// unregistered consumer, and a class nobody serves — the error slice is
+// position-aligned and each entry carries its own failure mode.
+func TestSubmitBatchMixedErrorPaths(t *testing.T) {
+	svc, err := NewServiceWithConfig(Config{Window: 10, Allocator: alloc.NewCapacity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(0, 1000, 16, func(model.Query) model.Intention { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetClasses(0) // class-restricted: class-5 queries find no candidates
+	svc.RegisterWorker(w)
+	svc.RegisterConsumer(FuncConsumer{ID: 0, Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+
+	results := make(chan Result, 4)
+	batch := []model.Query{
+		{Consumer: 0, Class: 0, N: 1, Work: 0.1}, // succeeds
+		{Consumer: 9, Class: 0, N: 1, Work: 0.1}, // unregistered consumer
+		{Consumer: 0, Class: 5, N: 1, Work: 0.1}, // no candidates
+	}
+	allocs, errs := svc.SubmitBatch(context.Background(), batch, results)
+
+	if errs[0] != nil || allocs[0] == nil || len(allocs[0].Selected) != 1 {
+		t.Fatalf("entry 0: alloc %v err %v, want clean success", allocs[0], errs[0])
+	}
+	if errs[1] == nil || allocs[1] != nil {
+		t.Fatalf("entry 1: alloc %v err %v, want unregistered-consumer error", allocs[1], errs[1])
+	}
+	if errors.Is(errs[1], mediator.ErrNoCandidates) || errors.Is(errs[1], ErrDispatch) {
+		t.Errorf("entry 1 err %v must be neither ErrNoCandidates nor ErrDispatch", errs[1])
+	}
+	if !errors.Is(errs[2], mediator.ErrNoCandidates) {
+		t.Fatalf("entry 2 err = %v, want ErrNoCandidates", errs[2])
+	}
+	if allocs[2] != nil {
+		t.Errorf("entry 2 alloc = %v, want nil", allocs[2])
+	}
+	<-results // the successful entry still executes
+}
+
+// TestSubmitBatchCanceledContext: a done context fails every dispatched
+// entry with a *DispatchError wrapping the context error, while the
+// allocation is still returned (mediation happened).
+func TestSubmitBatchCanceledContext(t *testing.T) {
+	svc, err := NewServiceWithConfig(Config{Window: 10, Allocator: alloc.NewCapacity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(0, 1000, 16, func(model.Query) model.Intention { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	svc.RegisterWorker(w)
+	svc.RegisterConsumer(FuncConsumer{ID: 0, Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := []model.Query{{Consumer: 0, N: 1, Work: 0.1}, {Consumer: 0, N: 1, Work: 0.1}}
+	allocs, errs := svc.SubmitBatch(ctx, qs, nil)
+	for i := range qs {
+		if !errors.Is(errs[i], ErrDispatch) || !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("entry %d err = %v, want ErrDispatch wrapping context.Canceled", i, errs[i])
+		}
+		de, ok := AsDispatchError(errs[i])
+		if !ok {
+			t.Fatalf("entry %d err %T is not *DispatchError", i, errs[i])
+		}
+		if len(de.Accepted) != 0 || len(de.Failed) != 1 {
+			t.Errorf("entry %d accepted=%v failed=%v, want nothing accepted", i, de.Accepted, de.Failed)
+		}
+		if allocs[i] == nil {
+			t.Errorf("entry %d allocation nil; mediation succeeded and must be visible", i)
+		}
+	}
+}
+
+// TestSubmitBatchStaleSelection: churn that empties every selection yields a
+// *DispatchError wrapping mediator.ErrStaleSelection with a nil allocation
+// and an empty accepted set (nothing reached any worker: the retry is clean).
+func TestSubmitBatchStaleSelection(t *testing.T) {
+	u := &unregisterOnAllocate{inner: alloc.NewCapacity(), next: 100}
+	svc, err := NewServiceWithConfig(Config{Window: 10, Allocator: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.svc = svc
+	svc.RegisterProvider(&constProvider{id: 1, pi: 0.5})
+	svc.RegisterConsumer(FuncConsumer{ID: 0, Fn: func(model.Query, model.ProviderSnapshot) model.Intention { return 0.5 }})
+
+	allocs, errs := svc.SubmitBatch(context.Background(), []model.Query{{Consumer: 0, N: 1, Work: 1}}, nil)
+	if !errors.Is(errs[0], ErrDispatch) || !errors.Is(errs[0], mediator.ErrStaleSelection) {
+		t.Fatalf("err = %v, want ErrDispatch wrapping ErrStaleSelection", errs[0])
+	}
+	de, ok := AsDispatchError(errs[0])
+	if !ok {
+		t.Fatalf("err %T is not *DispatchError", errs[0])
+	}
+	if len(de.Accepted) != 0 || len(de.Failed) != 0 {
+		t.Errorf("stale selection must have empty partitions, got accepted=%v failed=%v", de.Accepted, de.Failed)
+	}
+	if allocs[0] != nil {
+		t.Errorf("alloc = %v, want nil on stale selection", allocs[0])
+	}
+}

@@ -3,13 +3,13 @@ package live
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sbqa/internal/alloc"
 	"sbqa/internal/directory"
+	"sbqa/internal/event"
 	"sbqa/internal/mediator"
 	"sbqa/internal/model"
 	"sbqa/internal/satisfaction"
@@ -17,6 +17,11 @@ import (
 
 // Config assembles a sharded mediation engine. The zero value is not usable
 // on its own: either Allocator (single shard) or NewAllocator must be set.
+//
+// Deprecated: Config remains the v1 construction surface and keeps working,
+// but new code should build an Engine through NewEngine and the functional
+// options (WithWindow, WithConcurrency, WithAllocatorFactory, WithClock,
+// WithObserver, ...), which cover the same knobs and the async extras.
 type Config struct {
 	// Window is the satisfaction memory length k.
 	Window int
@@ -45,7 +50,28 @@ type Config struct {
 
 	// OnMediation mirrors mediator.Config.OnMediation. With several shards
 	// it is invoked concurrently and must be safe for concurrent use.
+	//
+	// Deprecated: the v1 observability hook; set Observer instead, which
+	// also sees rejections, dispatch failures, and registration churn.
+	// When both are set, both fire.
 	OnMediation func(a *model.Allocation, candidates int)
+
+	// Observer receives the engine's lifecycle events: allocations and
+	// rejections (from every mediator shard), dispatch failures,
+	// registration churn on the shared directory, and — when the engine is
+	// built with a snapshot interval — periodic satisfaction snapshots.
+	// Callbacks run synchronously on the emitting goroutine and must be
+	// fast, non-blocking, and safe for concurrent use.
+	Observer event.Observer
+
+	// QueueDepth bounds each shard's asynchronous submission queue (the
+	// Engine ticket path; the blocking Service calls bypass the queues).
+	// Values below 1 mean 1024.
+	QueueDepth int
+
+	// SnapshotInterval, when positive and Observer is set, makes the
+	// Engine emit OnSatisfactionSnapshot every interval (wall-clock).
+	SnapshotInterval time.Duration
 
 	// NowFn overrides the engine clock: it returns the current time in
 	// seconds on the mediation time axis. Nil uses wall-clock seconds
@@ -54,20 +80,55 @@ type Config struct {
 }
 
 // shard is one mediation lane: a single-threaded mediator behind its own
-// mutex. The pointer indirection keeps each shard's hot mutex on its own
-// cache line region.
+// mutex, plus that lane's monotonic counters. The pointer indirection keeps
+// each shard's hot mutex on its own cache line region.
 type shard struct {
 	mu  sync.Mutex
 	med *mediator.Mediator
+
+	// Lifetime counters (see ShardStats).
+	mediations       atomic.Uint64
+	rejections       atomic.Uint64
+	dispatchFailures atomic.Uint64
+	candidateSum     atomic.Uint64
+}
+
+// shardObserver sits between each shard's mediator and the user observer:
+// it maintains the shard's counters on every mediation outcome and forwards
+// to the user observer when one is configured. The mediator only emits
+// allocation and rejection events, so the other Observer methods come from
+// the embedded Nop.
+type shardObserver struct {
+	event.Nop
+	sh   *shard
+	user event.Observer
+}
+
+func (o shardObserver) OnAllocation(a *model.Allocation, candidates int) {
+	o.sh.mediations.Add(1)
+	o.sh.candidateSum.Add(uint64(candidates))
+	if o.user != nil {
+		o.user.OnAllocation(a, candidates)
+	}
+}
+
+func (o shardObserver) OnRejection(q model.Query, reason error) {
+	o.sh.rejections.Add(1)
+	if o.user != nil {
+		o.user.OnRejection(q, reason)
+	}
 }
 
 // Service is a thread-safe mediation front end: a sharded engine over a
 // shared provider directory and a shared lock-striped satisfaction
-// registry. See the package documentation for the architecture.
+// registry. Its Submit/SubmitBatch calls are blocking thin wrappers over
+// the ticket pipeline; the Engine facade exposes the same pipeline
+// asynchronously. See the package documentation for the architecture.
 type Service struct {
 	dir    *directory.Directory
 	reg    *satisfaction.Registry
 	shards []*shard
+	obs    event.Observer // user observer; nil when none configured
 	nextID atomic.Int64
 	start  time.Time
 	nowFn  func() float64
@@ -100,6 +161,7 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 		dir:    directory.New(),
 		reg:    satisfaction.NewRegistry(cfg.Window),
 		shards: make([]*shard, n),
+		obs:    cfg.Observer,
 		start:  time.Now(),
 	}
 	if cfg.NowFn != nil {
@@ -107,19 +169,24 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 	} else {
 		s.nowFn = func() float64 { return time.Since(s.start).Seconds() }
 	}
-	mcfg := mediator.Config{
-		Window:      cfg.Window,
-		AnalyzeBest: cfg.AnalyzeBest,
-		OnMediation: cfg.OnMediation,
-		Registry:    s.reg,
-		Directory:   s.dir,
+	if cfg.Observer != nil {
+		s.dir.SetObserver(cfg.Observer)
 	}
 	for i := range s.shards {
 		a := cfg.Allocator
 		if cfg.NewAllocator != nil {
 			a = cfg.NewAllocator(i)
 		}
-		s.shards[i] = &shard{med: mediator.New(a, mcfg)}
+		sh := &shard{}
+		sh.med = mediator.New(a, mediator.Config{
+			Window:      cfg.Window,
+			AnalyzeBest: cfg.AnalyzeBest,
+			OnMediation: cfg.OnMediation,
+			Observer:    shardObserver{sh: sh, user: cfg.Observer},
+			Registry:    s.reg,
+			Directory:   s.dir,
+		})
+		s.shards[i] = sh
 	}
 	return s, nil
 }
@@ -133,13 +200,18 @@ func (s *Service) Directory() *directory.Directory { return s.dir }
 // Registry exposes the shared lock-striped satisfaction registry.
 func (s *Service) Registry() *satisfaction.Registry { return s.reg }
 
-// shardFor routes a consumer to its mediation shard.
-func (s *Service) shardFor(c model.ConsumerID) *shard {
+// shardIndex routes a consumer to its mediation shard's index.
+func (s *Service) shardIndex(c model.ConsumerID) int {
 	if len(s.shards) == 1 {
-		return s.shards[0]
+		return 0
 	}
 	h := (uint64(int64(c)) * 0x9E3779B97F4A7C15) >> 32
-	return s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(len(s.shards)))
+}
+
+// shardFor routes a consumer to its mediation shard.
+func (s *Service) shardFor(c model.ConsumerID) *shard {
+	return s.shards[s.shardIndex(c)]
 }
 
 // RegisterWorker attaches a worker to the mediation pipeline. Registration
@@ -177,52 +249,85 @@ func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
 	return s.reg.ConsumerSatisfaction(id)
 }
 
-// ErrDispatch reports that an allocation succeeded but the query could not
-// be fully delivered: a selected worker shut down mid-flight, its queue was
-// full, or (mediator.ErrStaleSelection, which this error wraps in that
-// case) every selected provider unregistered before hand-off. When the
-// caller's context was done during dispatch the context error is wrapped
-// too, so errors.Is(err, context.Canceled) tells "stop" apart from the
-// transient delivery races, which — unlike mediator.ErrNoCandidates — can
-// be retried. Two caveats for retry loops: workers that accepted before the
-// failure keep the query (their Results still arrive), so resubmitting a
-// multi-worker (N > 1) allocation re-executes it on them; and the mediation
-// is recorded in the satisfaction registry either way, since satisfaction
-// measures the allocation decision (the paper's model), not delivery. In
-// the stale-selection case the returned allocation is nil — nothing was
-// handed to any worker, so that retry is clean.
-var ErrDispatch = errors.New("live: selected worker rejected the query")
-
-// dispatchErr folds the mediator's stale-selection failure into the
-// engine's dispatch-level sentinel: every selected provider unregistering
-// before hand-off is the same transient delivery race as a worker shutting
-// down mid-dispatch. Both sentinels match errors.Is on the result.
-func dispatchErr(err error) error {
-	if err != nil && errors.Is(err, mediator.ErrStaleSelection) {
-		return fmt.Errorf("%w: %w", ErrDispatch, err)
-	}
-	return err
-}
-
-// Submit mediates the query on its consumer's shard and dispatches it to the
-// selected workers. It assigns the query ID. The returned allocation lists
-// the chosen workers; results arrive asynchronously on the consumer's
-// result channel.
+// Submit mediates the query on its consumer's shard and dispatches it to
+// the selected workers, blocking until the hand-off completes. It assigns
+// the query ID. The returned allocation lists the chosen workers; results
+// arrive asynchronously on the results channel.
+//
+// results may be nil: the query is still mediated and executed, but the
+// completed Results are discarded — fire-and-forget submission. Pass a
+// channel with enough capacity (or a dedicated drainer); a full results
+// channel blocks the executing worker, not the engine. New code that wants
+// per-query results should prefer the Engine's ticket path
+// (Engine.Submit → Ticket.Await), which collects exactly this query's
+// results without a shared channel.
+//
+// Submit is a thin blocking wrapper over the same ticket pipeline the
+// asynchronous Engine uses; with Concurrency = 1 its outcome is
+// byte-identical to driving a serialized mediator directly.
 func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Result) (*model.Allocation, error) {
 	q.ID = model.QueryID(s.nextID.Add(1))
 	q.IssuedAt = s.nowFn()
-	sh := s.shardFor(q.Consumer)
+	t := newTicket(q, results, false)
+	s.process(ctx, t)
+	return t.Allocation()
+}
+
+// process runs one ticket through its consumer's shard: mediation under the
+// shard lock, then dispatch and ticket completion outside it.
+func (s *Service) process(ctx context.Context, t *Ticket) {
+	sh := s.shardFor(t.query.Consumer)
 	sh.mu.Lock()
-	a, err := sh.med.Mediate(q.IssuedAt, q)
+	a, err := sh.med.Mediate(t.query.IssuedAt, t.query)
 	var workers []*Worker
 	if err == nil {
 		workers = s.selectedWorkers(a)
 	}
 	sh.mu.Unlock()
-	if err != nil {
-		return nil, dispatchErr(err)
+	s.finishTicket(ctx, t, sh, a, err, workers)
+}
+
+// finishTicket dispatches a mediated ticket and completes it: on mediation
+// failure the ticket fails immediately; otherwise the query is handed to
+// the selected workers and the ticket completes with the allocation, the
+// dispatch error (if any), and — on the collecting ticket path — a pending
+// result count covering exactly the workers that accepted.
+func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *model.Allocation, merr error, workers []*Worker) {
+	if merr != nil {
+		merr = dispatchErr(t.query, merr)
+		if errors.Is(merr, ErrDispatch) {
+			sh.dispatchFailures.Add(1)
+			if s.obs != nil {
+				s.obs.OnDispatchFailure(t.query, nil, merr)
+			}
+		}
+		t.finish(nil, merr, nil, 0)
+		return
 	}
-	return a, s.dispatch(ctx, q, workers, results)
+	ch := t.userResults
+	if t.collect {
+		// Both channels are sized to the selection so neither a worker's
+		// result delivery nor a closing worker's abandonment signal can
+		// ever block.
+		t.resCh = make(chan Result, len(workers))
+		t.abandonCh = make(chan model.ProviderID, len(workers))
+		ch = t.resCh
+	}
+	err := s.dispatch(ctx, t.query, workers, ch, t.abandonCh)
+	expected := len(workers)
+	if err != nil {
+		sh.dispatchFailures.Add(1)
+		if s.obs != nil {
+			s.obs.OnDispatchFailure(t.query, a, err)
+		}
+		if de, ok := AsDispatchError(err); ok {
+			expected = len(de.Accepted)
+		}
+	}
+	if !t.collect {
+		expected = 0
+	}
+	t.finish(a, err, t.resCh, expected)
 }
 
 // selectedWorkers resolves the dispatchable workers of an allocation.
@@ -236,32 +341,46 @@ func (s *Service) selectedWorkers(a *model.Allocation) []*Worker {
 	return workers
 }
 
-func (s *Service) dispatch(ctx context.Context, q model.Query, workers []*Worker, results chan<- Result) error {
+// dispatch hands the query to every selected worker. Unlike the historical
+// fail-fast hand-off it attempts all workers even after one refuses, so the
+// returned *DispatchError partitions the selection into the workers that
+// accepted (and will deliver Results) and the ones that did not — the
+// retryable remainder. abandon (nil on the non-collecting path) lets a
+// worker that shuts down mid-execution tell the ticket its result will
+// never come.
+func (s *Service) dispatch(ctx context.Context, q model.Query, workers []*Worker, results chan<- Result, abandon chan<- model.ProviderID) error {
+	var accepted, failed []model.ProviderID
 	for _, w := range workers {
-		if !w.accept(ctx, q, results) {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("%w: %w", ErrDispatch, err)
-			}
-			return ErrDispatch
+		if w.accept(ctx, q, results, abandon) {
+			accepted = append(accepted, w.id)
+		} else {
+			failed = append(failed, w.id)
 		}
 	}
-	return nil
+	if len(failed) == 0 {
+		return nil
+	}
+	return &DispatchError{Query: q, Accepted: accepted, Failed: failed, Err: ctx.Err()}
 }
 
 // SubmitBatch mediates a batch of queries and dispatches the allocations,
-// returning position-aligned allocations and errors. Queries are grouped by
-// shard and each shard mediates its group under a single lock acquisition
-// via mediator.MediateBatch, which snapshots each provider at most once per
-// batch; distinct shards run concurrently. Query IDs are
-// assigned in input order and every query carries the same issue timestamp
-// (the batch is one arrival event).
+// returning position-aligned allocations and errors, blocking until every
+// hand-off completes. Queries are grouped by shard and each shard mediates
+// its group under a single lock acquisition via mediator.MediateBatch,
+// which snapshots each provider at most once per batch; distinct shards run
+// concurrently. Query IDs are assigned in input order and every query
+// carries the same issue timestamp (the batch is one arrival event).
 //
-// A nil error with a non-nil allocation means mediated and dispatched.
-// ErrDispatch with a non-nil allocation means mediated but a selected
-// worker refused the hand-off; ErrDispatch with a nil allocation means the
-// selection went stale before hand-off (it wraps mediator.ErrStaleSelection
-// and nothing reached any worker) — check the allocation before inspecting
-// it.
+// results may be nil (fire-and-forget; see Submit). A nil error with a
+// non-nil allocation means mediated and dispatched. A *DispatchError with a
+// non-nil allocation means mediated but part of the selection refused the
+// hand-off (the error lists accepted vs failed workers); a *DispatchError
+// with a nil allocation means the selection went stale before hand-off (it
+// wraps mediator.ErrStaleSelection and nothing reached any worker) — check
+// the allocation before inspecting it.
+//
+// Like Submit, SubmitBatch is a thin blocking wrapper over the ticket
+// pipeline (see Engine.SubmitBatch for the asynchronous form).
 func (s *Service) SubmitBatch(ctx context.Context, queries []model.Query, results chan<- Result) ([]*model.Allocation, []error) {
 	allocs := make([]*model.Allocation, len(queries))
 	errs := make([]error, len(queries))
@@ -269,13 +388,13 @@ func (s *Service) SubmitBatch(ctx context.Context, queries []model.Query, result
 		return allocs, errs
 	}
 	now := s.nowFn()
-	batch := make([]model.Query, len(queries))
-	copy(batch, queries)
 	groups := make(map[*shard][]int, len(s.shards))
-	for i := range batch {
-		batch[i].ID = model.QueryID(s.nextID.Add(1))
-		batch[i].IssuedAt = now
-		sh := s.shardFor(batch[i].Consumer)
+	tickets := make([]*Ticket, len(queries))
+	for i, q := range queries {
+		q.ID = model.QueryID(s.nextID.Add(1))
+		q.IssuedAt = now
+		tickets[i] = newTicket(q, results, false)
+		sh := s.shardFor(q.Consumer)
 		groups[sh] = append(groups[sh], i)
 	}
 	var wg sync.WaitGroup
@@ -284,29 +403,143 @@ func (s *Service) SubmitBatch(ctx context.Context, queries []model.Query, result
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sub := make([]model.Query, len(idxs))
+			group := make([]*Ticket, len(idxs))
 			for j, i := range idxs {
-				sub[j] = batch[i]
+				group[j] = tickets[i]
 			}
-			sh.mu.Lock()
-			as, aerrs := sh.med.MediateBatch(now, sub)
-			workers := make([][]*Worker, len(idxs))
-			for j := range as {
-				if aerrs[j] == nil {
-					workers[j] = s.selectedWorkers(as[j])
-				}
-			}
-			sh.mu.Unlock()
-			for j, i := range idxs {
-				allocs[i], errs[i] = as[j], dispatchErr(aerrs[j])
-				if aerrs[j] == nil {
-					errs[i] = s.dispatch(ctx, sub[j], workers[j], results)
-				}
+			s.processGroup(ctx, sh, group)
+			for _, i := range idxs {
+				allocs[i], errs[i] = tickets[i].Allocation()
 			}
 		}()
 	}
 	wg.Wait()
 	return allocs, errs
+}
+
+// processGroup mediates one shard's tickets as a batch (single lock
+// acquisition, amortized snapshots) and completes each ticket.
+func (s *Service) processGroup(ctx context.Context, sh *shard, tickets []*Ticket) {
+	qs := make([]model.Query, len(tickets))
+	for i, t := range tickets {
+		qs[i] = t.query
+	}
+	// The batch is one arrival event: every ticket carries the same stamp.
+	now := qs[0].IssuedAt
+	sh.mu.Lock()
+	as, errs := sh.med.MediateBatch(now, qs)
+	workers := make([][]*Worker, len(tickets))
+	for j := range as {
+		if errs[j] == nil {
+			workers[j] = s.selectedWorkers(as[j])
+		}
+	}
+	sh.mu.Unlock()
+	for j, t := range tickets {
+		s.finishTicket(ctx, t, sh, as[j], errs[j], workers[j])
+	}
+}
+
+// ShardStats is one mediation lane's lifetime counters, plus the depth of
+// its asynchronous submission queue at snapshot time.
+type ShardStats struct {
+	// Mediations counts successful mediations on this shard.
+	Mediations uint64
+
+	// Rejections counts failed mediations (no candidates, stale selection,
+	// malformed or misaddressed queries).
+	Rejections uint64
+
+	// DispatchFailures counts allocations that could not be (fully)
+	// delivered to their selected workers.
+	DispatchFailures uint64
+
+	// MeanCandidates is the mean candidate-set size |P_q| over this
+	// shard's successful mediations (0 when none).
+	MeanCandidates float64
+
+	// QueueDepth is the number of submissions waiting in this shard's
+	// asynchronous queue. Always 0 through the blocking Service paths;
+	// the Engine fills it in.
+	QueueDepth int
+}
+
+// Stats is a point-in-time snapshot of the engine's counters: per-shard
+// mediation outcomes, participant counts, and per-worker queue depths.
+type Stats struct {
+	// Shards holds one entry per mediation lane, in shard order.
+	Shards []ShardStats
+
+	// QueriesSubmitted is the number of query IDs assigned so far
+	// (including queries whose mediation failed).
+	QueriesSubmitted int64
+
+	// Providers and Consumers count the participants currently registered
+	// in the shared directory.
+	Providers int
+	Consumers int
+
+	// WorkerQueueDepths maps every registered *Worker to the number of
+	// tasks currently queued at it (including the one in service, if any).
+	// Providers that are not dispatchable workers are absent.
+	WorkerQueueDepths map[model.ProviderID]int
+}
+
+// Mediations returns the total successful mediations across all shards.
+func (st Stats) Mediations() uint64 {
+	var n uint64
+	for _, sh := range st.Shards {
+		n += sh.Mediations
+	}
+	return n
+}
+
+// Stats snapshots the service counters. Counters are read with atomic
+// loads, not under a global lock, so the snapshot is internally consistent
+// per counter but not across them — fine for monitoring, not for invariant
+// checks against in-flight traffic.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Shards:            make([]ShardStats, len(s.shards)),
+		QueriesSubmitted:  s.nextID.Load(),
+		Providers:         s.dir.NumProviders(),
+		Consumers:         s.dir.NumConsumers(),
+		WorkerQueueDepths: make(map[model.ProviderID]int),
+	}
+	for i, sh := range s.shards {
+		m := sh.mediations.Load()
+		ss := ShardStats{
+			Mediations:       m,
+			Rejections:       sh.rejections.Load(),
+			DispatchFailures: sh.dispatchFailures.Load(),
+		}
+		if m > 0 {
+			ss.MeanCandidates = float64(sh.candidateSum.Load()) / float64(m)
+		}
+		st.Shards[i] = ss
+	}
+	for _, id := range s.dir.ProviderIDs() {
+		if w, ok := s.dir.Provider(id).(*Worker); ok {
+			st.WorkerQueueDepths[id] = w.QueueDepth()
+		}
+	}
+	return st
+}
+
+// satisfactionSnapshot samples every tracked participant's δs.
+func (s *Service) satisfactionSnapshot() event.SatisfactionSnapshot {
+	snap := event.SatisfactionSnapshot{
+		Time:      s.nowFn(),
+		Consumers: make(map[model.ConsumerID]float64),
+		Providers: make(map[model.ProviderID]float64),
+	}
+	for _, id := range s.reg.ConsumerIDs() {
+		snap.Consumers[id] = s.reg.ConsumerSatisfaction(id)
+	}
+	for _, id := range s.reg.ProviderIDs() {
+		snap.Providers[id] = s.reg.ProviderSatisfaction(id)
+	}
+	return snap
 }
 
 var _ mediator.Provider = (*Worker)(nil)

@@ -5,9 +5,26 @@
 // would use in production — the deterministic twin for experiments lives in
 // internal/boinc.
 //
+// # Two fronts, one pipeline
+//
+// The runtime has two public fronts over the same shards:
+//
+//   - Engine (NewEngine, functional options) — the asynchronous v2 API.
+//     Submit returns a *Ticket immediately; each shard drains a FIFO queue,
+//     so one consumer's tickets mediate in submission order while distinct
+//     consumers run in parallel. Tickets collect their own per-worker
+//     results; an event.Observer (WithObserver) streams allocations,
+//     rejections, dispatch failures, registration churn, and satisfaction
+//     snapshots; Engine.Stats snapshots per-shard counters.
+//   - Service — the blocking v1 API. Submit/SubmitBatch block through
+//     worker hand-off and deliver results on a caller-supplied channel.
+//     Both are thin wrappers over the ticket pipeline, so mixing fronts is
+//     safe and the single-shard determinism guarantee holds by
+//     construction.
+//
 // # Engine architecture
 //
-// The Service runs N mediator shards (Config.Concurrency). Each shard owns
+// The engine runs N mediator shards (Config.Concurrency). Each shard owns
 // one single-threaded mediator.Mediator guarded by its own mutex; queries
 // route to shards by a hash of their ConsumerID, so one consumer's stream
 // is always serialized (its satisfaction window stays an ordered history)
@@ -64,6 +81,7 @@ type Worker struct {
 	pendingWork float64
 	queueLen    int
 	sat         float64 // last satisfaction pushed by the service; info only
+	shutdown    bool    // set under mu before done closes; gates accept
 
 	tasks  chan task
 	done   chan struct{}
@@ -73,6 +91,11 @@ type Worker struct {
 type task struct {
 	q       model.Query
 	results chan<- Result
+	// abandon, when non-nil, receives the worker's ID if the worker shuts
+	// down before delivering this task's result — the engine's ticket
+	// collectors account for every accepted task, delivered or not. The
+	// channel is buffered by the dispatcher so the send never blocks.
+	abandon chan<- model.ProviderID
 	start   time.Time
 }
 
@@ -102,13 +125,18 @@ func NewWorker(id model.ProviderID, capacity float64, queueCap int, intentionFn 
 // run executes queued tasks serially, simulating service time by sleeping
 // work/capacity seconds of real time. It exits via the done channel — the
 // tasks channel is never closed, because concurrent dispatchers may be
-// mid-send when the worker shuts down (closing it would race).
+// mid-send when the worker shuts down (closing it would race). On exit it
+// abandons the in-service task and everything still queued, signalling each
+// task's abandon channel so ticket collectors never wait on work that will
+// not happen; Close sets the shutdown flag before done closes, so no new
+// task can slip in after the drain.
 func (w *Worker) run() {
 	for {
 		var t task
 		select {
 		case t = <-w.tasks:
 		case <-w.done:
+			w.abandonPending(nil)
 			return
 		}
 		service := time.Duration(t.q.Work / w.capacity * float64(time.Second))
@@ -117,6 +145,7 @@ func (w *Worker) run() {
 		case <-timer.C:
 		case <-w.done:
 			timer.Stop()
+			w.abandonPending(&t)
 			return
 		}
 		w.mu.Lock()
@@ -132,50 +161,84 @@ func (w *Worker) run() {
 	}
 }
 
+// abandonPending signals abandonment for the interrupted in-service task
+// (if any) and every task still queued at shutdown, and zeroes the backlog
+// accounting. It runs on the worker goroutine after done closed; accept
+// checks the shutdown flag under the same mutex Close sets it under, so no
+// new task can be enqueued once the drain loop observes an empty channel.
+func (w *Worker) abandonPending(inService *task) {
+	abandon := func(t task) {
+		if t.abandon != nil {
+			t.abandon <- w.id
+		}
+	}
+	if inService != nil {
+		abandon(*inService)
+	}
+	for {
+		select {
+		case t := <-w.tasks:
+			abandon(t)
+		default:
+			w.mu.Lock()
+			w.pendingWork = 0
+			w.queueLen = 0
+			w.mu.Unlock()
+			return
+		}
+	}
+}
+
 // accept enqueues a task without blocking: false if the worker is shutting
 // down, the queue is full, or the context is already done. Dispatch must
 // never park a mediation shard or stall a batch behind one saturated
 // worker, so a full queue refuses the hand-off immediately (the engine
-// reports ErrDispatch) rather than waiting for space.
-func (w *Worker) accept(ctx context.Context, q model.Query, results chan<- Result) bool {
-	select {
-	case <-w.done:
-		return false
-	default:
-	}
+// reports ErrDispatch) rather than waiting for space. The enqueue happens
+// under the worker mutex against the shutdown flag, so a task is either
+// refused or guaranteed to be delivered-or-abandoned by the run loop —
+// never silently lost.
+func (w *Worker) accept(ctx context.Context, q model.Query, results chan<- Result, abandon chan<- model.ProviderID) bool {
 	if ctx.Err() != nil {
 		return false
 	}
 	w.mu.Lock()
-	w.pendingWork += q.Work
-	w.queueLen++
-	w.mu.Unlock()
+	defer w.mu.Unlock()
+	if w.shutdown {
+		return false
+	}
 	select {
-	case w.tasks <- task{q: q, results: results, start: time.Now()}:
+	case w.tasks <- task{q: q, results: results, abandon: abandon, start: time.Now()}:
+		w.pendingWork += q.Work
+		w.queueLen++
 		return true
-	case <-w.done:
 	default:
+		return false
 	}
-	// Roll back the optimistic accounting.
-	w.mu.Lock()
-	w.pendingWork -= q.Work
-	if w.pendingWork < 0 {
-		w.pendingWork = 0
-	}
-	w.queueLen--
-	w.mu.Unlock()
-	return false
 }
 
-// Close stops the worker; queued tasks are abandoned.
+// Close stops the worker. Queued tasks are abandoned: their Results never
+// arrive, but tasks dispatched through the ticket path signal their tickets
+// so collectors complete instead of waiting forever.
 func (w *Worker) Close() {
 	w.closed.Do(func() {
+		w.mu.Lock()
+		w.shutdown = true
 		close(w.done)
+		w.mu.Unlock()
 	})
 }
 
 // ProviderID implements mediator.Provider.
 func (w *Worker) ProviderID() model.ProviderID { return w.id }
+
+// QueueDepth reports the number of tasks currently queued at the worker,
+// including the one in service, if any.
+func (w *Worker) QueueDepth() int {
+	w.mu.Lock()
+	n := w.queueLen
+	w.mu.Unlock()
+	return n
+}
 
 // Snapshot implements mediator.Provider.
 func (w *Worker) Snapshot(float64) model.ProviderSnapshot {

@@ -32,6 +32,7 @@ import (
 
 	"sbqa/internal/alloc"
 	"sbqa/internal/directory"
+	"sbqa/internal/event"
 	"sbqa/internal/model"
 	"sbqa/internal/satisfaction"
 )
@@ -113,7 +114,20 @@ type Config struct {
 	// observability channel the demo's GUIs display; embedders use it for
 	// audit logs. The allocation must not be mutated. When several mediator
 	// shards share one hook it must be safe for concurrent use.
+	//
+	// Deprecated: OnMediation is the v1 observability hook, kept for
+	// compatibility. New code should set Observer, which also sees
+	// rejections and registration churn; when both are set, both fire.
 	OnMediation func(a *model.Allocation, candidates int)
+
+	// Observer, when set, receives the pipeline's lifecycle events:
+	// OnAllocation for every successful mediation (same payload as
+	// OnMediation) and OnRejection for every failed one, with the reason
+	// (ErrNoCandidates, ErrStaleSelection, or a validation error). Callbacks
+	// run synchronously on the mediating goroutine — with several shards,
+	// concurrently — and must be fast, non-blocking, and safe for
+	// concurrent use.
+	Observer event.Observer
 
 	// Registry, when set, is the satisfaction registry this mediator
 	// records into — the sharded live engine points every shard at one
@@ -325,13 +339,22 @@ func (m *Mediator) snapshots(now float64, q model.Query, cache map[model.Provide
 	return m.snapBuf
 }
 
+// reject reports a failed mediation to the configured observer and returns
+// the error unchanged, so error paths stay one-liners.
+func (m *Mediator) reject(q model.Query, err error) error {
+	if m.cfg.Observer != nil {
+		m.cfg.Observer.OnRejection(q, err)
+	}
+	return err
+}
+
 func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderID]model.ProviderSnapshot) (*model.Allocation, error) {
 	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("mediator: %w", err)
+		return nil, m.reject(q, fmt.Errorf("mediator: %w", err))
 	}
 	consumer := m.dir.Consumer(q.Consumer)
 	if consumer == nil {
-		return nil, fmt.Errorf("mediator: query %d from unregistered consumer %d", q.ID, q.Consumer)
+		return nil, m.reject(q, fmt.Errorf("mediator: query %d from unregistered consumer %d", q.ID, q.Consumer))
 	}
 
 	e := env{m: m, consumer: consumer}
@@ -353,15 +376,15 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 			// transient sentinel, not the terminal one.
 			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
 			if attempt > 0 {
-				return nil, ErrStaleSelection
+				return nil, m.reject(q, ErrStaleSelection)
 			}
-			return nil, ErrNoCandidates
+			return nil, m.reject(q, ErrNoCandidates)
 		}
 
 		a := m.allocator.Allocate(e, q, snaps)
 		if a == nil || len(a.Selected) == 0 {
 			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
-			return nil, ErrNoCandidates
+			return nil, m.reject(q, ErrNoCandidates)
 		}
 
 		m.backfillIntentions(e, a, now, cache)
@@ -373,7 +396,7 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 				continue
 			}
 			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
-			return nil, ErrStaleSelection
+			return nil, m.reject(q, ErrStaleSelection)
 		}
 
 		// Optionally evaluate the consumer's intentions over the full
@@ -389,6 +412,9 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 		m.registry.RecordAllocation(a, candidateCI)
 		if m.cfg.OnMediation != nil {
 			m.cfg.OnMediation(a, len(snaps))
+		}
+		if m.cfg.Observer != nil {
+			m.cfg.Observer.OnAllocation(a, len(snaps))
 		}
 		return a, nil
 	}

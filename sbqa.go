@@ -16,8 +16,11 @@
 //	med.RegisterProvider(myProvider)                  // your impl of sbqa.Provider
 //	alloc, err := med.Mediate(now, sbqa.Query{Consumer: 0, N: 1, Work: 10})
 //
-// For simulations, build a World instead (see NewWorld), or run the paper's
-// scenarios directly (Scenario1 … Scenario7, RunAllScenarios).
+// For a production embedding, run the asynchronous Engine instead (see
+// NewEngine): Submit returns a *Ticket immediately, and tickets carry the
+// allocation and the per-worker results. For simulations, build a World
+// (see NewWorld), or run the paper's scenarios directly (Scenario1 …
+// Scenario7, RunAllScenarios). cmd/sbqad serves the engine over HTTP.
 //
 // # Model vocabulary
 //
@@ -34,12 +37,14 @@ package sbqa
 
 import (
 	"io"
+	"time"
 
 	"sbqa/internal/adwords"
 	"sbqa/internal/alloc"
 	"sbqa/internal/boinc"
 	"sbqa/internal/core"
 	"sbqa/internal/directory"
+	"sbqa/internal/event"
 	"sbqa/internal/experiments"
 	"sbqa/internal/intention"
 	"sbqa/internal/knbest"
@@ -328,53 +333,166 @@ var (
 )
 
 // ---------------------------------------------------------------------------
-// Live (goroutine-based) runtime
+// Live (goroutine-based) runtime — the asynchronous Engine API (v2)
 // ---------------------------------------------------------------------------
 
 // Concurrent runtime types for real embeddings (wall-clock time, goroutine
 // workers, sharded mediation engine); see the live package documentation.
 type (
-	// LiveService is a thread-safe mediation front end: a sharded engine
-	// over a shared provider directory and a lock-striped satisfaction
-	// registry.
+	// Engine is the asynchronous mediation front end: Submit returns a
+	// *Ticket immediately, queries mediate on their consumer's shard loop
+	// in submission order, and results are collected per ticket. Build it
+	// with NewEngine and functional options.
+	Engine = live.Engine
+	// Ticket is the handle for one asynchronously submitted query:
+	// Allocation blocks for the mediation outcome, Await/Done for the
+	// per-worker results.
+	Ticket = live.Ticket
+	// EngineOption configures NewEngine (WithConcurrency, WithWindow, ...).
+	EngineOption = live.Option
+	// QueryOption configures one Engine submission (WithResults, ...).
+	QueryOption = live.QueryOption
+	// EngineStats is a point-in-time snapshot of the engine counters:
+	// per-shard mediations/rejections/dispatch failures, mean candidate-set
+	// sizes, queue depths, and participant counts.
+	EngineStats = live.Stats
+	// ShardStats is one mediation lane's counters within EngineStats.
+	ShardStats = live.ShardStats
+	// DispatchError is the typed dispatch failure: it matches ErrDispatch
+	// with errors.Is and partitions the selection into the workers that
+	// accepted the query (their results still arrive) and the undelivered
+	// remainder a retry should target.
+	DispatchError = live.DispatchError
+
+	// LiveService is the blocking (v1) mediation front end sharing the
+	// Engine's machinery: Submit/SubmitBatch block through hand-off and
+	// deliver results on a caller-supplied channel.
 	LiveService = live.Service
-	// LiveConfig assembles a sharded engine (shard count, per-shard
-	// allocators, clock injection).
-	LiveConfig = live.Config
 	// LiveWorker executes queries on its own goroutine.
 	LiveWorker = live.Worker
 	// LiveResult is one completed execution.
 	LiveResult = live.Result
 	// LiveFuncConsumer adapts an intention function to Consumer.
 	LiveFuncConsumer = live.FuncConsumer
+
+	// LiveConfig assembles a sharded engine (shard count, per-shard
+	// allocators, clock injection).
+	//
+	// Deprecated: the v1 struct-config surface, kept for one release.
+	// Build engines with NewEngine and functional options instead; see
+	// DESIGN.md §4 for the migration map.
+	LiveConfig = live.Config
 )
+
+// Observability: the typed event stream replacing the v1 OnMediation hook.
+type (
+	// Observer receives engine lifecycle events (allocations, rejections,
+	// dispatch failures, registration churn, satisfaction snapshots).
+	// Embed NopObserver to implement a subset.
+	Observer = event.Observer
+	// NopObserver ignores every event; embed it for forward compatibility.
+	NopObserver = event.Nop
+	// ObserverFuncs adapts free functions to Observer; nil fields ignore
+	// their event.
+	ObserverFuncs = event.Funcs
+	// SatisfactionSnapshot is a periodic sample of every participant's δs.
+	SatisfactionSnapshot = event.SatisfactionSnapshot
+)
+
+// MultiObserver fans events out to several observers in order.
+func MultiObserver(obs ...Observer) Observer { return event.Multi(obs...) }
 
 // ErrDispatch reports that an allocation succeeded but the query could not
 // be fully delivered: a selected worker shut down mid-flight, its queue was
 // full, or the whole selection unregistered before hand-off
 // (ErrStaleSelection, which it then wraps; a done context is wrapped too).
-// Transient and retryable, unlike ErrNoCandidates — but workers that
-// accepted before the failure keep the query, so retrying a multi-worker
-// allocation re-executes it on them; see live.ErrDispatch for details.
+// Transient and retryable, unlike ErrNoCandidates. Every dispatch failure
+// is a *DispatchError, which names the workers that accepted (and keep the
+// query) vs failed, so retries can target only the undelivered remainder.
 var ErrDispatch = live.ErrDispatch
 
+// ErrEngineClosed is reported by tickets submitted after Engine.Close.
+var ErrEngineClosed = live.ErrEngineClosed
+
+// AsDispatchError unwraps err to its *DispatchError, if it carries one.
+func AsDispatchError(err error) (*DispatchError, bool) { return live.AsDispatchError(err) }
+
+// NewEngine builds the asynchronous sharded mediation engine:
+//
+//	eng, err := sbqa.NewEngine(
+//		sbqa.WithWindow(100),
+//		sbqa.WithConcurrency(runtime.GOMAXPROCS(0)),
+//		sbqa.WithAllocatorFactory(func(shard int) sbqa.Allocator {
+//			return sbqa.NewSbQA(sbqa.SbQAConfig{Seed: uint64(shard) + 1})
+//		}),
+//	)
+//	defer eng.Close()
+//	t := eng.Submit(ctx, sbqa.Query{Consumer: 0, N: 1, Work: 2})
+//	alloc, err := t.Allocation()     // mediation outcome
+//	results, err := t.Await(ctx)     // per-worker results
+//
+// With one shard an allocator suffices (WithAllocator); with several, a
+// factory is required because allocators hold per-shard sampling state.
+func NewEngine(opts ...EngineOption) (*Engine, error) { return live.NewEngine(opts...) }
+
+// WithWindow sets the satisfaction memory length k.
+func WithWindow(k int) EngineOption { return live.WithWindow(k) }
+
+// WithConcurrency sets the number of mediator shards; queries route to
+// shards by consumer hash, so one consumer's stream stays serialized while
+// distinct consumers mediate in parallel.
+func WithConcurrency(n int) EngineOption { return live.WithConcurrency(n) }
+
+// WithAllocator sets the allocation technique of a single-shard engine.
+func WithAllocator(a Allocator) EngineOption { return live.WithAllocator(a) }
+
+// WithAllocatorFactory supplies one (seeded) allocator per shard; required
+// when the concurrency is above 1.
+func WithAllocatorFactory(f func(shard int) Allocator) EngineOption {
+	return live.WithAllocatorFactory(f)
+}
+
+// WithAnalyzeBest measures allocation satisfaction against the whole
+// candidate set (the true optimum) at O(|P_q|) intention calls per query.
+func WithAnalyzeBest(on bool) EngineOption { return live.WithAnalyzeBest(on) }
+
+// WithClock injects the engine clock (seconds on the mediation time axis);
+// deterministic embeddings pass a fake clock.
+func WithClock(now func() float64) EngineOption { return live.WithClock(now) }
+
+// WithObserver installs the engine's typed event stream; see Observer.
+func WithObserver(o Observer) EngineOption { return live.WithObserver(o) }
+
+// WithQueueDepth bounds each shard's asynchronous submission queue
+// (backpressure: full queues block Submit until the shard drains).
+func WithQueueDepth(n int) EngineOption { return live.WithQueueDepth(n) }
+
+// WithSnapshotInterval emits OnSatisfactionSnapshot to the observer every
+// interval of wall-clock time.
+func WithSnapshotInterval(d time.Duration) EngineOption { return live.WithSnapshotInterval(d) }
+
+// WithResults forwards one submission's per-worker results to ch in
+// addition to collecting them on the ticket.
+func WithResults(ch chan<- LiveResult) QueryOption { return live.WithResults(ch) }
+
+// FireAndForget disables a ticket's result collection (the v1 contract:
+// workers deliver straight to the WithResults channel, the ticket is done
+// at hand-off).
+func FireAndForget() QueryOption { return live.FireAndForget() }
+
 // NewLiveService returns a single-shard concurrent mediation service with
-// satisfaction window k — the serialized front end; use NewLiveEngine for
-// parallel mediation across shards.
+// satisfaction window k — the serialized blocking front end; use NewEngine
+// for parallel mediation across shards and ticket-based submission.
 func NewLiveService(a Allocator, window int) *LiveService { return live.NewService(a, window) }
 
-// NewLiveEngine builds a sharded mediation engine. With cfg.Concurrency > 1
-// queries from distinct consumers mediate in parallel (one consumer's
-// stream stays serialized on its home shard); cfg.NewAllocator must then
-// supply one allocator per shard, e.g.:
+// NewLiveEngine builds a sharded mediation engine behind the blocking v1
+// surface. With cfg.Concurrency > 1 queries from distinct consumers mediate
+// in parallel (one consumer's stream stays serialized on its home shard);
+// cfg.NewAllocator must then supply one allocator per shard.
 //
-//	svc, err := sbqa.NewLiveEngine(sbqa.LiveConfig{
-//		Window:      100,
-//		Concurrency: runtime.GOMAXPROCS(0),
-//		NewAllocator: func(shard int) sbqa.Allocator {
-//			return sbqa.NewSbQA(sbqa.SbQAConfig{Seed: uint64(shard) + 1})
-//		},
-//	})
+// Deprecated: build the asynchronous Engine with NewEngine and functional
+// options; its Service method exposes this same blocking surface. Kept for
+// one release; see DESIGN.md §4.
 func NewLiveEngine(cfg LiveConfig) (*LiveService, error) { return live.NewServiceWithConfig(cfg) }
 
 // NewLiveWorker starts a worker goroutine with the given capacity (work
