@@ -21,6 +21,7 @@ import (
 	"sbqa/internal/core"
 	"sbqa/internal/experiments"
 	"sbqa/internal/knbest"
+	"sbqa/internal/mediator"
 	"sbqa/internal/model"
 	"sbqa/internal/satisfaction"
 	"sbqa/internal/score"
@@ -184,6 +185,82 @@ func BenchmarkKnBestSelect(b *testing.B) {
 	}
 }
 
+// --- intention fan-out (the v2 batched protocol's hot path) ---
+
+// fanoutProvider is a minimal in-process provider for fan-out benches.
+type fanoutProvider struct {
+	id model.ProviderID
+}
+
+func (p *fanoutProvider) ProviderID() model.ProviderID { return p.id }
+func (p *fanoutProvider) Snapshot(float64) model.ProviderSnapshot {
+	return model.ProviderSnapshot{ID: p.id, Utilization: float64(p.id%10) / 10, Capacity: 1}
+}
+func (p *fanoutProvider) CanPerform(model.Query) bool           { return true }
+func (p *fanoutProvider) Intention(model.Query) model.Intention { return 0.4 }
+func (p *fanoutProvider) Bid(q model.Query) float64             { return q.Work }
+
+// fanoutParticipant additionally answers the context-aware protocol
+// (instantly), so the bench isolates the fan-out's goroutine overhead.
+type fanoutParticipant struct{ fanoutProvider }
+
+func (p *fanoutParticipant) IntentionContext(context.Context, model.Query) (model.Intention, error) {
+	return 0.4, nil
+}
+
+type fanoutConsumer struct{}
+
+func (fanoutConsumer) ConsumerID() model.ConsumerID { return 0 }
+func (fanoutConsumer) Intention(_ model.Query, snap model.ProviderSnapshot) model.Intention {
+	return model.Intention(0.5 - snap.Utilization)
+}
+
+// newFanoutMediator builds a mediator with n registered providers.
+func newFanoutMediator(b *testing.B, n int, participants bool) *mediator.Mediator {
+	b.Helper()
+	med := mediator.New(core.MustNew(core.DefaultConfig()), mediator.Config{Window: 100})
+	med.RegisterConsumer(fanoutConsumer{})
+	for i := 0; i < n; i++ {
+		if participants {
+			med.RegisterProvider(&fanoutParticipant{fanoutProvider{id: model.ProviderID(i)}})
+		} else {
+			med.RegisterProvider(&fanoutProvider{id: model.ProviderID(i)})
+		}
+	}
+	return med
+}
+
+// BenchmarkIntentionFanoutInProcess measures one full mediation (KnBest +
+// batched SQLB collection) over 200 in-process providers — the inline
+// collection path, byte-identical to the v1 pipeline.
+func BenchmarkIntentionFanoutInProcess(b *testing.B) {
+	med := newFanoutMediator(b, 200, false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := med.Mediate(ctx, float64(i), model.Query{Consumer: 0, N: 1, Work: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntentionFanoutParticipants measures the same mediation when
+// every contacted provider is a context-aware participant answering
+// instantly — the concurrent fan-out's pure dispatch overhead (one
+// goroutine per Kn member per mediation).
+func BenchmarkIntentionFanoutParticipants(b *testing.B) {
+	med := newFanoutMediator(b, 200, true)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := med.Mediate(ctx, float64(i), model.Query{Consumer: 0, N: 1, Work: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSatisfactionUpdate measures one provider-window update plus
 // satisfaction read.
 func BenchmarkSatisfactionUpdate(b *testing.B) {
@@ -227,8 +304,9 @@ func benchmarkMediate(b *testing.B, a alloc.Allocator) {
 	q := model.Query{ID: 1, Consumer: 0, N: 2, Work: 10}
 	b.ReportAllocs()
 	b.ResetTimer()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		_ = a.Allocate(env, q, cands)
+		_, _ = a.Allocate(ctx, env, q, cands)
 	}
 }
 

@@ -14,9 +14,15 @@ type sseEvent struct {
 	data any
 }
 
-// hub fans engine events out to the SSE subscribers. Publication never
-// blocks: a subscriber that cannot keep up (its buffer is full) drops
-// events rather than stalling the engine's observer callbacks.
+// hub fans engine events out to the SSE subscribers.
+//
+// Drop/buffer policy: each subscriber owns a subscriberBuffer-deep channel.
+// publish is strictly non-blocking — when a subscriber's buffer is full the
+// event is dropped *for that subscriber* (newest dropped, buffered backlog
+// kept) and every other subscriber still receives it. A stalled SSE client
+// can therefore never stall the engine's observer callbacks, which run
+// synchronously on the mediating goroutines. TestHubSlowSubscriberNeverBlocks
+// enforces this.
 type hub struct {
 	mu   sync.Mutex
 	subs map[chan sseEvent]struct{}
@@ -83,6 +89,18 @@ type satisfactionEvent struct {
 	Providers map[string]float64 `json:"providers"`
 }
 
+// imputationEvent reports a silent participant whose intention was imputed
+// from registry state during one mediation's batched collection. Provider is
+// -1 (model.NoProvider) when the silent party was the consumer.
+type imputationEvent struct {
+	QueryID  int64   `json:"query_id"`
+	Consumer int     `json:"consumer"`
+	Provider int     `json:"provider"`
+	Timeout  bool    `json:"timeout"`
+	Error    string  `json:"error"`
+	Imputed  float64 `json:"imputed"`
+}
+
 // observer adapts the hub to the engine's Observer interface.
 func (h *hub) observer() sbqa.Observer {
 	return sbqa.ObserverFuncs{
@@ -118,6 +136,20 @@ func (h *hub) observer() sbqa.Observer {
 		},
 		ConsumerDeparted: func(id sbqa.ConsumerID) {
 			h.publish("departed", participantEvent{Kind: "consumer", ID: int(id)})
+		},
+		IntentionImputed: func(im sbqa.Imputation) {
+			errMsg := ""
+			if im.Err != nil {
+				errMsg = im.Err.Error()
+			}
+			h.publish("imputation", imputationEvent{
+				QueryID:  int64(im.Query.ID),
+				Consumer: int(im.Consumer),
+				Provider: int(im.Provider),
+				Timeout:  im.Timeout(),
+				Error:    errMsg,
+				Imputed:  float64(im.Imputed),
+			})
 		},
 		SatisfactionSnapshot: func(snap sbqa.SatisfactionSnapshot) {
 			ev := satisfactionEvent{

@@ -3,19 +3,34 @@
 //
 // Endpoints (all JSON):
 //
-//	POST   /v1/consumers      register a consumer {id, intention, prefer_idle}
-//	POST   /v1/workers        start+register a worker {id, capacity, queue_cap, intention, classes}
+//	POST   /v1/consumers      register a consumer {id, intention, prefer_idle,
+//	                          intention_url}; with intention_url the daemon
+//	                          gathers CI_q from the webhook per mediation
+//	POST   /v1/workers        start+register a worker {id, capacity, queue_cap,
+//	                          intention, classes, intention_url}; with
+//	                          intention_url PI_q comes from the webhook
 //	DELETE /v1/workers/{id}   stop and unregister a worker
 //	POST   /v1/queries        submit {consumer, class, n, work, wait:none|allocation|results}
-//	GET    /v1/stats          engine counters + per-participant satisfaction
+//	GET    /v1/stats          engine counters (incl. imputations/timeouts) +
+//	                          per-participant satisfaction
 //	GET    /v1/events         server-sent events: allocation, rejection,
 //	                          dispatch_failure, registered, departed,
-//	                          result, satisfaction
+//	                          result, satisfaction, imputation
+//	GET    /v1/healthz        liveness + readiness summary
+//
+// Remote participants answer intention webhooks under the per-participant
+// deadline (-participant-deadline); a webhook that misses it is imputed from
+// the participant's satisfaction registry state and the mediation proceeds.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// HTTP requests, drains in-flight tickets via Engine.Close, stops its
+// workers, and exits.
 //
 // Example session:
 //
 //	sbqad -addr :8080 -shards 4 &
 //	curl -XPOST localhost:8080/v1/workers -d '{"id":1,"capacity":100,"intention":0.5}'
+//	curl -XPOST localhost:8080/v1/workers -d '{"id":2,"capacity":100,"intention_url":"http://worker2.local/intent"}'
 //	curl -XPOST localhost:8080/v1/consumers -d '{"id":0,"intention":0.6,"prefer_idle":true}'
 //	curl -XPOST localhost:8080/v1/queries -d '{"consumer":0,"n":1,"work":2,"wait":"results"}'
 //	curl localhost:8080/v1/stats
@@ -23,10 +38,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sbqa"
@@ -42,10 +62,14 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base allocator seed (shard i uses seed+i)")
 		queue    = flag.Int("queue-depth", 1024, "per-shard async submission queue bound")
 		snapshot = flag.Duration("snapshot", 10*time.Second, "satisfaction snapshot interval on the event stream (0 disables)")
+		deadline = flag.Duration("participant-deadline", 250*time.Millisecond,
+			"per-participant bound on remote intention webhooks (0 = unbounded); late participants are imputed")
 	)
 	flag.Parse()
 
-	gw, err := newGateway(
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr,
 		sbqa.WithWindow(*window),
 		sbqa.WithConcurrency(*shards),
 		sbqa.WithAllocatorFactory(func(shard int) sbqa.Allocator {
@@ -56,13 +80,61 @@ func main() {
 		}),
 		sbqa.WithQueueDepth(*queue),
 		sbqa.WithSnapshotInterval(*snapshot),
-	)
-	if err != nil {
+		sbqa.WithParticipantDeadline(*deadline),
+	); err != nil {
 		log.Fatalf("sbqad: %v", err)
+	}
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// HTTP requests before closing their connections.
+const shutdownGrace = 10 * time.Second
+
+// run serves the gateway on addr until ctx is done, then shuts down
+// gracefully (see serve).
+func run(ctx context.Context, addr string, opts ...sbqa.EngineOption) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, ln, opts...)
+}
+
+// serve runs the gateway on ln until ctx is done, then shuts down
+// gracefully: stop accepting requests, drain in-flight tickets via
+// Engine.Close, stop the gateway's workers, and return. Factored out of
+// main so the shutdown path is testable with an ephemeral listener and a
+// plain context cancel.
+func serve(ctx context.Context, ln net.Listener, opts ...sbqa.EngineOption) error {
+	gw, err := newGateway(opts...)
+	if err != nil {
+		ln.Close()
+		return err
 	}
 	defer gw.close()
 
-	fmt.Printf("sbqad: %d shard(s), window %d, KnBest(%d,%d), listening on %s\n",
-		*shards, *window, *k, *kn, *addr)
-	log.Fatal(http.ListenAndServe(*addr, gw.handler()))
+	srv := &http.Server{Handler: gw.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("sbqad: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("sbqad: shutting down (draining in-flight tickets)")
+	// End the SSE streams first: Shutdown waits for active handlers, and an
+	// attached events subscriber would otherwise hold the server open for
+	// the whole grace period.
+	gw.beginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// gw.close (deferred) runs Engine.Close — shard loops finish the
+	// already-queued submissions before the engine stops — then closes the
+	// workers.
+	return nil
 }

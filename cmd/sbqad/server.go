@@ -13,14 +13,39 @@ import (
 )
 
 // gateway is the HTTP/JSON front end over the asynchronous Engine API:
-// submit, register-worker/consumer, stats, and a server-sent-events stream
-// of the engine's observer events plus per-query results.
+// submit, register-worker/consumer (local or webhook-backed remote), stats,
+// health, and a server-sent-events stream of the engine's observer events
+// plus per-query results.
 type gateway struct {
 	eng *sbqa.Engine
 	hub *hub
 
+	// webhookClient performs the remote participants' intention calls. The
+	// engine's per-participant deadline bounds each call through its
+	// context; the client's own timeout is the hard upper bound that keeps
+	// a hung webhook from wedging a shard when the daemon runs with
+	// -participant-deadline 0 (gateway submissions use WithoutCancel, so
+	// no request context would ever cancel the call).
+	webhookClient *http.Client
+
+	// shuttingDown closes when graceful shutdown begins, ending the SSE
+	// streams so http.Server.Shutdown does not wait out its whole grace
+	// period behind connected subscribers.
+	shuttingDown chan struct{}
+
 	mu      sync.Mutex
-	workers map[sbqa.ProviderID]*sbqa.LiveWorker
+	workers map[sbqa.ProviderID]managedWorker
+}
+
+// webhookClientTimeout is the transport-level ceiling on one intention
+// webhook call, effective even with -participant-deadline 0.
+const webhookClientTimeout = 30 * time.Second
+
+// managedWorker is a worker the gateway started and owns: the plain local
+// executor or its webhook-backed decoration.
+type managedWorker interface {
+	ProviderID() sbqa.ProviderID
+	Close()
 }
 
 // newGateway builds the engine from the given options with the gateway's
@@ -28,7 +53,12 @@ type gateway struct {
 // callers wanting their own observer wrap the returned engine's events via
 // the SSE stream instead).
 func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
-	g := &gateway{hub: newHub(), workers: make(map[sbqa.ProviderID]*sbqa.LiveWorker)}
+	g := &gateway{
+		hub:           newHub(),
+		webhookClient: &http.Client{Timeout: webhookClientTimeout},
+		shuttingDown:  make(chan struct{}),
+		workers:       make(map[sbqa.ProviderID]managedWorker),
+	}
 	eng, err := sbqa.NewEngine(append(opts, sbqa.WithObserver(g.hub.observer()))...)
 	if err != nil {
 		return nil, err
@@ -37,8 +67,20 @@ func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
 	return g, nil
 }
 
+// beginShutdown ends the SSE streams (idempotent); call it before
+// http.Server.Shutdown so connected subscribers do not hold the server open
+// for the whole grace period.
+func (g *gateway) beginShutdown() {
+	select {
+	case <-g.shuttingDown:
+	default:
+		close(g.shuttingDown)
+	}
+}
+
 // close shuts the engine and every worker the gateway started.
 func (g *gateway) close() {
+	g.beginShutdown()
 	g.eng.Close()
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -56,6 +98,7 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("POST /v1/queries", g.handleSubmit)
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
 	mux.HandleFunc("GET /v1/events", g.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	return mux
 }
 
@@ -69,19 +112,34 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// consumerRequest registers a consumer with a constant intention toward
-// every provider, optionally discounted by provider utilization ("prefer
-// idle" — the useful default for load-aware consumers).
+// consumerRequest registers a consumer. Without intention_url the consumer
+// is in-process: a constant intention toward every provider, optionally
+// discounted by provider utilization ("prefer idle" — the useful default
+// for load-aware consumers). With intention_url the consumer is a remote
+// participant: the daemon gathers CI_q over the whole candidate batch from
+// the webhook per mediation, under the engine's per-participant deadline,
+// imputing from registry state when the webhook stays silent.
 type consumerRequest struct {
-	ID         int     `json:"id"`
-	Intention  float64 `json:"intention"`
-	PreferIdle bool    `json:"prefer_idle"`
+	ID           int     `json:"id"`
+	Intention    float64 `json:"intention"`
+	PreferIdle   bool    `json:"prefer_idle"`
+	IntentionURL string  `json:"intention_url"`
 }
 
 func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request) {
 	var req consumerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.IntentionURL != "" {
+		g.eng.RegisterConsumer(&remoteConsumer{
+			id:       sbqa.ConsumerID(req.ID),
+			url:      req.IntentionURL,
+			fallback: sbqa.Intention(req.Intention).Clamp(),
+			client:   g.webhookClient,
+		})
+		writeJSON(w, http.StatusCreated, map[string]int{"id": req.ID})
 		return
 	}
 	base := req.Intention
@@ -100,13 +158,17 @@ func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request)
 }
 
 // workerRequest starts a goroutine worker with a constant intention,
-// optionally class-restricted.
+// optionally class-restricted. With intention_url the worker's
+// mediation-time intention is gathered from the webhook instead (the
+// constant becomes the fallback for non-batched paths); execution still
+// happens on the daemon's goroutines at the declared capacity.
 type workerRequest struct {
-	ID        int     `json:"id"`
-	Capacity  float64 `json:"capacity"`
-	QueueCap  int     `json:"queue_cap"`
-	Intention float64 `json:"intention"`
-	Classes   []int   `json:"classes"`
+	ID           int     `json:"id"`
+	Capacity     float64 `json:"capacity"`
+	QueueCap     int     `json:"queue_cap"`
+	Intention    float64 `json:"intention"`
+	Classes      []int   `json:"classes"`
+	IntentionURL string  `json:"intention_url"`
 }
 
 func (g *gateway) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
@@ -125,13 +187,24 @@ func (g *gateway) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 	if len(req.Classes) > 0 {
 		worker.SetClasses(req.Classes...)
 	}
+	var managed managedWorker = worker
+	if req.IntentionURL != "" {
+		managed = &remoteWorker{LiveWorker: worker, url: req.IntentionURL, client: g.webhookClient}
+	}
 	g.mu.Lock()
 	if old, ok := g.workers[worker.ProviderID()]; ok {
 		old.Close()
 	}
-	g.workers[worker.ProviderID()] = worker
+	g.workers[worker.ProviderID()] = managed
 	g.mu.Unlock()
-	g.eng.RegisterWorker(worker)
+	if rw, ok := managed.(*remoteWorker); ok {
+		// Registered as a generic provider: the directory sees the webhook
+		// decoration (ProviderParticipant), dispatch sees the embedded
+		// executor.
+		g.eng.RegisterProvider(rw)
+	} else {
+		g.eng.RegisterWorker(worker)
+	}
 	writeJSON(w, http.StatusCreated, map[string]int{"id": req.ID})
 }
 
@@ -267,11 +340,13 @@ type statsResponse struct {
 }
 
 type shardJSON struct {
-	Mediations       uint64  `json:"mediations"`
-	Rejections       uint64  `json:"rejections"`
-	DispatchFailures uint64  `json:"dispatch_failures"`
-	MeanCandidates   float64 `json:"mean_candidates"`
-	QueueDepth       int     `json:"queue_depth"`
+	Mediations        uint64  `json:"mediations"`
+	Rejections        uint64  `json:"rejections"`
+	DispatchFailures  uint64  `json:"dispatch_failures"`
+	MeanCandidates    float64 `json:"mean_candidates"`
+	QueueDepth        int     `json:"queue_depth"`
+	Imputations       uint64  `json:"imputations"`
+	IntentionTimeouts uint64  `json:"intention_timeouts"`
 }
 
 type satisfactionMap struct {
@@ -294,11 +369,13 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	for i, sh := range st.Shards {
 		resp.Shards[i] = shardJSON{
-			Mediations:       sh.Mediations,
-			Rejections:       sh.Rejections,
-			DispatchFailures: sh.DispatchFailures,
-			MeanCandidates:   sh.MeanCandidates,
-			QueueDepth:       sh.QueueDepth,
+			Mediations:        sh.Mediations,
+			Rejections:        sh.Rejections,
+			DispatchFailures:  sh.DispatchFailures,
+			MeanCandidates:    sh.MeanCandidates,
+			QueueDepth:        sh.QueueDepth,
+			Imputations:       sh.Imputations,
+			IntentionTimeouts: sh.IntentionTimeouts,
 		}
 	}
 	for id, depth := range st.WorkerQueueDepths {
@@ -312,6 +389,18 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Satisfaction.Providers[strconv.Itoa(int(id))] = reg.ProviderSatisfaction(id)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness plus a small readiness summary; load
+// balancers and the graceful-shutdown test probe it.
+func (g *gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := g.eng.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"shards":    len(st.Shards),
+		"providers": st.Providers,
+		"consumers": st.Consumers,
+	})
 }
 
 // handleEvents streams the engine's event feed as server-sent events.
@@ -339,6 +428,8 @@ func (g *gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.kind, data)
 			flusher.Flush()
 		case <-r.Context().Done():
+			return
+		case <-g.shuttingDown:
 			return
 		}
 	}

@@ -1,6 +1,7 @@
 package sbqa_test
 
 import (
+	"context"
 	"fmt"
 
 	"sbqa"
@@ -36,7 +37,7 @@ func Example() {
 	med.RegisterProvider(exampleProvider{id: 0})
 	med.RegisterProvider(exampleProvider{id: 1})
 
-	a, err := med.Mediate(0, sbqa.Query{Consumer: 0, N: 1, Work: 5})
+	a, err := med.Mediate(context.Background(), 0, sbqa.Query{Consumer: 0, N: 1, Work: 5})
 	if err != nil {
 		fmt.Println("mediation failed:", err)
 		return

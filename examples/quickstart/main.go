@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"sbqa"
@@ -68,7 +69,7 @@ func main() {
 	fmt.Println("mediating 60 queries with the satisfaction-adaptive SbQA process…")
 	counts := map[sbqa.ProviderID]int{}
 	for i := 0; i < 60; i++ {
-		a, err := med.Mediate(float64(i), sbqa.Query{Consumer: 0, N: 1, Work: 10})
+		a, err := med.Mediate(context.Background(), float64(i), sbqa.Query{Consumer: 0, N: 1, Work: 10})
 		if err != nil {
 			fmt.Println("mediation failed:", err)
 			return

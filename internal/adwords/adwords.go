@@ -9,6 +9,7 @@
 package adwords
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -298,7 +299,7 @@ func (w *World) Run(onWin OnWin) int {
 				IssuedAt: w.engine.Now(),
 			}
 			w.topicsOf[q.ID] = w.sampleTopic()
-			if a, err := w.med.Mediate(w.engine.Now(), q); err == nil && len(a.Selected) > 0 {
+			if a, err := w.med.Mediate(context.Background(), w.engine.Now(), q); err == nil && len(a.Selected) > 0 {
 				winner := w.advertiserByID(a.Selected[0])
 				if winner != nil {
 					winner.recordWin(q)

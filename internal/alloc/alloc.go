@@ -14,39 +14,13 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"sbqa/internal/model"
 	"sbqa/internal/stats"
 )
-
-// Env is the mediation environment: the allocator's only window onto the
-// participants. Implementations route the calls to the consumer's and
-// providers' intention policies (and pricing, for the economic baseline) and
-// to the satisfaction registry.
-//
-// The query q carries its consumer, so consumer-side calls need no separate
-// consumer argument.
-type Env interface {
-	// ConsumerIntention returns CI_q[p]: the intention of q's consumer to
-	// see q allocated to provider p.
-	ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention
-
-	// ProviderIntention returns PI_q[p]: provider p's intention to
-	// perform q.
-	ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention
-
-	// ProviderBid returns the price provider p asks to perform q
-	// (economic baseline only).
-	ProviderBid(q model.Query, p model.ProviderSnapshot) float64
-
-	// ConsumerSatisfaction returns δs(c) for q's consumer.
-	ConsumerSatisfaction(c model.ConsumerID) float64
-
-	// ProviderSatisfaction returns δs(p).
-	ProviderSatisfaction(p model.ProviderID) float64
-}
 
 // Allocator decides which providers perform a query.
 //
@@ -61,9 +35,13 @@ type Allocator interface {
 	Name() string
 
 	// Allocate mediates one query over the candidate set P_q. candidates
-	// is never mutated. A nil or empty result means the query cannot be
-	// allocated (no candidates).
-	Allocate(env Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation
+	// is never mutated. A (nil, nil) result means the query cannot be
+	// allocated (no candidates, or every candidate refused). A non-nil
+	// error means the mediation itself failed — the context was canceled
+	// or the environment's batched collection aborted — and the query was
+	// not mediated; allocators never return an error for individual silent
+	// participants (the Env imputes those).
+	Allocate(ctx context.Context, env Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error)
 }
 
 // resultN returns how many providers to select for q from nCands candidates.
@@ -116,9 +94,9 @@ func NewRandom(rng *stats.RNG) *Random {
 func (r *Random) Name() string { return "Random" }
 
 // Allocate implements Allocator.
-func (r *Random) Allocate(_ Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+func (r *Random) Allocate(_ context.Context, _ Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	n := resultN(q, len(candidates))
 	r.buf = r.rng.SampleK(len(candidates), n, r.buf)
@@ -126,7 +104,7 @@ func (r *Random) Allocate(_ Env, q model.Query, candidates []model.ProviderSnaps
 	for _, idx := range r.buf {
 		sel = append(sel, candidates[idx])
 	}
-	return newAllocation(q, sel)
+	return newAllocation(q, sel), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -146,9 +124,9 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (r *RoundRobin) Name() string { return "RoundRobin" }
 
 // Allocate implements Allocator.
-func (r *RoundRobin) Allocate(_ Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+func (r *RoundRobin) Allocate(_ context.Context, _ Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Stable order by ID so the rotation is well defined regardless of the
 	// candidate slice order.
@@ -160,7 +138,7 @@ func (r *RoundRobin) Allocate(_ Env, q model.Query, candidates []model.ProviderS
 		sel = append(sel, ordered[(r.cursor+i)%len(ordered)])
 	}
 	r.cursor = (r.cursor + n) % len(ordered)
-	return newAllocation(q, sel)
+	return newAllocation(q, sel), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -182,9 +160,9 @@ func NewCapacity() *Capacity { return &Capacity{} }
 func (*Capacity) Name() string { return "Capacity" }
 
 // Allocate implements Allocator.
-func (*Capacity) Allocate(_ Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+func (*Capacity) Allocate(_ context.Context, _ Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	ordered := append([]model.ProviderSnapshot(nil), candidates...)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -201,7 +179,7 @@ func (*Capacity) Allocate(_ Env, q model.Query, candidates []model.ProviderSnaps
 		return a.ID < b.ID
 	})
 	n := resultN(q, len(ordered))
-	return newAllocation(q, ordered[:n])
+	return newAllocation(q, ordered[:n]), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -241,10 +219,12 @@ func (*Economic) Name() string { return "Economic" }
 // bidding round); the simulation charges it a network round trip per query.
 func (*Economic) Interactive() bool { return true }
 
-// Allocate implements Allocator.
-func (e *Economic) Allocate(env Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+// Allocate implements Allocator. The bidding round is one batched Bids call
+// over the sampled candidates — the environment owns the fan-out and imputes
+// an expected-delay bid for any bidder that stays silent.
+func (e *Economic) Allocate(ctx context.Context, env Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	sample := e.BidSample
 	if sample < 1 {
@@ -259,14 +239,25 @@ func (e *Economic) Allocate(env Env, q model.Query, candidates []model.ProviderS
 	}
 	e.buf = e.rng.SampleK(len(candidates), sample, e.buf)
 
+	bidders := make([]model.ProviderSnapshot, 0, sample)
+	for _, idx := range e.buf {
+		bidders = append(bidders, candidates[idx])
+	}
+	bids, err := env.Bids(ctx, q, bidders)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckBatch(len(bids), len(bidders), "bid"); err != nil {
+		return nil, err
+	}
+
 	type offer struct {
 		snap model.ProviderSnapshot
 		bid  float64
 	}
 	offers := make([]offer, 0, sample)
-	for _, idx := range e.buf {
-		snap := candidates[idx]
-		offers = append(offers, offer{snap: snap, bid: env.ProviderBid(q, snap)})
+	for i, snap := range bidders {
+		offers = append(offers, offer{snap: snap, bid: bids[i]})
 	}
 	sort.SliceStable(offers, func(i, j int) bool {
 		if offers[i].bid != offers[j].bid {
@@ -286,7 +277,7 @@ func (e *Economic) Allocate(env Env, q model.Query, candidates []model.ProviderS
 			a.Selected = append(a.Selected, o.snap.ID)
 		}
 	}
-	return a
+	return a, nil
 }
 
 // ---------------------------------------------------------------------------

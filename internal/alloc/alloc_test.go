@@ -1,11 +1,23 @@
 package alloc
 
 import (
+	"context"
 	"testing"
 
 	"sbqa/internal/model"
 	"sbqa/internal/stats"
 )
+
+// allocate runs Allocate with a background context, failing the test on a
+// protocol error — deterministic in-process environments never produce one.
+func allocate(t *testing.T, a Allocator, env Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
+	t.Helper()
+	out, err := a.Allocate(context.Background(), env, q, cands)
+	if err != nil {
+		t.Fatalf("%s: Allocate error: %v", a.Name(), err)
+	}
+	return out
+}
 
 func snaps(utils ...float64) []model.ProviderSnapshot {
 	out := make([]model.ProviderSnapshot, len(utils))
@@ -66,7 +78,7 @@ func TestAllBaselinesContract(t *testing.T) {
 		t.Run(a.Name(), func(t *testing.T) {
 			cands := snaps(0.1, 0.9, 0.5, 0.3, 0.7)
 			for n := 1; n <= 7; n++ {
-				out := a.Allocate(env, q(n), cands)
+				out := allocate(t, a, env, q(n), cands)
 				if out == nil {
 					t.Fatalf("nil allocation for n=%d", n)
 				}
@@ -76,7 +88,7 @@ func TestAllBaselinesContract(t *testing.T) {
 				}
 				checkContract(t, out, want, idSet(cands))
 			}
-			if out := a.Allocate(env, q(1), nil); out != nil {
+			if out := allocate(t, a, env, q(1), nil); out != nil {
 				t.Errorf("empty candidates should yield nil, got %v", out)
 			}
 		})
@@ -85,7 +97,7 @@ func TestAllBaselinesContract(t *testing.T) {
 
 func TestCapacityPicksLeastUtilized(t *testing.T) {
 	a := NewCapacity()
-	out := a.Allocate(NewStaticEnv(), q(2), snaps(0.9, 0.1, 0.5, 0.05))
+	out := allocate(t, a, NewStaticEnv(), q(2), snaps(0.9, 0.1, 0.5, 0.05))
 	want := []model.ProviderID{3, 1}
 	for i, p := range want {
 		if out.Selected[i] != p {
@@ -101,7 +113,7 @@ func TestCapacityTieBreaking(t *testing.T) {
 		{ID: 7, Utilization: 0.5, QueueLen: 1, PendingWork: 2},
 		{ID: 1, Utilization: 0.5, QueueLen: 1, PendingWork: 2},
 	}
-	out := NewCapacity().Allocate(NewStaticEnv(), q(3), cands)
+	out := allocate(t, NewCapacity(), NewStaticEnv(), q(3), cands)
 	want := []model.ProviderID{1, 7, 2}
 	for i, p := range want {
 		if out.Selected[i] != p {
@@ -112,7 +124,7 @@ func TestCapacityTieBreaking(t *testing.T) {
 
 func TestCapacityDoesNotMutateInput(t *testing.T) {
 	cands := snaps(0.9, 0.1)
-	NewCapacity().Allocate(NewStaticEnv(), q(1), cands)
+	allocate(t, NewCapacity(), NewStaticEnv(), q(1), cands)
 	if cands[0].ID != 0 || cands[1].ID != 1 {
 		t.Error("candidate order mutated")
 	}
@@ -124,7 +136,7 @@ func TestRoundRobinCycles(t *testing.T) {
 	cands := snaps(0, 0, 0)
 	counts := map[model.ProviderID]int{}
 	for i := 0; i < 9; i++ {
-		out := a.Allocate(env, q(1), cands)
+		out := allocate(t, a, env, q(1), cands)
 		counts[out.Selected[0]]++
 	}
 	for id, c := range counts {
@@ -141,7 +153,7 @@ func TestRandomIsRoughlyUniform(t *testing.T) {
 	counts := map[model.ProviderID]int{}
 	const trials = 20000
 	for i := 0; i < trials; i++ {
-		out := a.Allocate(env, q(1), cands)
+		out := allocate(t, a, env, q(1), cands)
 		counts[out.Selected[0]]++
 	}
 	for id, c := range counts {
@@ -153,12 +165,12 @@ func TestRandomIsRoughlyUniform(t *testing.T) {
 
 func TestEconomicPicksCheapest(t *testing.T) {
 	env := NewStaticEnv()
-	env.Bids[0] = 30
-	env.Bids[1] = 10
-	env.Bids[2] = 20
+	env.BidTable[0] = 30
+	env.BidTable[1] = 10
+	env.BidTable[2] = 20
 	a := NewEconomic(stats.NewRNG(1))
 	a.BidSample = 3
-	out := a.Allocate(env, q(1), snaps(0, 0, 0))
+	out := allocate(t, a, env, q(1), snaps(0, 0, 0))
 	if len(out.Selected) != 1 || out.Selected[0] != 1 {
 		t.Fatalf("Selected = %v, want [1]", out.Selected)
 	}
@@ -177,7 +189,7 @@ func TestEconomicBidSampleBounds(t *testing.T) {
 	a := NewEconomic(stats.NewRNG(3))
 	a.BidSample = 2
 	// Sample must be raised to cover q.N.
-	out := a.Allocate(env, q(4), snaps(0, 0, 0, 0, 0, 0))
+	out := allocate(t, a, env, q(4), snaps(0, 0, 0, 0, 0, 0))
 	if len(out.Selected) != 4 {
 		t.Fatalf("Selected = %v, want 4 providers", out.Selected)
 	}
@@ -187,7 +199,7 @@ func TestEconomicBidSampleBounds(t *testing.T) {
 	// Zero BidSample falls back to the default.
 	a2 := NewEconomic(stats.NewRNG(4))
 	a2.BidSample = 0
-	out2 := a2.Allocate(env, q(1), snaps(make([]float64, 30)...))
+	out2 := allocate(t, a2, env, q(1), snaps(make([]float64, 30)...))
 	if len(out2.Proposed) != DefaultBidSample {
 		t.Errorf("default bid sample = %d, want %d", len(out2.Proposed), DefaultBidSample)
 	}
@@ -201,7 +213,7 @@ func TestEconomicDefaultBidIsExpectedDelay(t *testing.T) {
 	}
 	a := NewEconomic(stats.NewRNG(1))
 	a.BidSample = 2
-	out := a.Allocate(env, q(1), cands)
+	out := allocate(t, a, env, q(1), cands)
 	if out.Selected[0] != 1 {
 		t.Errorf("fast idle provider should win the auction, got %v", out.Selected)
 	}

@@ -44,7 +44,7 @@ func TestAllocatorContractProperty(t *testing.T) {
 		}
 
 		for _, a := range allocators {
-			out := a.Allocate(env, q, cands)
+			out := allocate(t, a, env, q, cands)
 			if n == 0 {
 				if out != nil {
 					t.Fatalf("%s: non-nil allocation for empty candidates", a.Name())

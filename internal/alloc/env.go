@@ -1,12 +1,16 @@
 package alloc
 
 import (
+	"context"
+
 	"sbqa/internal/model"
 )
 
-// StaticEnv is a deterministic Env backed by explicit tables. It serves unit
-// tests, examples, and any embedding where intentions are known up front
-// rather than computed by live participant policies.
+// StaticEnv is a deterministic environment backed by explicit tables. It
+// serves unit tests, examples, and any embedding where intentions are known
+// up front rather than computed by live participant policies. It implements
+// both the v1 per-provider interface (EnvV1) and, through the Legacy
+// adapter, the batched v2 Env.
 //
 // Missing entries fall back to zero intentions, bid = expected delay, and
 // neutral satisfaction (0.5).
@@ -15,9 +19,9 @@ type StaticEnv struct {
 	CI map[model.ConsumerID]map[model.ProviderID]model.Intention
 	// PI maps provider → consumer → intention.
 	PI map[model.ProviderID]map[model.ConsumerID]model.Intention
-	// Bids maps provider → fixed bid; providers absent from the map bid
-	// their expected completion delay for the query.
-	Bids map[model.ProviderID]float64
+	// BidTable maps provider → fixed bid; providers absent from the map
+	// bid their expected completion delay for the query.
+	BidTable map[model.ProviderID]float64
 	// SatC and SatP hold long-run satisfactions; absent entries are 0.5.
 	SatC map[model.ConsumerID]float64
 	SatP map[model.ProviderID]float64
@@ -26,11 +30,11 @@ type StaticEnv struct {
 // NewStaticEnv returns an empty StaticEnv ready to be populated.
 func NewStaticEnv() *StaticEnv {
 	return &StaticEnv{
-		CI:   make(map[model.ConsumerID]map[model.ProviderID]model.Intention),
-		PI:   make(map[model.ProviderID]map[model.ConsumerID]model.Intention),
-		Bids: make(map[model.ProviderID]float64),
-		SatC: make(map[model.ConsumerID]float64),
-		SatP: make(map[model.ProviderID]float64),
+		CI:       make(map[model.ConsumerID]map[model.ProviderID]model.Intention),
+		PI:       make(map[model.ProviderID]map[model.ConsumerID]model.Intention),
+		BidTable: make(map[model.ProviderID]float64),
+		SatC:     make(map[model.ConsumerID]float64),
+		SatP:     make(map[model.ProviderID]float64),
 	}
 }
 
@@ -54,7 +58,22 @@ func (e *StaticEnv) SetPI(p model.ProviderID, c model.ConsumerID, v model.Intent
 	m[c] = v
 }
 
-// ConsumerIntention implements Env.
+// Intentions implements the batched v2 Env by looping over the tables.
+func (e *StaticEnv) Intentions(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) (IntentionSet, error) {
+	return Legacy(e).Intentions(ctx, q, kn)
+}
+
+// Bids implements the batched v2 Env by looping over the tables.
+func (e *StaticEnv) Bids(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) ([]float64, error) {
+	return Legacy(e).Bids(ctx, q, kn)
+}
+
+// ProviderSatisfactions implements the batched v2 Env.
+func (e *StaticEnv) ProviderSatisfactions(kn []model.ProviderSnapshot) []float64 {
+	return Legacy(e).ProviderSatisfactions(kn)
+}
+
+// ConsumerIntention implements EnvV1.
 func (e *StaticEnv) ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
 	if m, ok := e.CI[q.Consumer]; ok {
 		if v, ok := m[p.ID]; ok {
@@ -64,7 +83,7 @@ func (e *StaticEnv) ConsumerIntention(q model.Query, p model.ProviderSnapshot) m
 	return 0
 }
 
-// ProviderIntention implements Env.
+// ProviderIntention implements EnvV1.
 func (e *StaticEnv) ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
 	if m, ok := e.PI[p.ID]; ok {
 		if v, ok := m[q.Consumer]; ok {
@@ -74,15 +93,15 @@ func (e *StaticEnv) ProviderIntention(q model.Query, p model.ProviderSnapshot) m
 	return 0
 }
 
-// ProviderBid implements Env.
+// ProviderBid implements EnvV1.
 func (e *StaticEnv) ProviderBid(q model.Query, p model.ProviderSnapshot) float64 {
-	if b, ok := e.Bids[p.ID]; ok {
+	if b, ok := e.BidTable[p.ID]; ok {
 		return b
 	}
 	return p.ExpectedDelay(q.Work)
 }
 
-// ConsumerSatisfaction implements Env.
+// ConsumerSatisfaction implements EnvV1 and the v2 Env.
 func (e *StaticEnv) ConsumerSatisfaction(c model.ConsumerID) float64 {
 	if v, ok := e.SatC[c]; ok {
 		return v
@@ -90,7 +109,7 @@ func (e *StaticEnv) ConsumerSatisfaction(c model.ConsumerID) float64 {
 	return 0.5
 }
 
-// ProviderSatisfaction implements Env.
+// ProviderSatisfaction implements EnvV1.
 func (e *StaticEnv) ProviderSatisfaction(p model.ProviderID) float64 {
 	if v, ok := e.SatP[p]; ok {
 		return v
@@ -99,3 +118,4 @@ func (e *StaticEnv) ProviderSatisfaction(p model.ProviderID) float64 {
 }
 
 var _ Env = (*StaticEnv)(nil)
+var _ EnvV1 = (*StaticEnv)(nil)

@@ -31,7 +31,7 @@ func TestStaticEnvSetters(t *testing.T) {
 	e := NewStaticEnv()
 	e.SetCI(3, 7, 0.75)
 	e.SetPI(7, 3, -0.5)
-	e.Bids[7] = 42
+	e.BidTable[7] = 42
 	e.SatC[3] = 0.9
 	e.SatP[7] = 0.1
 

@@ -1,0 +1,218 @@
+package alloc
+
+import (
+	"context"
+	"fmt"
+
+	"sbqa/internal/model"
+)
+
+// This file defines the v2 intention protocol: the batched, context-first
+// environment interface allocators consult during mediation.
+//
+// The v1 Env was synchronous and per-provider: the SbQA allocator called
+// ConsumerIntention(q, p) and ProviderIntention(q, p) in a loop while
+// ranking. In a production deployment those calls are network round trips to
+// autonomous participants, so the per-provider shape made the hot path
+// impossible to parallelize, bound, or route off-process. The v2 Env
+// collects everything a mediation needs about the candidate batch Kn in one
+// call — the environment implementation decides how (in-process loops, a
+// concurrent fan-out with per-participant deadlines, an HTTP scatter-gather)
+// and reports, per position, whether the value was reported by the
+// participant or imputed from its satisfaction registry state.
+
+// IntentionSet is the outcome of one batched intention collection over a
+// candidate batch kn: position-aligned CI_q and PI_q vectors plus the
+// provenance of each value. The zero IntentionSet is an empty batch.
+type IntentionSet struct {
+	// CI holds CI_q[p] for each p in the batch: the consumer's intention to
+	// see q allocated to that provider.
+	CI []model.Intention
+
+	// PI holds PI_q[p] for each p in the batch: the provider's intention to
+	// perform q.
+	PI []model.Intention
+
+	// PIImputed marks positions whose PI was imputed from registry state
+	// because the provider stayed silent (missed its deadline) or failed.
+	// Nil when every provider reported.
+	PIImputed []bool
+
+	// PIErr holds, per imputed position, the captured cause
+	// (context.DeadlineExceeded on a missed deadline). Nil when every
+	// provider reported.
+	PIErr []error
+
+	// CIImputed reports that the consumer stayed silent and the whole CI
+	// vector was imputed from its registry state; CIErr is the cause.
+	CIImputed bool
+	CIErr     error
+}
+
+// Len returns the batch size.
+func (s IntentionSet) Len() int { return len(s.CI) }
+
+// ProviderImputed reports whether position i's PI was imputed.
+func (s IntentionSet) ProviderImputed(i int) bool {
+	return i < len(s.PIImputed) && s.PIImputed[i]
+}
+
+// ImputedCount returns how many batch positions carry an imputed value on
+// either side (the whole batch when the consumer was silent).
+func (s IntentionSet) ImputedCount() int {
+	n := 0
+	for i := range s.CI {
+		if s.CIImputed || s.ProviderImputed(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkProviderImputed records that position i's PI was imputed with the
+// given cause, allocating the provenance slices on first use.
+func (s *IntentionSet) MarkProviderImputed(i int, err error) {
+	if s.PIImputed == nil {
+		s.PIImputed = make([]bool, len(s.PI))
+		s.PIErr = make([]error, len(s.PI))
+	}
+	s.PIImputed[i] = true
+	s.PIErr[i] = err
+}
+
+// Env is the mediation environment: the allocator's only window onto the
+// participants. One mediation makes at most one Intentions call (SbQA) or
+// one Bids call (the economic baseline) over its candidate batch; the
+// environment implementation owns transport, concurrency, deadlines, and
+// imputation for silent participants.
+//
+// The query q carries its consumer, so consumer-side calls need no separate
+// consumer argument. Satisfaction lookups read mediator-local registry state
+// and are therefore synchronous.
+//
+// Implementations must be safe for the duration of one Allocate call; the
+// default in-process implementation lives in the mediator, and Legacy adapts
+// any v1 environment (see EnvV1).
+type Env interface {
+	// Intentions collects CI_q and PI_q over the candidate batch kn. The
+	// returned set is position-aligned with kn (Len() == len(kn)). A
+	// non-nil error aborts the mediation — implementations return one only
+	// for protocol-fatal conditions (ctx canceled), never for individual
+	// silent participants, which are imputed and marked instead.
+	Intentions(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) (IntentionSet, error)
+
+	// Bids collects the price each provider in the batch asks to perform q
+	// (economic baseline only), position-aligned with kn. A silent bidder's
+	// bid is imputed as its expected completion delay.
+	Bids(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) ([]float64, error)
+
+	// ConsumerSatisfaction returns δs(c) for q's consumer.
+	ConsumerSatisfaction(c model.ConsumerID) float64
+
+	// ProviderSatisfactions returns δs(p) for each provider in the batch,
+	// position-aligned with kn.
+	ProviderSatisfactions(kn []model.ProviderSnapshot) []float64
+}
+
+// EnvV1 is the original synchronous, per-provider, context-free environment
+// interface (the v1 alloc.Env). In-process embeddings that computed
+// intentions from local tables or policies keep implementing it and adapt
+// via Legacy; the mediator no longer consumes it directly.
+type EnvV1 interface {
+	// ConsumerIntention returns CI_q[p]: the intention of q's consumer to
+	// see q allocated to provider p.
+	ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention
+
+	// ProviderIntention returns PI_q[p]: provider p's intention to
+	// perform q.
+	ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention
+
+	// ProviderBid returns the price provider p asks to perform q
+	// (economic baseline only).
+	ProviderBid(q model.Query, p model.ProviderSnapshot) float64
+
+	// ConsumerSatisfaction returns δs(c) for q's consumer.
+	ConsumerSatisfaction(c model.ConsumerID) float64
+
+	// ProviderSatisfaction returns δs(p).
+	ProviderSatisfaction(p model.ProviderID) float64
+}
+
+// LegacyEnv adapts a v1 environment to the batched v2 protocol: the batch
+// calls loop over the candidates synchronously on the calling goroutine, so
+// a v1 embedding migrates mechanically and stays deterministic. The context
+// is consulted once per batch call; per-participant deadlines and imputation
+// do not apply (a v1 environment cannot be silent).
+//
+// If the wrapped environment implements ShareEnv, the adapter forwards
+// DevotedAvailable so the share-based baseline keeps working.
+type LegacyEnv struct {
+	V1 EnvV1
+}
+
+// Legacy wraps a v1 environment into the v2 protocol.
+func Legacy(v1 EnvV1) LegacyEnv { return LegacyEnv{V1: v1} }
+
+// Intentions implements Env by looping over the batch synchronously.
+func (l LegacyEnv) Intentions(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) (IntentionSet, error) {
+	if err := ctx.Err(); err != nil {
+		return IntentionSet{}, err
+	}
+	set := IntentionSet{
+		CI: make([]model.Intention, len(kn)),
+		PI: make([]model.Intention, len(kn)),
+	}
+	for i, snap := range kn {
+		set.CI[i] = l.V1.ConsumerIntention(q, snap)
+		set.PI[i] = l.V1.ProviderIntention(q, snap)
+	}
+	return set, nil
+}
+
+// Bids implements Env by looping over the batch synchronously.
+func (l LegacyEnv) Bids(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bids := make([]float64, len(kn))
+	for i, snap := range kn {
+		bids[i] = l.V1.ProviderBid(q, snap)
+	}
+	return bids, nil
+}
+
+// ConsumerSatisfaction implements Env.
+func (l LegacyEnv) ConsumerSatisfaction(c model.ConsumerID) float64 {
+	return l.V1.ConsumerSatisfaction(c)
+}
+
+// ProviderSatisfactions implements Env.
+func (l LegacyEnv) ProviderSatisfactions(kn []model.ProviderSnapshot) []float64 {
+	sat := make([]float64, len(kn))
+	for i, snap := range kn {
+		sat[i] = l.V1.ProviderSatisfaction(snap.ID)
+	}
+	return sat
+}
+
+// DevotedAvailable implements ShareEnv by forwarding to the wrapped
+// environment when it declares resource shares, falling back to plain
+// available capacity otherwise (the same fallback ShareBased applies).
+func (l LegacyEnv) DevotedAvailable(q model.Query, p model.ProviderSnapshot) float64 {
+	if se, ok := l.V1.(ShareEnv); ok {
+		return se.DevotedAvailable(q, p)
+	}
+	return p.Capacity * (1 - p.Utilization)
+}
+
+var _ Env = LegacyEnv{}
+var _ ShareEnv = LegacyEnv{}
+
+// CheckBatch validates that a batched response is position-aligned with its
+// candidate batch — the defensive check allocators apply before indexing.
+func CheckBatch(got, want int, what string) error {
+	if got != want {
+		return fmt.Errorf("alloc: %s batch has %d entries for %d candidates", what, got, want)
+	}
+	return nil
+}

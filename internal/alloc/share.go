@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"sort"
 
 	"sbqa/internal/model"
@@ -40,9 +41,9 @@ func NewShareBased() *ShareBased { return &ShareBased{} }
 func (*ShareBased) Name() string { return "ShareBased" }
 
 // Allocate implements Allocator.
-func (*ShareBased) Allocate(env Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+func (*ShareBased) Allocate(_ context.Context, env Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	se, _ := env.(ShareEnv)
 
@@ -65,7 +66,7 @@ func (*ShareBased) Allocate(env Env, q model.Query, candidates []model.ProviderS
 		eligible = append(eligible, avail{snap: snap, cap: devoted})
 	}
 	if len(eligible) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.SliceStable(eligible, func(i, j int) bool {
 		if eligible[i].cap != eligible[j].cap {
@@ -78,5 +79,5 @@ func (*ShareBased) Allocate(env Env, q model.Query, candidates []model.ProviderS
 	for i := 0; i < n; i++ {
 		sel = append(sel, eligible[i].snap)
 	}
-	return newAllocation(q, sel)
+	return newAllocation(q, sel), nil
 }

@@ -21,7 +21,7 @@ func TestShareBasedPicksLargestDevotedBudget(t *testing.T) {
 		0: 5, 1: 50, 2: 20,
 	}}
 	a := NewShareBased()
-	out := a.Allocate(env, q(2), snaps(0, 0, 0))
+	out := allocate(t, a, env, q(2), snaps(0, 0, 0))
 	want := []model.ProviderID{1, 2}
 	for i, p := range want {
 		if out.Selected[i] != p {
@@ -37,7 +37,7 @@ func TestShareBasedRefusesExhaustedShares(t *testing.T) {
 	env := shareEnv{StaticEnv: NewStaticEnv(), devoted: map[model.ProviderID]float64{
 		0: 0, 1: -3, 2: 7,
 	}}
-	out := NewShareBased().Allocate(env, q(2), snaps(0, 0, 0))
+	out := allocate(t, NewShareBased(), env, q(2), snaps(0, 0, 0))
 	// Only provider 2 has budget; the query gets one replica, not two.
 	if len(out.Selected) != 1 || out.Selected[0] != 2 {
 		t.Fatalf("Selected = %v, want [2]", out.Selected)
@@ -48,7 +48,7 @@ func TestShareBasedAllExhausted(t *testing.T) {
 	env := shareEnv{StaticEnv: NewStaticEnv(), devoted: map[model.ProviderID]float64{
 		0: 0, 1: 0,
 	}}
-	if out := NewShareBased().Allocate(env, q(1), snaps(0, 0)); out != nil {
+	if out := allocate(t, NewShareBased(), env, q(1), snaps(0, 0)); out != nil {
 		t.Errorf("all-exhausted shares should fail allocation, got %v", out)
 	}
 }
@@ -60,14 +60,14 @@ func TestShareBasedFallbackWithoutShareEnv(t *testing.T) {
 		{ID: 0, Capacity: 1, Utilization: 0.9},
 		{ID: 1, Capacity: 1, Utilization: 0.1},
 	}
-	out := NewShareBased().Allocate(env, q(1), cands)
+	out := allocate(t, NewShareBased(), env, q(1), cands)
 	if out.Selected[0] != 1 {
 		t.Errorf("fallback should pick most available capacity: %v", out.Selected)
 	}
 }
 
 func TestShareBasedEmptyCandidates(t *testing.T) {
-	if out := NewShareBased().Allocate(NewStaticEnv(), q(1), nil); out != nil {
+	if out := allocate(t, NewShareBased(), NewStaticEnv(), q(1), nil); out != nil {
 		t.Errorf("empty candidates: %v", out)
 	}
 }
@@ -76,7 +76,7 @@ func TestShareBasedTieBreaksByID(t *testing.T) {
 	env := shareEnv{StaticEnv: NewStaticEnv(), devoted: map[model.ProviderID]float64{
 		0: 10, 1: 10, 2: 10,
 	}}
-	out := NewShareBased().Allocate(env, q(1), snaps(0, 0, 0))
+	out := allocate(t, NewShareBased(), env, q(1), snaps(0, 0, 0))
 	if out.Selected[0] != 0 {
 		t.Errorf("tie should break by ID: %v", out.Selected)
 	}

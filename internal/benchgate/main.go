@@ -1,0 +1,232 @@
+// Command benchgate supports the CI bench-regression gate around the
+// committed BENCH_core.json baseline:
+//
+//	benchgate -extract FILE.json        # test2json stream → plain bench text
+//	benchgate -gate PCT [-normalize] BASE.txt NEW.txt
+//
+// -extract converts a `go test -json` stream into the classic benchmark
+// text format (the format benchstat consumes), so the committed baseline
+// stays in the same shape as the uploaded BENCH_live.json artifact.
+//
+// -gate compares per-benchmark median ns/op between two bench text files
+// and exits non-zero, listing the offenders, when any benchmark present in
+// both regressed by more than PCT percent. Medians (not means) keep a
+// single noisy iteration from tripping the gate; benchmarks present in only
+// one file are reported but do not fail the gate (they are new or retired,
+// not regressed).
+//
+// -normalize divides each benchmark's base→new ratio by the leave-one-out
+// geometric mean ratio of the *other* shared benchmarks before applying the
+// gate. A committed baseline is usually recorded on different hardware than
+// the CI runner executing the gate; a uniform hardware speed difference
+// shifts every benchmark by the same factor and cancels out under
+// normalization, so the gate fires only when one benchmark regresses
+// relative to its peers — a code regression, not a machine change.
+// Excluding the benchmark under test from its own divisor keeps the stated
+// threshold exact (with the plain geomean, a regressing benchmark would
+// dilute its own yardstick). The blind spot — every benchmark regressing by
+// the same factor at once — is exactly the signature of a hardware change,
+// which is why it is excluded; with a single shared benchmark -normalize is
+// a no-op. Benchmark names are compared with their -N GOMAXPROCS suffix
+// stripped, and a comparison that shares no benchmarks at all fails.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	extract := flag.String("extract", "", "test2json file to convert to bench text on stdout")
+	gate := flag.Float64("gate", 0, "fail when median ns/op regresses by more than this percent")
+	normalize := flag.Bool("normalize", false, "divide each ratio by the geomean ratio (cancels uniform hardware shifts)")
+	flag.Parse()
+
+	switch {
+	case *extract != "":
+		if err := runExtract(*extract); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	case *gate > 0:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: -gate needs BASE.txt and NEW.txt")
+			os.Exit(2)
+		}
+		ok, err := runGate(*gate, *normalize, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// testEvent is the subset of test2json's event schema the extractor needs.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func runExtract(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action == "output" {
+			out.WriteString(ev.Output)
+		}
+	}
+	return sc.Err()
+}
+
+// parseBench reads bench text and returns name → ns/op samples. The -N
+// GOMAXPROCS suffix is stripped from names: the committed baseline and the
+// CI runner generally differ in core count, and a gate that compares
+// "BenchmarkX" against "BenchmarkX-4" would silently compare nothing.
+func parseBench(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// BenchmarkName-8  1234  567.8 ns/op  [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripCPUSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+			}
+			samples[name] = append(samples[name], v)
+			break
+		}
+	}
+	return samples, sc.Err()
+}
+
+// stripCPUSuffix removes go test's "-N" GOMAXPROCS suffix from a benchmark
+// name ("BenchmarkX-4" → "BenchmarkX"); names without one pass through.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func runGate(pct float64, normalize bool, basePath, newPath string) (bool, error) {
+	base, err := parseBench(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := parseBench(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, present := cur[name]; present {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// A gate that compared nothing must not pass: an empty intersection
+	// means the baseline is stale (renamed benches, wrong file), not that
+	// there were no regressions.
+	if len(names) == 0 {
+		return false, fmt.Errorf("no benchmark appears in both %s and %s — refresh the baseline", basePath, newPath)
+	}
+	// Log-ratios of the shared benchmarks; under -normalize each benchmark
+	// is judged against the leave-one-out geomean of the others, so a
+	// machine-wide speed shift (same factor everywhere) cancels without the
+	// regressing benchmark diluting its own divisor.
+	logRatio := make(map[string]float64, len(names))
+	logSum := 0.0
+	for _, name := range names {
+		lr := math.Log(median(cur[name]) / median(base[name]))
+		logRatio[name] = lr
+		logSum += lr
+	}
+	if normalize {
+		fmt.Printf("benchgate: normalizing by leave-one-out geomean shift (overall %+.1f%%)\n",
+			(math.Exp(logSum/float64(len(names)))-1)*100)
+	}
+	ok := true
+	for name := range base {
+		if _, present := cur[name]; !present {
+			fmt.Printf("benchgate: %-45s retired (in baseline only)\n", name)
+		}
+	}
+	for _, name := range names {
+		b, c := median(base[name]), median(cur[name])
+		scale := 1.0
+		if normalize && len(names) > 1 {
+			scale = math.Exp((logSum - logRatio[name]) / float64(len(names)-1))
+		}
+		delta := (c/b/scale - 1) * 100
+		status := "ok"
+		if delta > pct {
+			status = fmt.Sprintf("REGRESSED (> +%.0f%%)", pct)
+			ok = false
+		}
+		fmt.Printf("benchgate: %-45s base %10.0f ns/op → %10.0f ns/op  %+6.1f%%  %s\n",
+			name, b, c, delta, status)
+	}
+	for name := range cur {
+		if _, present := base[name]; !present {
+			fmt.Printf("benchgate: %-45s new (no baseline)\n", name)
+		}
+	}
+	if !ok {
+		fmt.Printf("benchgate: FAIL — regression beyond %.0f%% against the committed baseline\n", pct)
+	}
+	return ok, nil
+}

@@ -10,6 +10,7 @@
 package boinc
 
 import (
+	"context"
 	"fmt"
 
 	"sbqa/internal/alloc"
@@ -378,7 +379,7 @@ func (w *World) meanWork() float64 {
 // mediate runs the pipeline for q and dispatches the allocation.
 func (w *World) mediate(q model.Query) {
 	w.col.Issued++
-	a, err := w.med.Mediate(w.engine.Now(), q)
+	a, err := w.med.Mediate(context.Background(), w.engine.Now(), q)
 	if err != nil {
 		w.col.Unallocated++
 		w.afterMediation(q, nil)

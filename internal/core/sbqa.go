@@ -4,11 +4,13 @@
 //
 //  1. runs the KnBest strategy — draws k providers of P_q at random, keeps
 //     the kn least utilized (set Kn);
-//  2. runs SQLB — asks q's consumer for its intention CI_q[p] toward every
-//     p ∈ Kn, asks every p ∈ Kn for its intention PI_q[p] to perform q,
-//     scores each p with Definition 3 under the balance ω of Equation 2
-//     (ω adapts to the consumer's and provider's long-run satisfactions),
-//     and ranks Kn best-first;
+//  2. runs SQLB — collects, in one batched intention round over Kn, the
+//     consumer's intention CI_q[p] toward every p ∈ Kn and every p ∈ Kn's
+//     intention PI_q[p] to perform q (the environment owns transport,
+//     concurrency, per-participant deadlines, and imputation for silent
+//     participants), scores each p with Definition 3 under the balance ω of
+//     Equation 2 (ω adapts to the consumer's and provider's long-run
+//     satisfactions), and ranks Kn best-first;
 //  3. allocates q to the min(q.n, kn) best-ranked providers and sends the
 //     mediation result to the consumer and to all providers in Kn.
 //
@@ -18,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sbqa/internal/alloc"
@@ -120,24 +123,38 @@ func (s *SbQA) SetParams(p knbest.Params) { s.selector.SetParams(p) }
 func (s *SbQA) Scorer() *score.Scorer { return s.scorer }
 
 // Allocate implements alloc.Allocator: one full SbQA mediation.
-func (s *SbQA) Allocate(env alloc.Env, q model.Query, candidates []model.ProviderSnapshot) *model.Allocation {
+func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// Stage 1+2: KnBest keeps the kn least-utilized of k random candidates.
 	kn := s.selector.Select(candidates)
 
-	// Stage 3: SQLB — collect intentions and satisfactions, score, rank.
+	// Stage 3: SQLB — one batched intention round over Kn, then score and
+	// rank from the returned set. No participant is contacted mid-rank: the
+	// environment has already fanned the batch out (with deadlines and
+	// imputation for silent participants) by the time scoring starts.
+	set, err := env.Intentions(ctx, q, kn)
+	if err != nil {
+		return nil, fmt.Errorf("core: intention collection: %w", err)
+	}
+	if err := alloc.CheckBatch(set.Len(), len(kn), "intention"); err != nil {
+		return nil, err
+	}
 	satC := env.ConsumerSatisfaction(q.Consumer)
+	satP := env.ProviderSatisfactions(kn)
+	if err := alloc.CheckBatch(len(satP), len(kn), "satisfaction"); err != nil {
+		return nil, err
+	}
 	scored := make([]score.Candidate, len(kn))
 	for i, snap := range kn {
 		scored[i] = score.Candidate{
 			Provider: snap.ID,
-			PI:       env.ProviderIntention(q, snap),
-			CI:       env.ConsumerIntention(q, snap),
+			PI:       set.PI[i],
+			CI:       set.CI[i],
 			SatC:     satC,
-			SatP:     env.ProviderSatisfaction(snap.ID),
+			SatP:     satP[i],
 		}
 	}
 	ranked := s.scorer.Rank(scored)
@@ -167,7 +184,7 @@ func (s *SbQA) Allocate(env alloc.Env, q model.Query, candidates []model.Provide
 			a.Selected = append(a.Selected, r.Provider)
 		}
 	}
-	return a
+	return a, nil
 }
 
 var _ alloc.Allocator = (*SbQA)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,6 +9,17 @@ import (
 	"sbqa/internal/knbest"
 	"sbqa/internal/model"
 )
+
+// allocate runs one mediation with a background context, failing the test
+// on protocol errors (StaticEnv never produces one).
+func allocate(t *testing.T, s *SbQA, env alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
+	t.Helper()
+	a, err := s.Allocate(context.Background(), env, q, cands)
+	if err != nil {
+		t.Fatalf("Allocate error: %v", err)
+	}
+	return a
+}
 
 func snaps(utils ...float64) []model.ProviderSnapshot {
 	out := make([]model.ProviderSnapshot, len(utils))
@@ -63,7 +75,7 @@ func TestMustNewPanics(t *testing.T) {
 
 func TestAllocateEmptyCandidates(t *testing.T) {
 	s := MustNew(DefaultConfig())
-	if got := s.Allocate(alloc.NewStaticEnv(), query(1), nil); got != nil {
+	if got := allocate(t, s, alloc.NewStaticEnv(), query(1), nil); got != nil {
 		t.Errorf("Allocate with no candidates = %v", got)
 	}
 }
@@ -73,7 +85,7 @@ func TestAllocateContract(t *testing.T) {
 	env := alloc.NewStaticEnv()
 	cands := snaps(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 	for n := 1; n <= 5; n++ {
-		a := s.Allocate(env, query(n), cands)
+		a := allocate(t, s, env, query(n), cands)
 		if a == nil {
 			t.Fatalf("nil allocation n=%d", n)
 		}
@@ -116,7 +128,7 @@ func TestAllocatePrefersMutualInterest(t *testing.T) {
 	env.SetPI(1, 0, 0.8) // mutual interest
 	env.SetCI(0, 2, 0.9)
 	env.SetPI(2, 0, -1)
-	a := s.Allocate(env, query(1), snaps(0, 0, 0))
+	a := allocate(t, s, env, query(1), snaps(0, 0, 0))
 	if a.Selected[0] != 1 {
 		t.Errorf("Selected = %v, want provider 1 (mutual interest)", a.Selected)
 	}
@@ -134,7 +146,7 @@ func TestAllocateAdaptiveOmegaFavorsStarvedProvider(t *testing.T) {
 	env.SatP[0] = 0.95
 	env.SatP[1] = 0.05
 	env.SatC[0] = 0.5
-	a := s.Allocate(env, query(1), snaps(0.5, 0.5))
+	a := allocate(t, s, env, query(1), snaps(0.5, 0.5))
 	if a.Selected[0] != 1 {
 		t.Errorf("Selected = %v, want starved provider 1", a.Selected)
 	}
@@ -143,7 +155,7 @@ func TestAllocateAdaptiveOmegaFavorsStarvedProvider(t *testing.T) {
 func TestAllocateKnBestLimitsContacts(t *testing.T) {
 	s := MustNew(Config{KnBest: knbest.Params{K: 4, Kn: 2}, Seed: 3})
 	env := alloc.NewStaticEnv()
-	a := s.Allocate(env, query(1), snaps(make([]float64, 100)...))
+	a := allocate(t, s, env, query(1), snaps(make([]float64, 100)...))
 	if len(a.Proposed) != 2 {
 		t.Errorf("proposed %d providers, want kn=2", len(a.Proposed))
 	}
@@ -155,7 +167,7 @@ func TestAllocateStage2PrefersIdleProviders(t *testing.T) {
 	s := MustNew(Config{KnBest: knbest.Params{K: 0, Kn: 2}})
 	env := alloc.NewStaticEnv()
 	cands := snaps(0.9, 0.1, 0.8, 0.2)
-	a := s.Allocate(env, query(1), cands)
+	a := allocate(t, s, env, query(1), cands)
 	proposed := map[model.ProviderID]bool{}
 	for _, p := range a.Proposed {
 		proposed[p] = true
@@ -171,7 +183,7 @@ func TestSetParams(t *testing.T) {
 	if s.Params().Kn != 1 {
 		t.Errorf("SetParams not applied: %+v", s.Params())
 	}
-	a := s.Allocate(alloc.NewStaticEnv(), query(1), snaps(0, 0, 0, 0, 0))
+	a := allocate(t, s, alloc.NewStaticEnv(), query(1), snaps(0, 0, 0, 0, 0))
 	if len(a.Proposed) != 1 {
 		t.Errorf("retuned kn not used: %v", a.Proposed)
 	}
@@ -183,8 +195,8 @@ func TestDeterministicUnderSeed(t *testing.T) {
 	a := MustNew(Config{KnBest: knbest.Params{K: 3, Kn: 2}, Seed: 42})
 	b := MustNew(Config{KnBest: knbest.Params{K: 3, Kn: 2}, Seed: 42})
 	for i := 0; i < 50; i++ {
-		qa := a.Allocate(env, query(1), cands)
-		qb := b.Allocate(env, query(1), cands)
+		qa := allocate(t, a, env, query(1), cands)
+		qb := allocate(t, b, env, query(1), cands)
 		if qa.Selected[0] != qb.Selected[0] {
 			t.Fatalf("allocation diverged at round %d", i)
 		}

@@ -26,8 +26,45 @@
 package event
 
 import (
+	"context"
+	"errors"
+
 	"sbqa/internal/model"
 )
+
+// Imputation reports that a participant stayed silent (or failed) during the
+// batched intention collection of one mediation, and that the mediator
+// substituted an intention derived from the participant's satisfaction
+// registry state instead of stalling the mediation — the paper's autonomy
+// assumption made operational: the system never waits on an unresponsive
+// participant.
+type Imputation struct {
+	// Query is the query being mediated when the participant went silent.
+	Query model.Query
+
+	// Provider is the silent provider, or model.NoProvider when the silent
+	// party was the consumer (whose whole CI batch was imputed).
+	Provider model.ProviderID
+
+	// Consumer is the query's consumer (the silent party when Provider is
+	// model.NoProvider).
+	Consumer model.ConsumerID
+
+	// Err is the captured cause: context.DeadlineExceeded when the
+	// participant missed its per-participant deadline, otherwise the error
+	// the participant (or its transport) returned.
+	Err error
+
+	// Imputed is the intention substituted from registry state.
+	Imputed model.Intention
+}
+
+// Timeout reports whether the imputation was caused by the participant
+// missing its per-participant deadline (as opposed to an explicit error).
+func (im Imputation) Timeout() bool { return errors.Is(im.Err, context.DeadlineExceeded) }
+
+// ConsumerSilent reports whether the silent party was the consumer.
+func (im Imputation) ConsumerSilent() bool { return im.Provider == model.NoProvider }
 
 // SatisfactionSnapshot is a periodic sample of every tracked participant's
 // long-run satisfaction δs (Definitions 1-2 of the paper), emitted by the
@@ -80,6 +117,13 @@ type Observer interface {
 	// OnConsumerDeparted observes a consumer leaving the directory.
 	OnConsumerDeparted(id model.ConsumerID)
 
+	// OnIntentionImputed observes one silent participant during batched
+	// intention collection: the mediation proceeded with an intention
+	// imputed from the participant's satisfaction registry state. Events
+	// are emitted on the mediating goroutine after the batch collection
+	// completes, in candidate order (the consumer's event, if any, first).
+	OnIntentionImputed(im Imputation)
+
 	// OnSatisfactionSnapshot observes a periodic satisfaction sample (see
 	// live.WithSnapshotInterval). The snapshot is owned by the receiver.
 	OnSatisfactionSnapshot(snap SatisfactionSnapshot)
@@ -110,6 +154,9 @@ func (Nop) OnConsumerRegistered(model.ConsumerID) {}
 // OnConsumerDeparted implements Observer.
 func (Nop) OnConsumerDeparted(model.ConsumerID) {}
 
+// OnIntentionImputed implements Observer.
+func (Nop) OnIntentionImputed(Imputation) {}
+
 // OnSatisfactionSnapshot implements Observer.
 func (Nop) OnSatisfactionSnapshot(SatisfactionSnapshot) {}
 
@@ -123,6 +170,7 @@ type Funcs struct {
 	ProviderDeparted     func(id model.ProviderID)
 	ConsumerRegistered   func(id model.ConsumerID)
 	ConsumerDeparted     func(id model.ConsumerID)
+	IntentionImputed     func(im Imputation)
 	SatisfactionSnapshot func(snap SatisfactionSnapshot)
 }
 
@@ -174,6 +222,13 @@ func (f Funcs) OnConsumerRegistered(id model.ConsumerID) {
 func (f Funcs) OnConsumerDeparted(id model.ConsumerID) {
 	if f.ConsumerDeparted != nil {
 		f.ConsumerDeparted(id)
+	}
+}
+
+// OnIntentionImputed implements Observer.
+func (f Funcs) OnIntentionImputed(im Imputation) {
+	if f.IntentionImputed != nil {
+		f.IntentionImputed(im)
 	}
 }
 
@@ -244,6 +299,13 @@ func (m multi) OnConsumerRegistered(id model.ConsumerID) {
 func (m multi) OnConsumerDeparted(id model.ConsumerID) {
 	for _, o := range m {
 		o.OnConsumerDeparted(id)
+	}
+}
+
+// OnIntentionImputed implements Observer.
+func (m multi) OnIntentionImputed(im Imputation) {
+	for _, o := range m {
+		o.OnIntentionImputed(im)
 	}
 }
 

@@ -3,6 +3,7 @@ package live
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -74,6 +75,18 @@ func WithSnapshotInterval(d time.Duration) Option {
 	return func(c *Config) { c.SnapshotInterval = d }
 }
 
+// WithParticipantDeadline bounds each context-aware participant call during
+// batched intention and bid collection: a participant that misses the
+// deadline is abandoned and its intention imputed from its satisfaction
+// registry state (counted in ShardStats.Imputations/IntentionTimeouts and
+// emitted as an OnIntentionImputed event), so one slow remote participant
+// can never stall a mediation. Zero (the default) means no per-participant
+// bound — only the submission context limits the fan-out. In-process
+// participants are unaffected.
+func WithParticipantDeadline(d time.Duration) Option {
+	return func(c *Config) { c.ParticipantDeadline = d }
+}
+
 // submitOptions collects per-query options.
 type submitOptions struct {
 	results       chan<- Result
@@ -138,13 +151,41 @@ type engineItem struct {
 //	defer eng.Close()
 //
 // The zero option set is invalid (an allocator or factory is required),
-// matching NewServiceWithConfig's validation.
+// matching NewServiceWithConfig's validation. Nonsensical option inputs —
+// negative concurrency, queue depth, window, snapshot interval, or
+// participant deadline — are rejected with a descriptive error rather than
+// silently clamped (the v1 Config surface keeps its historical clamping for
+// compatibility; see NewEngineFromConfig).
 func NewEngine(opts ...Option) (*Engine, error) {
 	var cfg Config
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := validateOptions(cfg); err != nil {
+		return nil, err
+	}
 	return newEngine(cfg)
+}
+
+// validateOptions rejects option inputs that can only be mistakes. Zero
+// values stay valid everywhere — they select the documented defaults.
+func validateOptions(cfg Config) error {
+	if cfg.Concurrency < 0 {
+		return fmt.Errorf("live: WithConcurrency(%d): shard count cannot be negative", cfg.Concurrency)
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("live: WithQueueDepth(%d): queue depth cannot be negative", cfg.QueueDepth)
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("live: WithWindow(%d): satisfaction window cannot be negative", cfg.Window)
+	}
+	if cfg.SnapshotInterval < 0 {
+		return fmt.Errorf("live: WithSnapshotInterval(%v): interval cannot be negative", cfg.SnapshotInterval)
+	}
+	if cfg.ParticipantDeadline < 0 {
+		return fmt.Errorf("live: WithParticipantDeadline(%v): deadline cannot be negative", cfg.ParticipantDeadline)
+	}
+	return nil
 }
 
 // NewEngineFromConfig builds the asynchronous engine from a v1 Config —

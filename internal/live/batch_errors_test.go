@@ -53,9 +53,10 @@ func TestSubmitBatchMixedErrorPaths(t *testing.T) {
 	<-results // the successful entry still executes
 }
 
-// TestSubmitBatchCanceledContext: a done context fails every dispatched
-// entry with a *DispatchError wrapping the context error, while the
-// allocation is still returned (mediation happened).
+// TestSubmitBatchCanceledContext: under the v2 context-first protocol a
+// done context rejects every entry with the bare context error before
+// mediation — no allocation is produced and nothing reads as a dispatch
+// failure. (The v1 engine mediated first and failed only at dispatch.)
 func TestSubmitBatchCanceledContext(t *testing.T) {
 	svc, err := NewServiceWithConfig(Config{Window: 10, Allocator: alloc.NewCapacity()})
 	if err != nil {
@@ -74,18 +75,14 @@ func TestSubmitBatchCanceledContext(t *testing.T) {
 	qs := []model.Query{{Consumer: 0, N: 1, Work: 0.1}, {Consumer: 0, N: 1, Work: 0.1}}
 	allocs, errs := svc.SubmitBatch(ctx, qs, nil)
 	for i := range qs {
-		if !errors.Is(errs[i], ErrDispatch) || !errors.Is(errs[i], context.Canceled) {
-			t.Fatalf("entry %d err = %v, want ErrDispatch wrapping context.Canceled", i, errs[i])
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("entry %d err = %v, want context.Canceled", i, errs[i])
 		}
-		de, ok := AsDispatchError(errs[i])
-		if !ok {
-			t.Fatalf("entry %d err %T is not *DispatchError", i, errs[i])
+		if errors.Is(errs[i], ErrDispatch) {
+			t.Errorf("entry %d err = %v: a canceled mediation must not read as a dispatch failure", i, errs[i])
 		}
-		if len(de.Accepted) != 0 || len(de.Failed) != 1 {
-			t.Errorf("entry %d accepted=%v failed=%v, want nothing accepted", i, de.Accepted, de.Failed)
-		}
-		if allocs[i] == nil {
-			t.Errorf("entry %d allocation nil; mediation succeeded and must be visible", i)
+		if allocs[i] != nil {
+			t.Errorf("entry %d allocation = %v, want nil (mediation never ran)", i, allocs[i])
 		}
 	}
 }

@@ -73,6 +73,14 @@ type Config struct {
 	// Engine emit OnSatisfactionSnapshot every interval (wall-clock).
 	SnapshotInterval time.Duration
 
+	// ParticipantDeadline mirrors mediator.Config.ParticipantDeadline: the
+	// per-participant bound on each context-aware participant call during
+	// batched intention and bid collection. A participant that misses it is
+	// abandoned and its intention imputed from the satisfaction registry
+	// (counted in ShardStats.Imputations / IntentionTimeouts and emitted as
+	// OnIntentionImputed). Zero means no per-participant bound.
+	ParticipantDeadline time.Duration
+
 	// NowFn overrides the engine clock: it returns the current time in
 	// seconds on the mediation time axis. Nil uses wall-clock seconds
 	// since the service started. Deterministic tests inject a fake clock.
@@ -87,10 +95,12 @@ type shard struct {
 	med *mediator.Mediator
 
 	// Lifetime counters (see ShardStats).
-	mediations       atomic.Uint64
-	rejections       atomic.Uint64
-	dispatchFailures atomic.Uint64
-	candidateSum     atomic.Uint64
+	mediations        atomic.Uint64
+	rejections        atomic.Uint64
+	dispatchFailures  atomic.Uint64
+	candidateSum      atomic.Uint64
+	imputations       atomic.Uint64
+	intentionTimeouts atomic.Uint64
 }
 
 // shardObserver sits between each shard's mediator and the user observer:
@@ -116,6 +126,16 @@ func (o shardObserver) OnRejection(q model.Query, reason error) {
 	o.sh.rejections.Add(1)
 	if o.user != nil {
 		o.user.OnRejection(q, reason)
+	}
+}
+
+func (o shardObserver) OnIntentionImputed(im event.Imputation) {
+	o.sh.imputations.Add(1)
+	if im.Timeout() {
+		o.sh.intentionTimeouts.Add(1)
+	}
+	if o.user != nil {
+		o.user.OnIntentionImputed(im)
 	}
 }
 
@@ -179,12 +199,13 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 		}
 		sh := &shard{}
 		sh.med = mediator.New(a, mediator.Config{
-			Window:      cfg.Window,
-			AnalyzeBest: cfg.AnalyzeBest,
-			OnMediation: cfg.OnMediation,
-			Observer:    shardObserver{sh: sh, user: cfg.Observer},
-			Registry:    s.reg,
-			Directory:   s.dir,
+			Window:              cfg.Window,
+			AnalyzeBest:         cfg.AnalyzeBest,
+			OnMediation:         cfg.OnMediation,
+			Observer:            shardObserver{sh: sh, user: cfg.Observer},
+			Registry:            s.reg,
+			Directory:           s.dir,
+			ParticipantDeadline: cfg.ParticipantDeadline,
 		})
 		s.shards[i] = sh
 	}
@@ -274,12 +295,14 @@ func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Resu
 }
 
 // process runs one ticket through its consumer's shard: mediation under the
-// shard lock, then dispatch and ticket completion outside it.
+// shard lock, then dispatch and ticket completion outside it. The ticket's
+// submission context bounds the mediation itself — cancellation aborts an
+// in-flight intention fan-out to context-aware participants.
 func (s *Service) process(ctx context.Context, t *Ticket) {
 	sh := s.shardFor(t.query.Consumer)
 	sh.mu.Lock()
-	a, err := sh.med.Mediate(t.query.IssuedAt, t.query)
-	var workers []*Worker
+	a, err := sh.med.Mediate(ctx, t.query.IssuedAt, t.query)
+	var workers []Executor
 	if err == nil {
 		workers = s.selectedWorkers(a)
 	}
@@ -292,7 +315,7 @@ func (s *Service) process(ctx context.Context, t *Ticket) {
 // the selected workers and the ticket completes with the allocation, the
 // dispatch error (if any), and — on the collecting ticket path — a pending
 // result count covering exactly the workers that accepted.
-func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *model.Allocation, merr error, workers []*Worker) {
+func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *model.Allocation, merr error, workers []Executor) {
 	if merr != nil {
 		merr = dispatchErr(t.query, merr)
 		if errors.Is(merr, ErrDispatch) {
@@ -330,11 +353,11 @@ func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *mod
 	t.finish(a, err, t.resCh, expected)
 }
 
-// selectedWorkers resolves the dispatchable workers of an allocation.
-func (s *Service) selectedWorkers(a *model.Allocation) []*Worker {
-	workers := make([]*Worker, 0, len(a.Selected))
+// selectedWorkers resolves the dispatchable executors of an allocation.
+func (s *Service) selectedWorkers(a *model.Allocation) []Executor {
+	workers := make([]Executor, 0, len(a.Selected))
 	for _, pid := range a.Selected {
-		if w, ok := s.dir.Provider(pid).(*Worker); ok {
+		if w, ok := s.dir.Provider(pid).(Executor); ok {
 			workers = append(workers, w)
 		}
 	}
@@ -348,13 +371,13 @@ func (s *Service) selectedWorkers(a *model.Allocation) []*Worker {
 // retryable remainder. abandon (nil on the non-collecting path) lets a
 // worker that shuts down mid-execution tell the ticket its result will
 // never come.
-func (s *Service) dispatch(ctx context.Context, q model.Query, workers []*Worker, results chan<- Result, abandon chan<- model.ProviderID) error {
+func (s *Service) dispatch(ctx context.Context, q model.Query, workers []Executor, results chan<- Result, abandon chan<- model.ProviderID) error {
 	var accepted, failed []model.ProviderID
 	for _, w := range workers {
 		if w.accept(ctx, q, results, abandon) {
-			accepted = append(accepted, w.id)
+			accepted = append(accepted, w.ProviderID())
 		} else {
-			failed = append(failed, w.id)
+			failed = append(failed, w.ProviderID())
 		}
 	}
 	if len(failed) == 0 {
@@ -427,8 +450,8 @@ func (s *Service) processGroup(ctx context.Context, sh *shard, tickets []*Ticket
 	// The batch is one arrival event: every ticket carries the same stamp.
 	now := qs[0].IssuedAt
 	sh.mu.Lock()
-	as, errs := sh.med.MediateBatch(now, qs)
-	workers := make([][]*Worker, len(tickets))
+	as, errs := sh.med.MediateBatch(ctx, now, qs)
+	workers := make([][]Executor, len(tickets))
 	for j := range as {
 		if errs[j] == nil {
 			workers[j] = s.selectedWorkers(as[j])
@@ -457,6 +480,16 @@ type ShardStats struct {
 	// MeanCandidates is the mean candidate-set size |P_q| over this
 	// shard's successful mediations (0 when none).
 	MeanCandidates float64
+
+	// Imputations counts intention-batch positions this shard filled from
+	// satisfaction registry state because a context-aware participant
+	// stayed silent or failed during the fan-out.
+	Imputations uint64
+
+	// IntentionTimeouts counts the subset of Imputations caused by a
+	// participant missing its per-participant deadline
+	// (WithParticipantDeadline).
+	IntentionTimeouts uint64
 
 	// QueueDepth is the number of submissions waiting in this shard's
 	// asynchronous queue. Always 0 through the blocking Service paths;
@@ -494,6 +527,26 @@ func (st Stats) Mediations() uint64 {
 	return n
 }
 
+// Imputations returns the total imputed intention-batch positions across
+// all shards.
+func (st Stats) Imputations() uint64 {
+	var n uint64
+	for _, sh := range st.Shards {
+		n += sh.Imputations
+	}
+	return n
+}
+
+// IntentionTimeouts returns the total deadline-missed participant calls
+// across all shards.
+func (st Stats) IntentionTimeouts() uint64 {
+	var n uint64
+	for _, sh := range st.Shards {
+		n += sh.IntentionTimeouts
+	}
+	return n
+}
+
 // Stats snapshots the service counters. Counters are read with atomic
 // loads, not under a global lock, so the snapshot is internally consistent
 // per counter but not across them — fine for monitoring, not for invariant
@@ -509,9 +562,11 @@ func (s *Service) Stats() Stats {
 	for i, sh := range s.shards {
 		m := sh.mediations.Load()
 		ss := ShardStats{
-			Mediations:       m,
-			Rejections:       sh.rejections.Load(),
-			DispatchFailures: sh.dispatchFailures.Load(),
+			Mediations:        m,
+			Rejections:        sh.rejections.Load(),
+			DispatchFailures:  sh.dispatchFailures.Load(),
+			Imputations:       sh.imputations.Load(),
+			IntentionTimeouts: sh.intentionTimeouts.Load(),
 		}
 		if m > 0 {
 			ss.MeanCandidates = float64(sh.candidateSum.Load()) / float64(m)
@@ -519,7 +574,7 @@ func (s *Service) Stats() Stats {
 		st.Shards[i] = ss
 	}
 	for _, id := range s.dir.ProviderIDs() {
-		if w, ok := s.dir.Provider(id).(*Worker); ok {
+		if w, ok := s.dir.Provider(id).(Executor); ok {
 			st.WorkerQueueDepths[id] = w.QueueDepth()
 		}
 	}
@@ -544,4 +599,5 @@ func (s *Service) satisfactionSnapshot() event.SatisfactionSnapshot {
 
 var _ mediator.Provider = (*Worker)(nil)
 var _ directory.CapabilityReporter = (*Worker)(nil)
+var _ Executor = (*Worker)(nil)
 var _ mediator.Consumer = FuncConsumer{}

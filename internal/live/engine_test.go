@@ -100,7 +100,7 @@ func TestSingleShardByteIdenticalToSerializedMediator(t *testing.T) {
 		refQ := q
 		refQ.ID = model.QueryID(i + 1) // engine assigns 1-based sequential IDs
 		refQ.IssuedAt = now
-		wantA, wantErr := ref.Mediate(now, refQ)
+		wantA, wantErr := ref.Mediate(context.Background(), now, refQ)
 
 		gotA, gotErr := svc.Submit(context.Background(), q, nil)
 		if (wantErr == nil) != (gotErr == nil) {
@@ -297,8 +297,8 @@ type unregisterOnAllocate struct {
 }
 
 func (u *unregisterOnAllocate) Name() string { return "unregister-on-allocate" }
-func (u *unregisterOnAllocate) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
-	a := u.inner.Allocate(e, q, cands)
+func (u *unregisterOnAllocate) Allocate(ctx context.Context, e alloc.Env, q model.Query, cands []model.ProviderSnapshot) (*model.Allocation, error) {
+	a, err := u.inner.Allocate(ctx, e, q, cands)
 	if a != nil {
 		for _, id := range a.Selected {
 			u.svc.Directory().UnregisterProvider(id)
@@ -306,7 +306,7 @@ func (u *unregisterOnAllocate) Allocate(e alloc.Env, q model.Query, cands []mode
 	}
 	u.next++
 	u.svc.RegisterProvider(&constProvider{id: model.ProviderID(u.next), pi: 0.5})
-	return a
+	return a, err
 }
 
 // TestSubmitStaleSelectionIsDispatchError: when churn empties a mediated
@@ -338,9 +338,11 @@ func TestSubmitStaleSelectionIsDispatchError(t *testing.T) {
 	}
 }
 
-// TestSubmitCancelledContext: a done context surfaces through ErrDispatch
-// wrapping the context error, so retry loops can tell a dead context from a
-// transient delivery race.
+// TestSubmitCancelledContext: under the v2 context-first protocol a done
+// context aborts the mediation itself — the query is rejected with the bare
+// context error before any intention is collected or any worker contacted,
+// and no allocation is produced. (The v1 engine mediated first and failed
+// only at dispatch.)
 func TestSubmitCancelledContext(t *testing.T) {
 	svc := NewService(core.MustNew(core.DefaultConfig()), 10)
 	w, err := NewWorker(1, 1000, 4, func(model.Query) model.Intention { return 0.5 })
@@ -353,9 +355,19 @@ func TestSubmitCancelledContext(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = svc.Submit(ctx, model.Query{Consumer: 0, N: 1, Work: 1}, nil)
-	if !errors.Is(err, ErrDispatch) || !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want ErrDispatch wrapping context.Canceled", err)
+	a, err := svc.Submit(ctx, model.Query{Consumer: 0, N: 1, Work: 1}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrDispatch) {
+		t.Errorf("err = %v: a canceled mediation must not read as a dispatch failure", err)
+	}
+	if a != nil {
+		t.Errorf("allocation = %v, want nil (mediation never ran)", a)
+	}
+	// The rejection is visible in the shard counters.
+	if got := svc.Stats().Shards[0].Rejections; got != 1 {
+		t.Errorf("rejections = %d, want 1", got)
 	}
 }
 

@@ -61,6 +61,21 @@ type Result struct {
 	Latency  time.Duration
 }
 
+// Executor is the engine's dispatch contract: a registered provider the
+// engine hands accepted queries to. *Worker implements it, and so does any
+// type embedding *Worker — which is how embedders decorate a local executor
+// with extra mediator-facing behaviour (the sbqad gateway's webhook-backed
+// workers embed a *Worker and add the context-aware intention method, so
+// they mediate remotely but execute locally). The accept hand-off is
+// engine-internal, so Executor can only be satisfied through the worker
+// machinery; providers registered without it still participate in mediation
+// but are delivered to out of band.
+type Executor interface {
+	ProviderID() model.ProviderID
+	QueueDepth() int
+	accept(ctx context.Context, q model.Query, results chan<- Result, abandon chan<- model.ProviderID) bool
+}
+
 // Worker executes queries on its own goroutine at a fixed capacity.
 // It implements mediator.Provider; all mediator-facing reads are
 // mutex-guarded because mediations and executions run on different

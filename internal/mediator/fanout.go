@@ -1,0 +1,279 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sbqa/internal/alloc"
+	"sbqa/internal/event"
+	"sbqa/internal/model"
+)
+
+// This file implements the default adapter behind the v2 batched intention
+// protocol (alloc.Env): the mediator's env fans one batch out over the
+// registered participants. In-process participants — anything implementing
+// only the synchronous directory contracts — are called inline, in candidate
+// order, so single-shard runs stay byte-identical to the historical
+// pipeline. Participants that additionally implement one of the context-
+// aware interfaces below (typically network-backed: the sbqad gateway's
+// webhook participants) are contacted concurrently, each bounded by
+// Config.ParticipantDeadline; a participant that stays silent past its
+// deadline (or fails) has its intention imputed from its satisfaction
+// registry state instead of stalling the mediation — the paper's autonomy
+// assumption made operational.
+
+// ConsumerParticipant is the optional context-aware extension of Consumer
+// for autonomous consumers the mediator reaches over a network. When a
+// registered consumer implements it, the mediator collects CI_q over the
+// whole candidate batch with a single call instead of looping over the
+// synchronous Intention method.
+//
+// The returned slice must be position-aligned with kn; any other length is
+// treated as a failed collection and the whole CI vector is imputed. The
+// call runs on its own goroutine and must honor ctx — a call that outlives
+// ctx is abandoned (its goroutine leaks until the implementation returns, so
+// implementations should not block indefinitely).
+type ConsumerParticipant interface {
+	Intentions(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) ([]model.Intention, error)
+}
+
+// ProviderParticipant is the optional context-aware extension of Provider
+// for autonomous providers the mediator reaches over a network: PI_q is
+// gathered through IntentionContext instead of the synchronous Intention
+// method, concurrently with every other participant of the batch. The same
+// deadline and abandonment rules as ConsumerParticipant apply.
+type ProviderParticipant interface {
+	IntentionContext(ctx context.Context, q model.Query) (model.Intention, error)
+}
+
+// BidderParticipant is the optional context-aware extension of Provider for
+// the economic baseline's bidding round: bids are gathered through
+// BidContext under the same fan-out, deadline, and abandonment rules. A
+// silent bidder's bid is imputed as its expected completion delay.
+type BidderParticipant interface {
+	BidContext(ctx context.Context, q model.Query) (float64, error)
+}
+
+// callWithDeadline invokes one participant call on its own goroutine,
+// bounded by the per-participant deadline d (0 = no bound beyond ctx). The
+// select guarantees the mediation never waits past the deadline even when
+// the participant ignores ctx entirely; the abandoned call's goroutine
+// finishes in the background.
+func callWithDeadline[T any](ctx context.Context, d time.Duration, f func(ctx context.Context) (T, error)) (T, error) {
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := f(ctx)
+		ch <- outcome{v: v, err: err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// imputedProviderIntention derives a silent provider's stand-in intention
+// from its registry state: δa(p), the mean unit intention the provider has
+// expressed over its remembered proposals, mapped back from [0, 1] to
+// [-1, 1]. A cold or unknown provider imputes to neutral 0.
+func (m *Mediator) imputedProviderIntention(id model.ProviderID) model.Intention {
+	return model.Intention(2*m.registry.ProviderAdequation(id) - 1).Clamp()
+}
+
+// imputedConsumerIntention derives a silent consumer's stand-in intention
+// from its registry state: δa(c), the mean unit intention the consumer has
+// expressed toward its remembered candidate sets, mapped back to [-1, 1].
+func (m *Mediator) imputedConsumerIntention(c model.ConsumerID) model.Intention {
+	return model.Intention(2*m.registry.ConsumerAdequation(c) - 1).Clamp()
+}
+
+// Intentions implements the batched v2 protocol (alloc.Env) and reports
+// every imputation to the configured observer, in candidate order (the
+// consumer's event first), on the mediating goroutine.
+func (e env) Intentions(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) (alloc.IntentionSet, error) {
+	set, err := e.collect(ctx, q, kn, true)
+	if err != nil {
+		return set, err
+	}
+	e.m.emitImputations(q, kn, &set)
+	return set, nil
+}
+
+// collect gathers the consumer's and (when withPI) every candidate
+// provider's intentions for q over the batch kn. Context-aware participants
+// fan out concurrently with per-participant deadlines and imputation;
+// in-process participants are called inline in candidate order. A non-nil
+// error is returned only when ctx itself is done — individual silent
+// participants never fail the batch.
+func (e env) collect(ctx context.Context, q model.Query, kn []model.ProviderSnapshot, withPI bool) (alloc.IntentionSet, error) {
+	if err := ctx.Err(); err != nil {
+		return alloc.IntentionSet{}, err
+	}
+	set := alloc.IntentionSet{CI: make([]model.Intention, len(kn))}
+	deadline := e.m.cfg.ParticipantDeadline
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards the set's lazily-allocated provenance slices
+
+	if withPI {
+		set.PI = make([]model.Intention, len(kn))
+		for i, snap := range kn {
+			prov := e.m.candidateOf(snap.ID)
+			if prov == nil {
+				// Unregistered between discovery and collection (shared
+				// directory churn): zero intention, exactly as the v1
+				// pipeline scored departed providers; the backfill drops
+				// them from the allocation entirely.
+				continue
+			}
+			if pp, ok := prov.(ProviderParticipant); ok {
+				wg.Add(1)
+				go func(i int, id model.ProviderID, pp ProviderParticipant) {
+					defer wg.Done()
+					v, err := callWithDeadline(ctx, deadline, func(ctx context.Context) (model.Intention, error) {
+						return pp.IntentionContext(ctx, q)
+					})
+					if err != nil {
+						v = e.m.imputedProviderIntention(id)
+						mu.Lock()
+						set.MarkProviderImputed(i, err)
+						mu.Unlock()
+					}
+					set.PI[i] = v
+				}(i, snap.ID, pp)
+				continue
+			}
+			set.PI[i] = prov.Intention(q)
+		}
+	}
+
+	if cp, ok := e.consumer.(ConsumerParticipant); ok {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals, err := callWithDeadline(ctx, deadline, func(ctx context.Context) ([]model.Intention, error) {
+				return cp.Intentions(ctx, q, kn)
+			})
+			if err == nil && len(vals) != len(kn) {
+				err = fmt.Errorf("mediator: consumer %d returned %d intentions for %d candidates",
+					q.Consumer, len(vals), len(kn))
+			}
+			if err != nil {
+				imputed := e.m.imputedConsumerIntention(q.Consumer)
+				for i := range set.CI {
+					set.CI[i] = imputed
+				}
+				set.CIImputed = true
+				set.CIErr = err
+				return
+			}
+			copy(set.CI, vals)
+		}()
+	} else if e.consumer != nil {
+		for i, snap := range kn {
+			set.CI[i] = e.consumer.Intention(q, snap)
+		}
+	}
+
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The mediation itself was canceled: abort rather than score a
+		// batch of wholesale-imputed values.
+		return alloc.IntentionSet{}, err
+	}
+	return set, nil
+}
+
+// emitImputations reports every imputed batch position to the configured
+// observer.
+func (m *Mediator) emitImputations(q model.Query, kn []model.ProviderSnapshot, set *alloc.IntentionSet) {
+	obs := m.cfg.Observer
+	if obs == nil {
+		return
+	}
+	if set.CIImputed && set.Len() > 0 {
+		obs.OnIntentionImputed(event.Imputation{
+			Query:    q,
+			Provider: model.NoProvider,
+			Consumer: q.Consumer,
+			Err:      set.CIErr,
+			Imputed:  set.CI[0],
+		})
+	}
+	for i := range kn {
+		if set.ProviderImputed(i) {
+			obs.OnIntentionImputed(event.Imputation{
+				Query:    q,
+				Provider: kn[i].ID,
+				Consumer: q.Consumer,
+				Err:      set.PIErr[i],
+				Imputed:  set.PI[i],
+			})
+		}
+	}
+}
+
+// Bids implements the batched v2 protocol (alloc.Env): the economic
+// baseline's bidding round under the same fan-out and deadline rules. A
+// silent or departed bidder's bid is imputed as its expected completion
+// delay (no observer event — bids are prices, not intentions).
+func (e env) Bids(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bids := make([]float64, len(kn))
+	deadline := e.m.cfg.ParticipantDeadline
+	var wg sync.WaitGroup
+	for i, snap := range kn {
+		prov := e.m.candidateOf(snap.ID)
+		if prov == nil {
+			bids[i] = snap.ExpectedDelay(q.Work)
+			continue
+		}
+		if bp, ok := prov.(BidderParticipant); ok {
+			wg.Add(1)
+			go func(i int, snap model.ProviderSnapshot, bp BidderParticipant) {
+				defer wg.Done()
+				v, err := callWithDeadline(ctx, deadline, func(ctx context.Context) (float64, error) {
+					return bp.BidContext(ctx, q)
+				})
+				if err != nil {
+					v = snap.ExpectedDelay(q.Work)
+				}
+				bids[i] = v
+			}(i, snap, bp)
+			continue
+		}
+		bids[i] = prov.Bid(q)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return bids, nil
+}
+
+// ProviderSatisfactions implements the batched v2 protocol (alloc.Env) from
+// the shared satisfaction registry.
+func (e env) ProviderSatisfactions(kn []model.ProviderSnapshot) []float64 {
+	out := make([]float64, len(kn))
+	for i, snap := range kn {
+		out[i] = e.m.registry.ProviderSatisfaction(snap.ID)
+	}
+	return out
+}
+
+var _ alloc.Env = env{}
+var _ alloc.ShareEnv = env{}

@@ -26,9 +26,11 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"sbqa/internal/alloc"
 	"sbqa/internal/directory"
@@ -139,6 +141,16 @@ type Config struct {
 	// discovery — shared across engine shards. Nil gets a private
 	// directory.
 	Directory Directory
+
+	// ParticipantDeadline bounds each context-aware participant call
+	// (ConsumerParticipant, ProviderParticipant, BidderParticipant) during
+	// batched intention and bid collection. A participant that misses its
+	// deadline is abandoned and its intention imputed from the
+	// satisfaction registry (see fanout.go); the mediation never stalls on
+	// a silent participant. Zero means no per-participant bound — only the
+	// mediation context limits the calls. In-process participants (the
+	// synchronous directory contracts) are never subject to it.
+	ParticipantDeadline time.Duration
 }
 
 // Mediator is the pipeline. One instance is not safe for concurrent use;
@@ -225,31 +237,14 @@ func (m *Mediator) Provider(id model.ProviderID) Provider { return m.dir.Provide
 // Consumer returns the registered consumer with the given ID, or nil.
 func (m *Mediator) Consumer(id model.ConsumerID) Consumer { return m.dir.Consumer(id) }
 
-// env adapts the participant registries to alloc.Env for one mediation.
+// env adapts the participant registries to the batched v2 alloc.Env for one
+// mediation. The batch methods (Intentions, Bids, ProviderSatisfactions)
+// live in fanout.go: they are the default adapter of the intention protocol,
+// fanning context-aware participants out concurrently while calling
+// in-process participants inline.
 type env struct {
 	m        *Mediator
 	consumer Consumer
-}
-
-func (e env) ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
-	if e.consumer == nil {
-		return 0
-	}
-	return e.consumer.Intention(q, p)
-}
-
-func (e env) ProviderIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
-	if prov := e.m.candidateOf(p.ID); prov != nil {
-		return prov.Intention(q)
-	}
-	return 0
-}
-
-func (e env) ProviderBid(q model.Query, p model.ProviderSnapshot) float64 {
-	if prov := e.m.candidateOf(p.ID); prov != nil {
-		return prov.Bid(q)
-	}
-	return p.ExpectedDelay(q.Work)
 }
 
 // DevotedAvailable implements alloc.ShareEnv by delegating to providers
@@ -277,25 +272,30 @@ func (m *Mediator) candidateOf(id model.ProviderID) Provider {
 	return m.dir.Provider(id)
 }
 
+// ConsumerSatisfaction implements alloc.Env from the satisfaction registry.
 func (e env) ConsumerSatisfaction(c model.ConsumerID) float64 {
 	return e.m.registry.ConsumerSatisfaction(c)
 }
 
-func (e env) ProviderSatisfaction(p model.ProviderID) float64 {
-	return e.m.registry.ProviderSatisfaction(p)
-}
-
 // Mediate runs the full pipeline for query q at simulation time now:
-// candidate discovery, allocation, intention backfill, satisfaction
-// recording. It returns ErrNoCandidates when P_q is empty — the caller
-// records the query as unallocated (the consumer's satisfaction window
-// records the failure either way, as the paper's Equation 1 prescribes:
-// an unserved query contributes zero satisfaction). When a shared
-// directory's churn empties the selection mid-flight, mediation is retried
-// once against the refreshed candidate set; if that attempt also goes
-// stale, Mediate returns ErrStaleSelection.
-func (m *Mediator) Mediate(now float64, q model.Query) (*model.Allocation, error) {
-	return m.mediate(now, q, nil)
+// candidate discovery, batched intention collection, allocation,
+// satisfaction recording. It returns ErrNoCandidates when P_q is empty — the
+// caller records the query as unallocated (the consumer's satisfaction
+// window records the failure either way, as the paper's Equation 1
+// prescribes: an unserved query contributes zero satisfaction). When a
+// shared directory's churn empties the selection mid-flight, mediation is
+// retried once against the refreshed candidate set; if that attempt also
+// goes stale, Mediate returns ErrStaleSelection.
+//
+// ctx bounds the whole mediation, including the in-flight intention fan-out
+// to context-aware participants: once it is done the query is rejected with
+// the context error and nothing is recorded. A nil ctx is treated as
+// context.Background().
+func (m *Mediator) Mediate(ctx context.Context, now float64, q model.Query) (*model.Allocation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return m.mediate(ctx, now, q, nil)
 }
 
 // MediateBatch mediates a batch of queries at time now, in order, and
@@ -308,12 +308,18 @@ func (m *Mediator) Mediate(now float64, q model.Query) (*model.Allocation, error
 // caused by dispatching earlier queries of the same batch are not visible
 // to later ones, which matches what a serialized caller observes, since
 // dispatch happens after mediation anyway.
-func (m *Mediator) MediateBatch(now float64, qs []model.Query) ([]*model.Allocation, []error) {
+//
+// ctx bounds the batch as a whole: queries mediated after it is done are
+// rejected with the context error (see Mediate).
+func (m *Mediator) MediateBatch(ctx context.Context, now float64, qs []model.Query) ([]*model.Allocation, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	allocs := make([]*model.Allocation, len(qs))
 	errs := make([]error, len(qs))
 	cache := make(map[model.ProviderID]model.ProviderSnapshot)
 	for i, q := range qs {
-		allocs[i], errs[i] = m.mediate(now, q, cache)
+		allocs[i], errs[i] = m.mediate(ctx, now, q, cache)
 	}
 	return allocs, errs
 }
@@ -348,7 +354,13 @@ func (m *Mediator) reject(q model.Query, err error) error {
 	return err
 }
 
-func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderID]model.ProviderSnapshot) (*model.Allocation, error) {
+func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cache map[model.ProviderID]model.ProviderSnapshot) (*model.Allocation, error) {
+	if err := ctx.Err(); err != nil {
+		// Canceled before mediation: an infrastructure outcome, not a
+		// capacity verdict — nothing is recorded in any satisfaction
+		// window.
+		return nil, m.reject(q, err)
+	}
 	if err := q.Validate(); err != nil {
 		return nil, m.reject(q, fmt.Errorf("mediator: %w", err))
 	}
@@ -381,13 +393,19 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 			return nil, m.reject(q, ErrNoCandidates)
 		}
 
-		a := m.allocator.Allocate(e, q, snaps)
+		a, err := m.allocator.Allocate(ctx, e, q, snaps)
+		if err != nil {
+			// Protocol failure: the context was canceled mid-fan-out or
+			// the batched collection aborted. The query was never
+			// mediated, so nothing is recorded.
+			return nil, m.reject(q, err)
+		}
 		if a == nil || len(a.Selected) == 0 {
 			m.registry.RecordAllocation(&model.Allocation{Query: q}, nil)
 			return nil, m.reject(q, ErrNoCandidates)
 		}
 
-		m.backfillIntentions(e, a, now, cache)
+		m.backfillIntentions(ctx, e, a, now, cache)
 		if len(a.Selected) == 0 {
 			// Every selected provider unregistered between candidate
 			// discovery and backfill (only possible when the directory is
@@ -401,12 +419,14 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 
 		// Optionally evaluate the consumer's intentions over the full
 		// candidate set so allocation satisfaction is measured against the
-		// true optimum rather than the proposed subset.
+		// true optimum rather than the proposed subset. This is a second
+		// CI-only batch round (a context-aware consumer is contacted once
+		// more, over all of P_q); imputation applies but is not reported —
+		// it feeds analysis, not the allocation.
 		var candidateCI []model.Intention
 		if m.cfg.AnalyzeBest {
-			candidateCI = make([]model.Intention, len(snaps))
-			for i, snap := range snaps {
-				candidateCI[i] = e.ConsumerIntention(q, snap)
+			if set, cerr := e.collect(ctx, q, snaps, false); cerr == nil {
+				candidateCI = set.CI
 			}
 		}
 		m.registry.RecordAllocation(a, candidateCI)
@@ -422,7 +442,10 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 
 // backfillIntentions fills any intention the allocator did not collect
 // itself (baseline techniques are interest-blind; the satisfaction model
-// still needs the participants' intentions about what happened).
+// still needs the participants' intentions about what happened). The fill is
+// one batched Intentions round over the surviving proposal set — the same
+// protocol call SbQA makes over Kn — so baseline techniques get identical
+// fan-out, deadline, and imputation semantics.
 //
 // Providers that unregistered between candidate discovery and this point —
 // possible when the directory is shared with concurrent registrars — are
@@ -430,7 +453,7 @@ func (m *Mediator) mediate(now float64, q model.Query, cache map[model.ProviderI
 // zero intentions: recording would resurrect the departed provider's
 // satisfaction tracker and skew the consumer's obtained satisfaction with a
 // phantom result.
-func (m *Mediator) backfillIntentions(e env, a *model.Allocation, now float64, cache map[model.ProviderID]model.ProviderSnapshot) {
+func (m *Mediator) backfillIntentions(ctx context.Context, e env, a *model.Allocation, now float64, cache map[model.ProviderID]model.ProviderSnapshot) {
 	prefilled := len(a.ConsumerIntentions) == len(a.Proposed) &&
 		len(a.ProviderIntentions) == len(a.Proposed)
 	if prefilled && !m.sharedDir {
@@ -439,16 +462,17 @@ func (m *Mediator) backfillIntentions(e env, a *model.Allocation, now float64, c
 		// single-threaded simulation hot path pays no per-provider lookups.
 		return
 	}
+	// Pass 1: drop departed providers, compacting the proposal-aligned
+	// vectors, and gather the surviving providers' snapshots when the
+	// intentions still need to be collected.
+	var snaps []model.ProviderSnapshot
 	if !prefilled {
-		a.ConsumerIntentions = make([]model.Intention, len(a.Proposed))
-		a.ProviderIntentions = make([]model.Intention, len(a.Proposed))
+		snaps = make([]model.ProviderSnapshot, 0, len(a.Proposed))
 	}
 	kept := 0
-	stale := false
 	for i, id := range a.Proposed {
 		p := m.dir.Provider(id)
 		if p == nil {
-			stale = true
 			continue
 		}
 		if !prefilled {
@@ -459,27 +483,46 @@ func (m *Mediator) backfillIntentions(e env, a *model.Allocation, now float64, c
 					cache[id] = snap
 				}
 			}
-			a.ConsumerIntentions[i] = e.ConsumerIntention(a.Query, snap)
-			a.ProviderIntentions[i] = p.Intention(a.Query)
+			snaps = append(snaps, snap)
 		}
-		if stale {
-			a.Proposed[kept] = a.Proposed[i]
+		a.Proposed[kept] = a.Proposed[i]
+		if prefilled {
 			a.ConsumerIntentions[kept] = a.ConsumerIntentions[i]
 			a.ProviderIntentions[kept] = a.ProviderIntentions[i]
-			if i < len(a.Scores) {
-				a.Scores[kept] = a.Scores[i]
-			}
+		}
+		if i < len(a.Scores) {
+			a.Scores[kept] = a.Scores[i]
 		}
 		kept++
 	}
+	stale := kept < len(a.Proposed)
+	a.Proposed = a.Proposed[:kept]
+	if len(a.Scores) > kept {
+		a.Scores = a.Scores[:kept]
+	}
+	switch {
+	case prefilled:
+		a.ConsumerIntentions = a.ConsumerIntentions[:kept]
+		a.ProviderIntentions = a.ProviderIntentions[:kept]
+	case kept == 0:
+		// Every proposed provider departed: nothing to collect (and no
+		// pointless zero-candidate round trip to a remote consumer).
+		a.ConsumerIntentions = nil
+		a.ProviderIntentions = nil
+	default:
+		set, err := e.Intentions(ctx, a.Query, snaps)
+		if err != nil {
+			// Canceled mid-backfill: record the mediation outcome with
+			// neutral (zero) intentions rather than losing it entirely —
+			// the allocation already happened and was dispatched to.
+			set.CI = make([]model.Intention, kept)
+			set.PI = make([]model.Intention, kept)
+		}
+		a.ConsumerIntentions = set.CI
+		a.ProviderIntentions = set.PI
+	}
 	if !stale {
 		return
-	}
-	a.Proposed = a.Proposed[:kept]
-	a.ConsumerIntentions = a.ConsumerIntentions[:kept]
-	a.ProviderIntentions = a.ProviderIntentions[:kept]
-	if a.Scores != nil && kept < len(a.Scores) {
-		a.Scores = a.Scores[:kept]
 	}
 	// Drop stale providers from the selection too; the dispatcher could not
 	// deliver to them anyway.

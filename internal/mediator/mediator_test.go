@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -56,12 +57,15 @@ func q(id int64, c model.ConsumerID, n int) model.Query {
 	return model.Query{ID: model.QueryID(id), Consumer: c, N: n, Work: 1}
 }
 
+// bg is the background context every synchronous test mediation uses.
+var bg = context.Background()
+
 func TestMediateValidation(t *testing.T) {
 	m := newTestMediator(alloc.NewCapacity())
-	if _, err := m.Mediate(0, model.Query{ID: 1, Consumer: 0, N: 0, Work: 1}); err == nil {
+	if _, err := m.Mediate(bg, 0, model.Query{ID: 1, Consumer: 0, N: 0, Work: 1}); err == nil {
 		t.Error("invalid query accepted")
 	}
-	if _, err := m.Mediate(0, q(1, 9, 1)); err == nil {
+	if _, err := m.Mediate(bg, 0, q(1, 9, 1)); err == nil {
 		t.Error("unregistered consumer accepted")
 	}
 }
@@ -70,7 +74,7 @@ func TestMediateNoCandidates(t *testing.T) {
 	m := newTestMediator(alloc.NewCapacity())
 	c := &fakeConsumer{id: 0}
 	m.RegisterConsumer(c)
-	_, err := m.Mediate(0, q(1, 0, 1))
+	_, err := m.Mediate(bg, 0, q(1, 0, 1))
 	if !errors.Is(err, ErrNoCandidates) {
 		t.Fatalf("err = %v, want ErrNoCandidates", err)
 	}
@@ -88,7 +92,7 @@ func TestMediateClassFiltering(t *testing.T) {
 
 	query := q(1, 0, 1)
 	query.Class = 2
-	a, err := m.Mediate(0, query)
+	a, err := m.Mediate(bg, 0, query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +101,7 @@ func TestMediateClassFiltering(t *testing.T) {
 	}
 
 	query.Class = 3
-	if _, err := m.Mediate(0, query); !errors.Is(err, ErrNoCandidates) {
+	if _, err := m.Mediate(bg, 0, query); !errors.Is(err, ErrNoCandidates) {
 		t.Errorf("class with no providers: err = %v", err)
 	}
 }
@@ -108,7 +112,7 @@ func TestMediateBackfillsIntentionsForBaselines(t *testing.T) {
 	m.RegisterConsumer(cons)
 	m.RegisterProvider(&fakeProvider{id: 1, intention: -0.25})
 
-	a, err := m.Mediate(0, q(1, 0, 1))
+	a, err := m.Mediate(bg, 0, q(1, 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +142,7 @@ func TestMediateWithSbQAAllocator(t *testing.T) {
 	m.RegisterProvider(&fakeProvider{id: 2, intention: -0.9})
 	m.RegisterProvider(&fakeProvider{id: 3, intention: 0.9})
 
-	a, err := m.Mediate(0, q(1, 0, 1))
+	a, err := m.Mediate(bg, 0, q(1, 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +165,7 @@ func TestUnregisterForgetsMemory(t *testing.T) {
 	m := newTestMediator(alloc.NewCapacity())
 	m.RegisterConsumer(&fakeConsumer{id: 0})
 	m.RegisterProvider(&fakeProvider{id: 1, intention: 1})
-	if _, err := m.Mediate(0, q(1, 0, 1)); err != nil {
+	if _, err := m.Mediate(bg, 0, q(1, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if m.Providers() != 1 || m.Consumers() != 1 {
@@ -196,8 +200,8 @@ func TestMediateDeterministicCandidateOrder(t *testing.T) {
 	m1 := build([]int{1, 2, 3, 4, 5})
 	m2 := build([]int{5, 3, 1, 4, 2})
 	for i := int64(0); i < 30; i++ {
-		a1, err1 := m1.Mediate(0, q(i, 0, 1))
-		a2, err2 := m2.Mediate(0, q(i, 0, 1))
+		a1, err1 := m1.Mediate(bg, 0, q(i, 0, 1))
+		a2, err2 := m2.Mediate(bg, 0, q(i, 0, 1))
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}
@@ -232,7 +236,7 @@ func TestAnalyzeBestRecordsTrueOptimum(t *testing.T) {
 	m.RegisterConsumer(cons)
 	m.RegisterProvider(&fakeProvider{id: 1, util: 0.0})
 	m.RegisterProvider(&fakeProvider{id: 2, util: 0.9})
-	if _, err := m.Mediate(0, q(1, 0, 1)); err != nil {
+	if _, err := m.Mediate(bg, 0, q(1, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
 	tr := m.Registry().Consumer(0)
@@ -253,11 +257,11 @@ type unregisteringAllocator struct {
 }
 
 func (u *unregisteringAllocator) Name() string { return "unregistering" }
-func (u *unregisteringAllocator) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
-	a := u.inner.Allocate(e, q, cands)
+func (u *unregisteringAllocator) Allocate(ctx context.Context, e alloc.Env, q model.Query, cands []model.ProviderSnapshot) (*model.Allocation, error) {
+	a, err := u.inner.Allocate(ctx, e, q, cands)
 	u.m.Directory().UnregisterProvider(u.victim)
 	u.m.Registry().ForgetProvider(u.victim)
-	return a
+	return a, err
 }
 
 // TestBackfillDropsStaleProvider is the regression test for the historical
@@ -274,7 +278,7 @@ func TestBackfillDropsStaleProvider(t *testing.T) {
 	// unregisters during allocation.
 	m.SetAllocator(&unregisteringAllocator{inner: alloc.NewCapacity(), m: m, victim: 2})
 
-	a, err := m.Mediate(0, q(1, 0, 2))
+	a, err := m.Mediate(bg, 0, q(1, 0, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +315,7 @@ func TestBackfillAllStale(t *testing.T) {
 	m.RegisterConsumer(&fakeConsumer{id: 0})
 	m.RegisterProvider(&fakeProvider{id: 1, intention: 1})
 	m.SetAllocator(&unregisteringAllocator{inner: alloc.NewCapacity(), m: m, victim: 1})
-	if _, err := m.Mediate(0, q(1, 0, 1)); !errors.Is(err, ErrStaleSelection) {
+	if _, err := m.Mediate(bg, 0, q(1, 0, 1)); !errors.Is(err, ErrStaleSelection) {
 		t.Errorf("err = %v, want ErrStaleSelection", err)
 	}
 	// The consumer's dissatisfaction accumulated for the failed query.
@@ -331,14 +335,14 @@ type oneShotStaleAllocator struct {
 }
 
 func (u *oneShotStaleAllocator) Name() string { return "one-shot-stale" }
-func (u *oneShotStaleAllocator) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
-	a := u.inner.Allocate(e, q, cands)
+func (u *oneShotStaleAllocator) Allocate(ctx context.Context, e alloc.Env, q model.Query, cands []model.ProviderSnapshot) (*model.Allocation, error) {
+	a, err := u.inner.Allocate(ctx, e, q, cands)
 	if !u.fired {
 		u.fired = true
 		u.m.Directory().UnregisterProvider(u.victim)
 		u.m.Registry().ForgetProvider(u.victim)
 	}
-	return a
+	return a, err
 }
 
 // TestStaleSelectionRetries: when the whole selection goes stale mid-flight
@@ -351,7 +355,7 @@ func TestStaleSelectionRetries(t *testing.T) {
 	m.RegisterProvider(&fakeProvider{id: 2, intention: 0.5, util: 0.9}) // busy survivor
 	m.SetAllocator(&oneShotStaleAllocator{inner: alloc.NewCapacity(), m: m, victim: 1})
 
-	a, err := m.Mediate(0, q(1, 0, 1))
+	a, err := m.Mediate(bg, 0, q(1, 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,8 +380,8 @@ type churningAllocator struct {
 }
 
 func (u *churningAllocator) Name() string { return "churning" }
-func (u *churningAllocator) Allocate(e alloc.Env, q model.Query, cands []model.ProviderSnapshot) *model.Allocation {
-	a := u.inner.Allocate(e, q, cands)
+func (u *churningAllocator) Allocate(ctx context.Context, e alloc.Env, q model.Query, cands []model.ProviderSnapshot) (*model.Allocation, error) {
+	a, err := u.inner.Allocate(ctx, e, q, cands)
 	if a != nil {
 		for _, id := range a.Selected {
 			u.m.Directory().UnregisterProvider(id)
@@ -386,7 +390,7 @@ func (u *churningAllocator) Allocate(e alloc.Env, q model.Query, cands []model.P
 	}
 	u.m.RegisterProvider(&fakeProvider{id: u.next, intention: 0.5})
 	u.next++
-	return a
+	return a, err
 }
 
 // TestStaleSelectionError: when even the retry's selection churns away,
@@ -399,7 +403,7 @@ func TestStaleSelectionError(t *testing.T) {
 	m.RegisterProvider(&fakeProvider{id: 1, intention: 0.5})
 	m.SetAllocator(&churningAllocator{inner: alloc.NewCapacity(), m: m, next: 2})
 
-	_, err := m.Mediate(0, q(1, 0, 1))
+	_, err := m.Mediate(bg, 0, q(1, 0, 1))
 	if !errors.Is(err, ErrStaleSelection) {
 		t.Fatalf("err = %v, want ErrStaleSelection", err)
 	}
@@ -433,7 +437,7 @@ func TestMediateBatchMatchesSequential(t *testing.T) {
 	seq := build()
 	wantAllocs := make([]*model.Allocation, len(queries))
 	for i, qq := range queries {
-		a, err := seq.Mediate(5, qq)
+		a, err := seq.Mediate(bg, 5, qq)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -441,7 +445,7 @@ func TestMediateBatchMatchesSequential(t *testing.T) {
 	}
 
 	batch := build()
-	gotAllocs, errs := batch.MediateBatch(5, queries)
+	gotAllocs, errs := batch.MediateBatch(bg, 5, queries)
 	for i := range queries {
 		if errs[i] != nil {
 			t.Fatalf("batch query %d: %v", i, errs[i])
@@ -473,7 +477,7 @@ func TestMediateBatchReportsPerQueryErrors(t *testing.T) {
 		{ID: 3, Consumer: 0}, // invalid (N=0)
 	}
 	qs[0].Class = 0
-	allocs, errs := m.MediateBatch(0, qs)
+	allocs, errs := m.MediateBatch(bg, 0, qs)
 	if errs[0] != nil || allocs[0] == nil {
 		t.Errorf("query 0: %v", errs[0])
 	}
@@ -501,10 +505,10 @@ func TestSharedDirectoryAndRegistry(t *testing.T) {
 	if m2.Providers() != 1 {
 		t.Fatal("shard 2 does not see shard 1's provider")
 	}
-	if _, err := m1.Mediate(0, q(1, 0, 1)); err != nil {
+	if _, err := m1.Mediate(bg, 0, q(1, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m2.Mediate(0, q(2, 1, 1)); err != nil {
+	if _, err := m2.Mediate(bg, 0, q(2, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
 	// Both mediations recorded into the one registry.
@@ -544,7 +548,7 @@ func TestMediateBatchRespectsPerQueryCanPerform(t *testing.T) {
 	light.Work = 1
 	heavy := q(2, 0, 1)
 	heavy.Work = 10
-	allocs, errs := m.MediateBatch(0, []model.Query{light, heavy})
+	allocs, errs := m.MediateBatch(bg, 0, []model.Query{light, heavy})
 	if errs[0] != nil || errs[1] != nil {
 		t.Fatal(errs)
 	}

@@ -34,7 +34,7 @@ func TestMediatorObserverEvents(t *testing.T) {
 		m.RegisterProvider(&fakeProvider{id: model.ProviderID(i), intention: 0.5})
 	}
 
-	if _, err := m.Mediate(0, model.Query{Consumer: 0, N: 1, Work: 1}); err != nil {
+	if _, err := m.Mediate(bg, 0, model.Query{Consumer: 0, N: 1, Work: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if allocs != 1 || legacy != 1 {
@@ -45,18 +45,18 @@ func TestMediatorObserverEvents(t *testing.T) {
 	}
 
 	// Rejection 1: malformed query (validation).
-	if _, err := m.Mediate(0, model.Query{Consumer: 0, N: 0, Work: 1}); err == nil {
+	if _, err := m.Mediate(bg, 0, model.Query{Consumer: 0, N: 0, Work: 1}); err == nil {
 		t.Fatal("want validation error")
 	}
 	// Rejection 2: unregistered consumer.
-	if _, err := m.Mediate(0, model.Query{Consumer: 9, N: 1, Work: 1}); err == nil {
+	if _, err := m.Mediate(bg, 0, model.Query{Consumer: 9, N: 1, Work: 1}); err == nil {
 		t.Fatal("want unregistered-consumer error")
 	}
 	// Rejection 3: no candidates.
 	for i := 0; i < 3; i++ {
 		m.UnregisterProvider(model.ProviderID(i))
 	}
-	if _, err := m.Mediate(0, model.Query{Consumer: 0, N: 1, Work: 1}); !errors.Is(err, ErrNoCandidates) {
+	if _, err := m.Mediate(bg, 0, model.Query{Consumer: 0, N: 1, Work: 1}); !errors.Is(err, ErrNoCandidates) {
 		t.Fatalf("err = %v, want ErrNoCandidates", err)
 	}
 

@@ -22,7 +22,7 @@ func TestOnMediationHook(t *testing.T) {
 	m.RegisterProvider(&fakeProvider{id: 2})
 
 	for i := int64(0); i < 3; i++ {
-		if _, err := m.Mediate(0, q(i, 0, 1)); err != nil {
+		if _, err := m.Mediate(bg, 0, q(i, 0, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -50,7 +50,7 @@ func TestOnMediationNotFiredOnFailure(t *testing.T) {
 		OnMediation: func(*model.Allocation, int) { fired = true },
 	})
 	m.RegisterConsumer(&fakeConsumer{id: 0})
-	if _, err := m.Mediate(0, q(1, 0, 1)); err == nil {
+	if _, err := m.Mediate(bg, 0, q(1, 0, 1)); err == nil {
 		t.Fatal("expected failure with no providers")
 	}
 	if fired {

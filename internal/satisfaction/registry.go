@@ -152,6 +152,35 @@ func (r *Registry) ProviderSatisfaction(p model.ProviderID) float64 {
 	return Neutral
 }
 
+// ConsumerAdequation returns δa(c) — the mean unit intention consumer c has
+// expressed toward the candidate sets of its remembered queries — Neutral for
+// unknown consumers. The batched intention protocol imputes a silent
+// consumer's CI_q from this value: the consumer's historical average interest
+// stands in for the answer it did not give.
+func (r *Registry) ConsumerAdequation(c model.ConsumerID) float64 {
+	sh := r.cshard(c)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if t, ok := sh.m[c]; ok {
+		return t.Adequation()
+	}
+	return Neutral
+}
+
+// ProviderAdequation returns δa(p) — the mean unit intention provider p has
+// expressed over all remembered proposals — Neutral for unknown providers.
+// The batched intention protocol imputes a silent provider's PI_q from this
+// value.
+func (r *Registry) ProviderAdequation(p model.ProviderID) float64 {
+	sh := r.pshard(p)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if t, ok := sh.m[p]; ok {
+		return t.Adequation()
+	}
+	return Neutral
+}
+
 // Forget removes the trackers of a departed participant. Departure resets
 // memory: a participant that later rejoins starts from a clean window.
 func (r *Registry) Forget(c model.ConsumerID, p model.ProviderID) {

@@ -14,7 +14,7 @@
 //	med := sbqa.NewMediator(allocator, sbqa.MediatorConfig{Window: 100})
 //	med.RegisterConsumer(myConsumer)                  // your impl of sbqa.Consumer
 //	med.RegisterProvider(myProvider)                  // your impl of sbqa.Provider
-//	alloc, err := med.Mediate(now, sbqa.Query{Consumer: 0, N: 1, Work: 10})
+//	alloc, err := med.Mediate(ctx, now, sbqa.Query{Consumer: 0, N: 1, Work: 10})
 //
 // For a production embedding, run the asynchronous Engine instead (see
 // NewEngine): Submit returns a *Ticket immediately, and tickets carry the
@@ -87,10 +87,21 @@ type (
 
 // Allocation machinery.
 type (
-	// Allocator decides which providers perform a query.
+	// Allocator decides which providers perform a query
+	// (Allocate(ctx, env, q, candidates)).
 	Allocator = alloc.Allocator
-	// Env is the mediation environment allocators consult.
+	// Env is the batched, context-first mediation environment allocators
+	// consult (the v2 intention protocol): one Intentions call per
+	// mediation collects CI_q and PI_q over the whole candidate batch.
 	Env = alloc.Env
+	// EnvV1 is the original synchronous per-provider environment; adapt it
+	// with LegacyEnv to keep using it behind the v2 protocol.
+	EnvV1 = alloc.EnvV1
+	// LegacyEnv adapts an EnvV1 to the batched Env, looping synchronously.
+	LegacyEnv = alloc.LegacyEnv
+	// IntentionSet is one batched intention collection's outcome: aligned
+	// CI/PI vectors plus per-position imputation provenance.
+	IntentionSet = alloc.IntentionSet
 	// SbQAConfig configures the satisfaction-based allocator.
 	SbQAConfig = core.Config
 	// KnBestParams are the two-stage selection parameters (k, kn).
@@ -98,6 +109,9 @@ type (
 	// SbQA is the satisfaction-based allocator itself.
 	SbQA = core.SbQA
 )
+
+// Legacy wraps a v1 environment into the batched v2 protocol.
+func Legacy(v1 EnvV1) LegacyEnv { return alloc.Legacy(v1) }
 
 // NewSbQA builds the satisfaction-based allocator. The zero config gives the
 // demo defaults: KnBest(k=20, kn=10), adaptive ω per Equation 2, ε = 1.
@@ -212,6 +226,20 @@ type (
 	Provider = mediator.Provider
 	// MediatorDirectory is the catalog interface the mediator consults.
 	MediatorDirectory = mediator.Directory
+
+	// ConsumerParticipant is the optional context-aware extension of
+	// Consumer: the mediator gathers CI_q over the whole candidate batch
+	// with a single Intentions(ctx, q, kn) call — typically a network
+	// round trip — under the configured per-participant deadline, imputing
+	// from registry state when the consumer stays silent.
+	ConsumerParticipant = mediator.ConsumerParticipant
+	// ProviderParticipant is the optional context-aware extension of
+	// Provider: PI_q is gathered through IntentionContext(ctx, q),
+	// concurrently with every other participant of the batch.
+	ProviderParticipant = mediator.ProviderParticipant
+	// BidderParticipant is the optional context-aware extension of
+	// Provider for the economic baseline's bidding round.
+	BidderParticipant = mediator.BidderParticipant
 )
 
 // Directory layer: the indexed participant catalog (candidate discovery by
@@ -370,6 +398,9 @@ type (
 	LiveService = live.Service
 	// LiveWorker executes queries on its own goroutine.
 	LiveWorker = live.Worker
+	// LiveExecutor is the engine's dispatch contract; *LiveWorker (and
+	// types embedding it) implement it.
+	LiveExecutor = live.Executor
 	// LiveResult is one completed execution.
 	LiveResult = live.Result
 	// LiveFuncConsumer adapts an intention function to Consumer.
@@ -397,6 +428,9 @@ type (
 	ObserverFuncs = event.Funcs
 	// SatisfactionSnapshot is a periodic sample of every participant's δs.
 	SatisfactionSnapshot = event.SatisfactionSnapshot
+	// Imputation reports one silent participant whose intention was
+	// imputed from registry state during batched collection.
+	Imputation = event.Imputation
 )
 
 // MultiObserver fans events out to several observers in order.
@@ -470,6 +504,13 @@ func WithQueueDepth(n int) EngineOption { return live.WithQueueDepth(n) }
 // WithSnapshotInterval emits OnSatisfactionSnapshot to the observer every
 // interval of wall-clock time.
 func WithSnapshotInterval(d time.Duration) EngineOption { return live.WithSnapshotInterval(d) }
+
+// WithParticipantDeadline bounds each context-aware participant call during
+// batched intention collection; a participant that misses it is imputed
+// from registry state instead of stalling the mediation.
+func WithParticipantDeadline(d time.Duration) EngineOption {
+	return live.WithParticipantDeadline(d)
+}
 
 // WithResults forwards one submission's per-worker results to ch in
 // addition to collecting them on the ticket.

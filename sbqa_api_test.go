@@ -43,8 +43,29 @@ func TestFacadeSymbolSmoke(t *testing.T) {
 	if NewSbQA(SbQAConfig{Omega: FixedOmega(0.5)}) == nil {
 		t.Error("FixedOmega config rejected")
 	}
-	var _ Env // allocators consult the mediation environment
+	var _ Env // allocators consult the batched mediation environment
 	var _ SbQA
+
+	// Env v2 protocol surface: the legacy adapter turns any v1 environment
+	// into the batched protocol, preserving values exactly.
+	var v2 Env = Legacy(staticEnvStub{})
+	var _ LegacyEnv = Legacy(staticEnvStub{})
+	var _ EnvV1 = staticEnvStub{}
+	set, err := v2.Intentions(context.Background(), Query{Consumer: 0, N: 1, Work: 1},
+		[]ProviderSnapshot{{ID: 7, Capacity: 1}})
+	if err != nil || set.Len() != 1 || set.CI[0] != 0.25 || set.PI[0] != -0.5 {
+		t.Errorf("LegacyEnv.Intentions = %+v, %v", set, err)
+	}
+	if set.ImputedCount() != 0 || set.ProviderImputed(0) {
+		t.Errorf("legacy batch marked imputed: %+v", set)
+	}
+	var _ IntentionSet = set
+	var (
+		_ ConsumerParticipant
+		_ ProviderParticipant
+		_ BidderParticipant
+		_ Imputation
+	)
 
 	// Scoring and satisfaction.
 	if Omega(0.5, 0.5) != 0.5 {
@@ -79,7 +100,7 @@ func TestFacadeSymbolSmoke(t *testing.T) {
 	var _ MediatorDirectory = dir
 	var _ CapabilityReporter
 	med.RegisterConsumer(consumerStub{id: 0})
-	if _, err := med.Mediate(0, Query{Consumer: 0, N: 1, Work: 1}); !errors.Is(err, ErrNoCandidates) {
+	if _, err := med.Mediate(context.Background(), 0, Query{Consumer: 0, N: 1, Work: 1}); !errors.Is(err, ErrNoCandidates) {
 		t.Errorf("err = %v, want ErrNoCandidates", err)
 	}
 	if errors.Is(ErrStaleSelection, ErrNoCandidates) {
@@ -145,8 +166,20 @@ func TestFacadeSymbolSmoke(t *testing.T) {
 		_ LiveResult
 		_ LiveFuncConsumer
 		_ *LiveWorker
+		_ LiveExecutor = (*LiveWorker)(nil)
 	)
+	_ = WithParticipantDeadline(time.Millisecond) // v2 fan-out option
 }
+
+// staticEnvStub is a minimal EnvV1 implementation for the legacy-adapter
+// smoke check.
+type staticEnvStub struct{}
+
+func (staticEnvStub) ConsumerIntention(Query, ProviderSnapshot) Intention { return 0.25 }
+func (staticEnvStub) ProviderIntention(Query, ProviderSnapshot) Intention { return -0.5 }
+func (staticEnvStub) ProviderBid(q Query, _ ProviderSnapshot) float64     { return q.Work }
+func (staticEnvStub) ConsumerSatisfaction(ConsumerID) float64             { return 0.5 }
+func (staticEnvStub) ProviderSatisfaction(ProviderID) float64             { return 0.5 }
 
 // TestFacadeEngineFlow drives the full v2 surface end to end through the
 // facade: functional options, observer, ticket submission, typed dispatch

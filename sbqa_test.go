@@ -1,6 +1,7 @@
 package sbqa
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		med.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(0.2 * float64(i+1))})
 	}
 
-	a, err := med.Mediate(0, Query{Consumer: 0, N: 2, Work: 10})
+	a, err := med.Mediate(context.Background(), 0, Query{Consumer: 0, N: 2, Work: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestPublicScenarioAndRender(t *testing.T) {
 func TestPublicErrNoCandidates(t *testing.T) {
 	med := NewMediator(NewCapacityAllocator(), MediatorConfig{Window: 10})
 	med.RegisterConsumer(consumerStub{id: 0})
-	if _, err := med.Mediate(0, Query{Consumer: 0, N: 1, Work: 1}); err == nil {
+	if _, err := med.Mediate(context.Background(), 0, Query{Consumer: 0, N: 1, Work: 1}); err == nil {
 		t.Error("want ErrNoCandidates")
 	}
 }
