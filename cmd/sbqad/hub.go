@@ -3,6 +3,7 @@ package main
 import (
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"sbqa"
 )
@@ -22,10 +23,13 @@ type sseEvent struct {
 // kept) and every other subscriber still receives it. A stalled SSE client
 // can therefore never stall the engine's observer callbacks, which run
 // synchronously on the mediating goroutines. TestHubSlowSubscriberNeverBlocks
-// enforces this.
+// enforces this. Drops are not silent: every per-subscriber drop increments
+// the dropped counter, surfaced as events_dropped in GET /v1/stats, so an
+// operator can tell a quiet stream from a lossy one.
 type hub struct {
-	mu   sync.Mutex
-	subs map[chan sseEvent]struct{}
+	mu      sync.Mutex
+	subs    map[chan sseEvent]struct{}
+	dropped atomic.Uint64
 }
 
 func newHub() *hub {
@@ -53,11 +57,15 @@ func (h *hub) publish(kind string, data any) {
 	for ch := range h.subs {
 		select {
 		case ch <- sseEvent{kind: kind, data: data}:
-		default: // slow subscriber: drop
+		default: // slow subscriber: drop, but count
+			h.dropped.Add(1)
 		}
 	}
 	h.mu.Unlock()
 }
+
+// droppedEvents reports the lifetime count of per-subscriber drops.
+func (h *hub) droppedEvents() uint64 { return h.dropped.Load() }
 
 // allocationEvent summarizes one successful mediation for the stream.
 type allocationEvent struct {
@@ -99,6 +107,14 @@ type imputationEvent struct {
 	Timeout  bool    `json:"timeout"`
 	Error    string  `json:"error"`
 	Imputed  float64 `json:"imputed"`
+}
+
+// policyChangeEvent reports an accepted policy generation on the stream.
+type policyChangeEvent struct {
+	Generation uint64  `json:"generation"`
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"`
+	Time       float64 `json:"time"`
 }
 
 // observer adapts the hub to the engine's Observer interface.
@@ -149,6 +165,14 @@ func (h *hub) observer() sbqa.Observer {
 				Timeout:  im.Timeout(),
 				Error:    errMsg,
 				Imputed:  float64(im.Imputed),
+			})
+		},
+		PolicyChange: func(pc sbqa.PolicyChange) {
+			h.publish("policy_change", policyChangeEvent{
+				Generation: pc.Generation,
+				Name:       pc.Name,
+				Kind:       pc.Kind,
+				Time:       pc.Time,
 			})
 		},
 		SatisfactionSnapshot: func(snap sbqa.SatisfactionSnapshot) {

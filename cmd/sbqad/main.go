@@ -11,11 +11,18 @@
 //	                          intention_url PI_q comes from the webhook
 //	DELETE /v1/workers/{id}   stop and unregister a worker
 //	POST   /v1/queries        submit {consumer, class, n, work, wait:none|allocation|results}
-//	GET    /v1/stats          engine counters (incl. imputations/timeouts) +
+//	GET    /v1/policy         the running allocation policy + per-shard
+//	                          generation adoption
+//	PUT    /v1/policy         hot-reconfigure the engine to a new policy spec;
+//	                          shards adopt it at their next mediation boundary
+//	POST   /v1/policy/preview dry-run a candidate policy against a submitted
+//	                          candidate set (no engine state touched)
+//	GET    /v1/stats          engine counters (incl. imputations/timeouts,
+//	                          policy generations, events_dropped) +
 //	                          per-participant satisfaction
 //	GET    /v1/events         server-sent events: allocation, rejection,
 //	                          dispatch_failure, registered, departed,
-//	                          result, satisfaction, imputation
+//	                          result, satisfaction, imputation, policy_change
 //	GET    /v1/healthz        liveness + readiness summary
 //
 // Remote participants answer intention webhooks under the per-participant
@@ -45,6 +52,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -64,24 +72,70 @@ func main() {
 		snapshot = flag.Duration("snapshot", 10*time.Second, "satisfaction snapshot interval on the event stream (0 disables)")
 		deadline = flag.Duration("participant-deadline", 250*time.Millisecond,
 			"per-participant bound on remote intention webhooks (0 = unbounded); late participants are imputed")
+		policyPath = flag.String("policy", "",
+			"path to a JSON allocation-policy spec; overrides -k/-kn/-seed (see PUT /v1/policy for the schema)")
+		autotune = flag.Bool("autotune", false,
+			"run the autonomic policy tuner (widens kn under consumer starvation, rebalances fixed ω); requires -snapshot > 0")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, *addr,
+	// The daemon always runs a declarative policy: the tuning flags build
+	// the default SbQA spec, -policy replaces it wholesale. Either way the
+	// running policy is inspectable at GET /v1/policy and hot-swappable at
+	// PUT /v1/policy.
+	spec := sbqa.PolicySpec{
+		Name: "boot",
+		Kind: sbqa.PolicySbQA,
+		K:    *k,
+		Kn:   *kn,
+		Seed: *seed,
+	}
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			log.Fatalf("sbqad: -policy: %v", err)
+		}
+		if spec, err = sbqa.ParsePolicy(data); err != nil {
+			log.Fatalf("sbqad: -policy: %v", err)
+		}
+	}
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		log.Fatalf("sbqad: -policy: %v", err)
+	}
+
+	// A deadline in the policy spec wins over the flag's default; an
+	// explicit -participant-deadline wins over the spec (same precedence a
+	// later PUT /v1/policy applies). The spec's deadline is stripped when
+	// the flag is explicit so that `-participant-deadline 0` (unbounded)
+	// also overrides — the engine treats a zero spec deadline as "inherit".
+	// This must happen before WithPolicy captures the spec.
+	deadlineFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "participant-deadline" {
+			deadlineFlagSet = true
+		}
+	})
+	if deadlineFlagSet {
+		spec.ParticipantDeadline = 0
+	}
+	opts := []sbqa.EngineOption{
 		sbqa.WithWindow(*window),
 		sbqa.WithConcurrency(*shards),
-		sbqa.WithAllocatorFactory(func(shard int) sbqa.Allocator {
-			return sbqa.NewSbQA(sbqa.SbQAConfig{
-				KnBest: sbqa.KnBestParams{K: *k, Kn: *kn},
-				Seed:   *seed + uint64(shard),
-			})
-		}),
+		sbqa.WithPolicy(spec),
 		sbqa.WithQueueDepth(*queue),
 		sbqa.WithSnapshotInterval(*snapshot),
-		sbqa.WithParticipantDeadline(*deadline),
-	); err != nil {
+	}
+	if deadlineFlagSet || spec.ParticipantDeadline == 0 {
+		opts = append(opts, sbqa.WithParticipantDeadline(*deadline))
+	}
+	if *autotune {
+		opts = append(opts, sbqa.WithTuner(sbqa.TunerConfig{Logf: log.Printf}))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, opts...); err != nil {
 		log.Fatalf("sbqad: %v", err)
 	}
 }

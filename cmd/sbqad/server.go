@@ -3,7 +3,9 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync"
@@ -35,6 +37,12 @@ type gateway struct {
 
 	mu      sync.Mutex
 	workers map[sbqa.ProviderID]managedWorker
+
+	// policyMu serializes PUT /v1/policy so the generation echoed to each
+	// caller is the one its own Reconfigure was assigned (the engine
+	// serializes internally, but the counter read would otherwise race
+	// with a concurrent PUT).
+	policyMu sync.Mutex
 }
 
 // webhookClientTimeout is the transport-level ceiling on one intention
@@ -96,6 +104,9 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", g.handleRegisterWorker)
 	mux.HandleFunc("DELETE /v1/workers/{id}", g.handleUnregisterWorker)
 	mux.HandleFunc("POST /v1/queries", g.handleSubmit)
+	mux.HandleFunc("GET /v1/policy", g.handleGetPolicy)
+	mux.HandleFunc("PUT /v1/policy", g.handlePutPolicy)
+	mux.HandleFunc("POST /v1/policy/preview", g.handlePolicyPreview)
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
 	mux.HandleFunc("GET /v1/events", g.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
@@ -110,6 +121,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// maxRequestBody bounds every JSON request body the gateway accepts; larger
+// bodies fail with 413 before the decoder buffers them.
+const maxRequestBody = 1 << 20 // 1 MiB
+
+// decodeJSON hardens and decodes one JSON request body: an explicit
+// Content-Type other than application/json is rejected with 415 (a missing
+// Content-Type is tolerated for curl-friendliness), the body is capped at
+// maxRequestBody (413 past it), and malformed JSON fails with 400. Returns
+// false after writing the error response.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && mt != "text/json") {
+			writeError(w, http.StatusUnsupportedMediaType,
+				fmt.Errorf("unsupported content type %q; use application/json", ct))
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
 }
 
 // consumerRequest registers a consumer. Without intention_url the consumer
@@ -128,8 +171,7 @@ type consumerRequest struct {
 
 func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request) {
 	var req consumerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.IntentionURL != "" {
@@ -173,8 +215,7 @@ type workerRequest struct {
 
 func (g *gateway) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 	var req workerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	in := sbqa.Intention(req.Intention).Clamp()
@@ -256,8 +297,7 @@ type resultJSON struct {
 
 func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.N < 1 {
@@ -337,6 +377,8 @@ type statsResponse struct {
 	Consumers        int             `json:"consumers"`
 	WorkerQueues     map[string]int  `json:"worker_queue_depths"`
 	Satisfaction     satisfactionMap `json:"satisfaction"`
+	PolicyGeneration uint64          `json:"policy_generation"`
+	EventsDropped    uint64          `json:"events_dropped"`
 }
 
 type shardJSON struct {
@@ -347,6 +389,8 @@ type shardJSON struct {
 	QueueDepth        int     `json:"queue_depth"`
 	Imputations       uint64  `json:"imputations"`
 	IntentionTimeouts uint64  `json:"intention_timeouts"`
+	PolicyGeneration  uint64  `json:"policy_generation"`
+	PolicySwaps       uint64  `json:"policy_swaps"`
 }
 
 type satisfactionMap struct {
@@ -366,6 +410,8 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Consumers: make(map[string]float64),
 			Providers: make(map[string]float64),
 		},
+		PolicyGeneration: st.PolicyGeneration,
+		EventsDropped:    g.hub.droppedEvents(),
 	}
 	for i, sh := range st.Shards {
 		resp.Shards[i] = shardJSON{
@@ -376,6 +422,8 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 			QueueDepth:        sh.QueueDepth,
 			Imputations:       sh.Imputations,
 			IntentionTimeouts: sh.IntentionTimeouts,
+			PolicyGeneration:  sh.PolicyGeneration,
+			PolicySwaps:       sh.PolicySwaps,
 		}
 	}
 	for id, depth := range st.WorkerQueueDepths {

@@ -22,6 +22,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"sbqa/internal/alloc"
 	"sbqa/internal/knbest"
@@ -60,11 +61,22 @@ func DefaultConfig() Config {
 func FixedOmega(v float64) *float64 { return &v }
 
 // SbQA is the satisfaction-based query allocator. It implements
-// alloc.Allocator. Not safe for concurrent use (the live engine serializes
-// mediations).
+// alloc.Allocator. Allocate is not safe for concurrent use (the live engine
+// serializes mediations per shard), but the allocator's tunables — the
+// KnBest parameters and the scoring rule — live in an atomic snapshot that
+// Allocate loads once per mediation: SetParams and SetScoring may be called
+// from any goroutine while mediations are in flight (Scenario 6 retuning,
+// the policy tuner), and each mediation sees one coherent parameter set.
 type SbQA struct {
-	selector *knbest.Selector
-	scorer   *score.Scorer
+	selector *knbest.Selector // RNG + scratch: owned by the mediating goroutine
+	tune     atomic.Pointer[tuning]
+}
+
+// tuning is one immutable parameter snapshot: the KnBest stages plus the
+// scoring rule (by value — Rank does not mutate the scorer).
+type tuning struct {
+	params knbest.Params
+	scorer score.Scorer
 }
 
 // New builds an SbQA allocator from cfg.
@@ -84,10 +96,9 @@ func New(cfg Config) (*SbQA, error) {
 	if cfg.Epsilon > 0 {
 		scorer.Epsilon = cfg.Epsilon
 	}
-	return &SbQA{
-		selector: knbest.NewSelector(cfg.KnBest, stats.NewRNG(cfg.Seed)),
-		scorer:   scorer,
-	}, nil
+	s := &SbQA{selector: knbest.NewSelector(cfg.KnBest, stats.NewRNG(cfg.Seed))}
+	s.tune.Store(&tuning{params: cfg.KnBest, scorer: *scorer})
+	return s, nil
 }
 
 // MustNew is New for static configurations known to be valid; it panics on
@@ -102,10 +113,11 @@ func MustNew(cfg Config) *SbQA {
 
 // Name implements alloc.Allocator.
 func (s *SbQA) Name() string {
-	if s.scorer.Adaptive() {
+	sc := s.tune.Load().scorer
+	if sc.Adaptive() {
 		return "SbQA"
 	}
-	return fmt.Sprintf("SbQA(ω=%g)", s.scorer.FixedOmega)
+	return fmt.Sprintf("SbQA(ω=%g)", sc.FixedOmega)
 }
 
 // Interactive reports that SbQA contacts providers during mediation (the
@@ -114,13 +126,56 @@ func (s *SbQA) Name() string {
 func (s *SbQA) Interactive() bool { return true }
 
 // Params returns the current KnBest parameters.
-func (s *SbQA) Params() knbest.Params { return s.selector.Params() }
+func (s *SbQA) Params() knbest.Params { return s.tune.Load().params }
 
-// SetParams retunes the KnBest stage at run time (Scenario 6).
-func (s *SbQA) SetParams(p knbest.Params) { s.selector.SetParams(p) }
+// SetParams retunes the KnBest stage at run time (Scenario 6, the policy
+// tuner). Safe to call from any goroutine, including while a mediation is
+// in flight on another — the in-flight mediation finishes under the
+// parameters it loaded, the next one sees the new set.
+func (s *SbQA) SetParams(p knbest.Params) {
+	for {
+		old := s.tune.Load()
+		next := &tuning{params: p, scorer: old.scorer}
+		if s.tune.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
-// Scorer exposes the scorer for run-time retuning (Scenario 6 varies ω).
-func (s *SbQA) Scorer() *score.Scorer { return s.scorer }
+// SetScoring retunes the scoring rule at run time: a nil omega selects the
+// satisfaction-adaptive Equation 2, a non-nil value pins ω (clamped into
+// [0, 1], matching NewFixedScorer); epsilon <= 0 keeps the current ε.
+// Concurrency-safe like SetParams.
+func (s *SbQA) SetScoring(omega *float64, epsilon float64) {
+	for {
+		old := s.tune.Load()
+		sc := old.scorer
+		if omega != nil {
+			sc = *score.NewFixedScorer(*omega)
+			sc.Epsilon = old.scorer.Epsilon
+		} else {
+			sc.FixedOmega = -1
+		}
+		if epsilon > 0 {
+			sc.Epsilon = epsilon
+		}
+		next := &tuning{params: old.params, scorer: sc}
+		if s.tune.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Scorer returns a copy of the current scoring rule for inspection.
+//
+// Deprecated: the historical retuning path mutated the returned scorer in
+// place, which raced with in-flight mediations. The returned value is now a
+// snapshot — mutating it has no effect on the allocator. Retune through
+// SetScoring (or swap policies via the engine's Reconfigure) instead.
+func (s *SbQA) Scorer() *score.Scorer {
+	sc := s.tune.Load().scorer
+	return &sc
+}
 
 // Allocate implements alloc.Allocator: one full SbQA mediation.
 func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
@@ -128,8 +183,12 @@ func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candi
 		return nil, nil
 	}
 
+	// One coherent tunable snapshot per mediation: a concurrent retune
+	// (SetParams/SetScoring) applies from the next mediation on.
+	tn := s.tune.Load()
+
 	// Stage 1+2: KnBest keeps the kn least-utilized of k random candidates.
-	kn := s.selector.Select(candidates)
+	kn := s.selector.SelectWith(tn.params, candidates)
 
 	// Stage 3: SQLB — one batched intention round over Kn, then score and
 	// rank from the returned set. No participant is contacted mid-rank: the
@@ -157,7 +216,7 @@ func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candi
 			SatP:     satP[i],
 		}
 	}
-	ranked := s.scorer.Rank(scored)
+	ranked := tn.scorer.Rank(scored)
 
 	n := q.N
 	if n < 1 {

@@ -66,6 +66,26 @@ func (im Imputation) Timeout() bool { return errors.Is(im.Err, context.DeadlineE
 // ConsumerSilent reports whether the silent party was the consumer.
 func (im Imputation) ConsumerSilent() bool { return im.Provider == model.NoProvider }
 
+// PolicyChange reports that the engine accepted a new allocation policy:
+// Reconfigure validated the spec, built one allocator per shard, and
+// published the generation — each shard adopts it at its next mediation
+// boundary (the event precedes per-shard adoption; Stats reports the
+// generation each shard is actually running).
+type PolicyChange struct {
+	// Generation is the monotonically increasing number of the accepted
+	// policy; generation 0 is the construction-time policy.
+	Generation uint64
+
+	// Name and Kind identify the accepted policy spec (the policy
+	// package's vocabulary, carried as plain strings so this package
+	// stays at the bottom of the import graph).
+	Name string
+	Kind string
+
+	// Time is the engine-clock timestamp of the acceptance.
+	Time float64
+}
+
 // SatisfactionSnapshot is a periodic sample of every tracked participant's
 // long-run satisfaction δs (Definitions 1-2 of the paper), emitted by the
 // engine's snapshot ticker. The maps are owned by the receiver.
@@ -127,6 +147,11 @@ type Observer interface {
 	// OnSatisfactionSnapshot observes a periodic satisfaction sample (see
 	// live.WithSnapshotInterval). The snapshot is owned by the receiver.
 	OnSatisfactionSnapshot(snap SatisfactionSnapshot)
+
+	// OnPolicyChange observes an accepted allocation-policy change (see
+	// the engine's Reconfigure). Emitted on the reconfiguring goroutine
+	// after the new generation is published to every shard.
+	OnPolicyChange(pc PolicyChange)
 }
 
 // Nop is an Observer that ignores every event. Embed it to implement only
@@ -160,6 +185,9 @@ func (Nop) OnIntentionImputed(Imputation) {}
 // OnSatisfactionSnapshot implements Observer.
 func (Nop) OnSatisfactionSnapshot(SatisfactionSnapshot) {}
 
+// OnPolicyChange implements Observer.
+func (Nop) OnPolicyChange(PolicyChange) {}
+
 // Funcs adapts free functions to Observer; nil fields ignore their event.
 // The zero Funcs is a valid no-op observer.
 type Funcs struct {
@@ -172,6 +200,7 @@ type Funcs struct {
 	ConsumerDeparted     func(id model.ConsumerID)
 	IntentionImputed     func(im Imputation)
 	SatisfactionSnapshot func(snap SatisfactionSnapshot)
+	PolicyChange         func(pc PolicyChange)
 }
 
 var _ Observer = Funcs{}
@@ -236,6 +265,13 @@ func (f Funcs) OnIntentionImputed(im Imputation) {
 func (f Funcs) OnSatisfactionSnapshot(snap SatisfactionSnapshot) {
 	if f.SatisfactionSnapshot != nil {
 		f.SatisfactionSnapshot(snap)
+	}
+}
+
+// OnPolicyChange implements Observer.
+func (f Funcs) OnPolicyChange(pc PolicyChange) {
+	if f.PolicyChange != nil {
+		f.PolicyChange(pc)
 	}
 }
 
@@ -313,5 +349,12 @@ func (m multi) OnIntentionImputed(im Imputation) {
 func (m multi) OnSatisfactionSnapshot(snap SatisfactionSnapshot) {
 	for _, o := range m {
 		o.OnSatisfactionSnapshot(snap)
+	}
+}
+
+// OnPolicyChange implements Observer.
+func (m multi) OnPolicyChange(pc PolicyChange) {
+	for _, o := range m {
+		o.OnPolicyChange(pc)
 	}
 }

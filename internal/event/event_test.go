@@ -10,7 +10,7 @@ import (
 // recorder counts events per kind.
 type recorder struct {
 	Nop
-	allocs, rejects, dispatch, preg, pdep, creg, cdep, snaps int
+	allocs, rejects, dispatch, preg, pdep, creg, cdep, snaps, policies int
 }
 
 func (r *recorder) OnAllocation(*model.Allocation, int)                     { r.allocs++ }
@@ -21,6 +21,7 @@ func (r *recorder) OnProviderDeparted(model.ProviderID)                     { r.
 func (r *recorder) OnConsumerRegistered(model.ConsumerID)                   { r.creg++ }
 func (r *recorder) OnConsumerDeparted(model.ConsumerID)                     { r.cdep++ }
 func (r *recorder) OnSatisfactionSnapshot(SatisfactionSnapshot)             { r.snaps++ }
+func (r *recorder) OnPolicyChange(PolicyChange)                             { r.policies++ }
 
 func emitAll(o Observer) {
 	o.OnAllocation(&model.Allocation{}, 3)
@@ -31,6 +32,7 @@ func emitAll(o Observer) {
 	o.OnConsumerRegistered(2)
 	o.OnConsumerDeparted(2)
 	o.OnSatisfactionSnapshot(SatisfactionSnapshot{Time: 1})
+	o.OnPolicyChange(PolicyChange{Generation: 1, Kind: "sbqa", Time: 1})
 }
 
 func TestNopIsObserver(t *testing.T) {
@@ -53,7 +55,7 @@ func TestMultiFansOut(t *testing.T) {
 	emitAll(m)
 	for _, r := range []*recorder{a, b} {
 		if r.allocs != 1 || r.rejects != 1 || r.dispatch != 1 ||
-			r.preg != 1 || r.pdep != 1 || r.creg != 1 || r.cdep != 1 || r.snaps != 1 {
+			r.preg != 1 || r.pdep != 1 || r.creg != 1 || r.cdep != 1 || r.snaps != 1 || r.policies != 1 {
 			t.Errorf("recorder missed events: %+v", r)
 		}
 	}

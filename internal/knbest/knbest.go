@@ -74,19 +74,30 @@ func NewSelector(params Params, rng *stats.RNG) *Selector {
 func (s *Selector) Params() Params { return s.params }
 
 // SetParams replaces the configuration (Scenario 6 sweeps kn at run time).
+// Like Select, it must run on the mediating goroutine; callers that retune
+// from other goroutines should hold their parameters in an atomic snapshot
+// and pass them per call through SelectWith (see core.SbQA.SetParams).
 func (s *Selector) SetParams(p Params) { s.params = p }
 
-// Select applies both stages to the candidate snapshots and returns the
-// retained providers (set Kn), ordered by increasing utilization. The input
-// slice is not modified.
+// Select applies both stages under the selector's stored parameters.
 func (s *Selector) Select(candidates []model.ProviderSnapshot) []model.ProviderSnapshot {
+	return s.SelectWith(s.params, candidates)
+}
+
+// SelectWith applies both stages to the candidate snapshots under the given
+// parameters and returns the retained providers (set Kn), ordered by
+// increasing utilization. The input slice is not modified. Taking the
+// parameters per call lets callers keep them in a lock-free snapshot that a
+// tuner swaps while mediations are in flight; the selector itself (its RNG
+// and scratch buffers) still belongs to a single goroutine.
+func (s *Selector) SelectWith(params Params, candidates []model.ProviderSnapshot) []model.ProviderSnapshot {
 	n := len(candidates)
 	if n == 0 {
 		return nil
 	}
 
 	// Stage 1: K random providers from P_q.
-	k := s.params.K
+	k := params.K
 	if k <= 0 || k > n {
 		k = n
 	}
@@ -107,7 +118,7 @@ func (s *Selector) Select(candidates []model.ProviderSnapshot) []model.ProviderS
 		}
 		return sample[i].ID < sample[j].ID
 	})
-	kn := s.params.Kn
+	kn := params.Kn
 	if kn <= 0 || kn > len(sample) {
 		kn = len(sample)
 	}

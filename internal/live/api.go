@@ -12,6 +12,7 @@ import (
 	"sbqa/internal/event"
 	"sbqa/internal/mediator"
 	"sbqa/internal/model"
+	"sbqa/internal/policy"
 	"sbqa/internal/satisfaction"
 )
 
@@ -39,9 +40,34 @@ func WithAllocator(a alloc.Allocator) Option { return func(c *Config) { c.Alloca
 // WithAllocatorFactory supplies one allocator per shard. Allocators carry
 // internal state (sampling RNGs, cursors) and are not safe for concurrent
 // use; seed them per shard index for reproducible-yet-decorrelated
-// sampling streams. Required when the concurrency is above 1.
+// sampling streams. Required when the concurrency is above 1 and no policy
+// is set.
 func WithAllocatorFactory(f func(shard int) alloc.Allocator) Option {
 	return func(c *Config) { c.NewAllocator = f }
+}
+
+// WithPolicy supplies the engine's allocation policy declaratively: the
+// validated spec builds one allocator per shard (spec.Build(shard), so
+// per-shard sampling streams are reproducible yet decorrelated) and becomes
+// the engine's generation-0 policy, visible through Engine.Policy and
+// swappable at run time through Engine.Reconfigure. A spec with a positive
+// ParticipantDeadline also sets the engine's participant deadline unless
+// WithParticipantDeadline overrides it. Mutually exclusive with
+// WithAllocator and WithAllocatorFactory.
+func WithPolicy(spec policy.Spec) Option {
+	return func(c *Config) { c.Policy = &spec }
+}
+
+// WithTuner runs an autonomic policy tuner bound to the engine: a
+// background MAPE-K loop that watches the satisfaction snapshot stream
+// (WithSnapshotInterval is therefore required, as is WithPolicy) and issues
+// bounded Reconfigure steps — widening kn under consumer starvation,
+// nudging a fixed ω toward the adaptive rule under consumer/provider
+// imbalance — with hysteresis, a minimum interval between actions, and hard
+// parameter bounds (see policy.TunerConfig). The tuner stops with
+// Engine.Close; inspect it through Engine.Tuner.
+func WithTuner(cfg policy.TunerConfig) Option {
+	return func(c *Config) { c.Tuner = &cfg }
 }
 
 // WithAnalyzeBest evaluates the consumer's intention over the whole
@@ -125,6 +151,7 @@ func FireAndForget() QueryOption {
 type Engine struct {
 	svc    *Service
 	queues []chan engineItem
+	tuner  *policy.Tuner // nil unless built WithTuner
 
 	mu     sync.RWMutex // guards closed vs in-flight enqueues
 	closed bool
@@ -185,6 +212,17 @@ func validateOptions(cfg Config) error {
 	if cfg.ParticipantDeadline < 0 {
 		return fmt.Errorf("live: WithParticipantDeadline(%v): deadline cannot be negative", cfg.ParticipantDeadline)
 	}
+	if cfg.Policy != nil && (cfg.Allocator != nil || cfg.NewAllocator != nil) {
+		return fmt.Errorf("live: WithPolicy is mutually exclusive with WithAllocator/WithAllocatorFactory — the policy builds the per-shard allocators")
+	}
+	if cfg.Tuner != nil {
+		if cfg.Policy == nil {
+			return fmt.Errorf("live: WithTuner requires WithPolicy — the tuner retunes the declarative policy")
+		}
+		if cfg.SnapshotInterval <= 0 {
+			return fmt.Errorf("live: WithTuner requires WithSnapshotInterval — satisfaction snapshots are the tuner's sensor input")
+		}
+	}
 	return nil
 }
 
@@ -193,6 +231,19 @@ func validateOptions(cfg Config) error {
 func NewEngineFromConfig(cfg Config) (*Engine, error) { return newEngine(cfg) }
 
 func newEngine(cfg Config) (*Engine, error) {
+	// The tuner is created before the service so its snapshot intake can be
+	// composed into the observer the shards capture; it is bound to the
+	// engine (its Reconfigure surface) once the engine exists. The tuner
+	// goes *first* in the composition: it clones the snapshot maps
+	// synchronously in Observe, after which the user observer receives
+	// them still owning them outright (per the event.Observer contract) —
+	// even a user observer that hands its maps to another goroutine
+	// cannot race the tuner's copy.
+	var tuner *policy.Tuner
+	if cfg.Tuner != nil {
+		tuner = policy.NewTuner(nil, *cfg.Tuner)
+		cfg.Observer = event.Multi(tuner.Observer(), cfg.Observer)
+	}
 	svc, err := NewServiceWithConfig(cfg)
 	if err != nil {
 		return nil, err
@@ -204,6 +255,7 @@ func newEngine(cfg Config) (*Engine, error) {
 	e := &Engine{
 		svc:      svc,
 		queues:   make([]chan engineItem, len(svc.shards)),
+		tuner:    tuner,
 		stopSnap: make(chan struct{}),
 	}
 	for i := range e.queues {
@@ -214,6 +266,10 @@ func newEngine(cfg Config) (*Engine, error) {
 	if cfg.SnapshotInterval > 0 && cfg.Observer != nil {
 		e.wg.Add(1)
 		go e.snapshotLoop(cfg.SnapshotInterval, cfg.Observer)
+	}
+	if tuner != nil {
+		tuner.Bind(e)
+		tuner.Start()
 	}
 	return e, nil
 }
@@ -339,6 +395,9 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	if e.tuner != nil {
+		e.tuner.Close() // stop retuning before the shard loops drain
+	}
 	close(e.stopSnap)
 	for _, q := range e.queues {
 		close(q)
@@ -349,6 +408,28 @@ func (e *Engine) Close() {
 // Service exposes the blocking v1 surface sharing this engine's shards,
 // directory, and registry — the two fronts may be mixed freely.
 func (e *Engine) Service() *Service { return e.svc }
+
+// Policy returns the engine's current target policy spec, if one is
+// installed (WithPolicy at construction, or any accepted Reconfigure).
+func (e *Engine) Policy() (policy.Spec, bool) { return e.svc.Policy() }
+
+// PolicyGeneration returns the number of the latest accepted policy
+// generation.
+func (e *Engine) PolicyGeneration() uint64 { return e.svc.PolicyGeneration() }
+
+// Reconfigure replaces the running allocation policy: the spec is validated
+// and built up front (on error nothing changes), then every shard adopts
+// the new allocators at its next mediation boundary — in-flight and queued
+// mediations are never interrupted, the hot path pays one atomic load, and
+// satisfaction memory is preserved. Concurrent with submissions and safe
+// under churn; emits event.PolicyChange and bumps Stats().PolicyGeneration.
+func (e *Engine) Reconfigure(ctx context.Context, spec policy.Spec) error {
+	return e.svc.Reconfigure(ctx, spec)
+}
+
+// Tuner returns the engine's autonomic policy tuner, or nil when the
+// engine was built without WithTuner.
+func (e *Engine) Tuner() *policy.Tuner { return e.tuner }
 
 // Shards returns the number of mediator shards.
 func (e *Engine) Shards() int { return e.svc.Shards() }

@@ -12,6 +12,7 @@ import (
 	"sbqa/internal/event"
 	"sbqa/internal/mediator"
 	"sbqa/internal/model"
+	"sbqa/internal/policy"
 	"sbqa/internal/satisfaction"
 )
 
@@ -40,8 +41,23 @@ type Config struct {
 	// internal state (sampling RNGs, round-robin cursors) and are not safe
 	// for concurrent use, so a multi-shard engine needs one instance per
 	// shard; seed them per shard index for reproducible-yet-decorrelated
-	// sampling streams. Required when Concurrency > 1.
+	// sampling streams. Required when Concurrency > 1 and Policy is nil.
 	NewAllocator func(shard int) alloc.Allocator
+
+	// Policy, when set, supplies the engine's allocation policy
+	// declaratively: per-shard allocators come from Policy.Build(shard)
+	// and the spec becomes the engine's generation-0 policy, replacing
+	// Allocator/NewAllocator (setting both is a configuration error on
+	// the NewEngine path). The running policy is later swapped with
+	// Engine.Reconfigure.
+	Policy *policy.Spec
+
+	// Tuner, when set (WithTuner), runs a policy.Tuner bound to the
+	// engine: a background MAPE-K loop that watches the satisfaction
+	// snapshot stream and issues bounded Reconfigure steps. Requires
+	// Policy and a positive SnapshotInterval — the snapshots are the
+	// tuner's sensor input.
+	Tuner *policy.TunerConfig
 
 	// AnalyzeBest mirrors mediator.Config.AnalyzeBest: evaluate the
 	// consumer's intention over the whole candidate set so allocation
@@ -94,6 +110,14 @@ type shard struct {
 	mu  sync.Mutex
 	med *mediator.Mediator
 
+	// Policy generations (see policy.go): nextGen is the latest published
+	// generation, loaded at every mediation boundary; curGen (guarded by
+	// mu) is the one this shard is running; appliedGen mirrors curGen for
+	// lock-free Stats reads.
+	nextGen    atomic.Pointer[generation]
+	curGen     uint64
+	appliedGen atomic.Uint64
+
 	// Lifetime counters (see ShardStats).
 	mediations        atomic.Uint64
 	rejections        atomic.Uint64
@@ -101,6 +125,7 @@ type shard struct {
 	candidateSum      atomic.Uint64
 	imputations       atomic.Uint64
 	intentionTimeouts atomic.Uint64
+	policySwaps       atomic.Uint64
 }
 
 // shardObserver sits between each shard's mediator and the user observer:
@@ -149,9 +174,15 @@ type Service struct {
 	reg    *satisfaction.Registry
 	shards []*shard
 	obs    event.Observer // user observer; nil when none configured
+	pol    policyState    // declarative policy control plane (policy.go)
 	nextID atomic.Int64
 	start  time.Time
 	nowFn  func() float64
+
+	// baseDeadline is the engine-configured participant deadline
+	// (WithParticipantDeadline); policies without a deadline of their own
+	// run under it (see Reconfigure).
+	baseDeadline time.Duration
 }
 
 // NewService returns a single-shard service running the given allocation
@@ -174,15 +205,29 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 	if n < 1 {
 		n = 1
 	}
-	if n > 1 && cfg.NewAllocator == nil {
-		return nil, errors.New("live: Concurrency > 1 requires Config.NewAllocator (allocators hold per-shard state and cannot be shared)")
+	// The base deadline is the engine-level configuration; a policy spec
+	// may override it per generation, and a later spec with no deadline
+	// restores this base (see policy.go).
+	baseDeadline := cfg.ParticipantDeadline
+	var spec policy.Spec
+	if cfg.Policy != nil {
+		spec = cfg.Policy.Normalized()
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		if spec.ParticipantDeadline > 0 && cfg.ParticipantDeadline == 0 {
+			cfg.ParticipantDeadline = spec.ParticipantDeadline.Std()
+		}
+	} else if n > 1 && cfg.NewAllocator == nil {
+		return nil, errors.New("live: Concurrency > 1 requires Config.NewAllocator or Config.Policy (allocators hold per-shard state and cannot be shared)")
 	}
 	s := &Service{
-		dir:    directory.New(),
-		reg:    satisfaction.NewRegistry(cfg.Window),
-		shards: make([]*shard, n),
-		obs:    cfg.Observer,
-		start:  time.Now(),
+		dir:          directory.New(),
+		reg:          satisfaction.NewRegistry(cfg.Window),
+		shards:       make([]*shard, n),
+		obs:          cfg.Observer,
+		start:        time.Now(),
+		baseDeadline: baseDeadline,
 	}
 	if cfg.NowFn != nil {
 		s.nowFn = cfg.NowFn
@@ -194,7 +239,12 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 	}
 	for i := range s.shards {
 		a := cfg.Allocator
-		if cfg.NewAllocator != nil {
+		if cfg.Policy != nil {
+			var err error
+			if a, err = spec.Build(i); err != nil {
+				return nil, err
+			}
+		} else if cfg.NewAllocator != nil {
 			a = cfg.NewAllocator(i)
 		}
 		sh := &shard{}
@@ -208,6 +258,9 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 			ParticipantDeadline: cfg.ParticipantDeadline,
 		})
 		s.shards[i] = sh
+	}
+	if cfg.Policy != nil {
+		s.installPolicy(spec)
 	}
 	return s, nil
 }
@@ -301,6 +354,7 @@ func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Resu
 func (s *Service) process(ctx context.Context, t *Ticket) {
 	sh := s.shardFor(t.query.Consumer)
 	sh.mu.Lock()
+	sh.applyPolicy() // adopt a reconfigured policy at the mediation boundary
 	a, err := sh.med.Mediate(ctx, t.query.IssuedAt, t.query)
 	var workers []Executor
 	if err == nil {
@@ -450,6 +504,7 @@ func (s *Service) processGroup(ctx context.Context, sh *shard, tickets []*Ticket
 	// The batch is one arrival event: every ticket carries the same stamp.
 	now := qs[0].IssuedAt
 	sh.mu.Lock()
+	sh.applyPolicy() // batches are one mediation boundary: one policy per batch
 	as, errs := sh.med.MediateBatch(ctx, now, qs)
 	workers := make([][]Executor, len(tickets))
 	for j := range as {
@@ -491,6 +546,16 @@ type ShardStats struct {
 	// (WithParticipantDeadline).
 	IntentionTimeouts uint64
 
+	// PolicyGeneration is the policy generation this shard is currently
+	// running (0 = the construction-time policy); it trails
+	// Stats.PolicyGeneration until the shard hits its next mediation
+	// boundary.
+	PolicyGeneration uint64
+
+	// PolicySwaps counts the generations this shard has applied — each a
+	// Reconfigure adopted at a mediation boundary.
+	PolicySwaps uint64
+
 	// QueueDepth is the number of submissions waiting in this shard's
 	// asynchronous queue. Always 0 through the blocking Service paths;
 	// the Engine fills it in.
@@ -516,6 +581,11 @@ type Stats struct {
 	// tasks currently queued at it (including the one in service, if any).
 	// Providers that are not dispatchable workers are absent.
 	WorkerQueueDepths map[model.ProviderID]int
+
+	// PolicyGeneration is the latest accepted policy generation (the
+	// Reconfigure counter); individual shards adopt it at their next
+	// mediation boundary (see ShardStats.PolicyGeneration).
+	PolicyGeneration uint64
 }
 
 // Mediations returns the total successful mediations across all shards.
@@ -547,6 +617,17 @@ func (st Stats) IntentionTimeouts() uint64 {
 	return n
 }
 
+// PolicySwaps returns the total policy generations applied across all
+// shards (each accepted Reconfigure contributes one per shard once the
+// shard reaches a mediation boundary).
+func (st Stats) PolicySwaps() uint64 {
+	var n uint64
+	for _, sh := range st.Shards {
+		n += sh.PolicySwaps
+	}
+	return n
+}
+
 // Stats snapshots the service counters. Counters are read with atomic
 // loads, not under a global lock, so the snapshot is internally consistent
 // per counter but not across them — fine for monitoring, not for invariant
@@ -558,6 +639,7 @@ func (s *Service) Stats() Stats {
 		Providers:         s.dir.NumProviders(),
 		Consumers:         s.dir.NumConsumers(),
 		WorkerQueueDepths: make(map[model.ProviderID]int),
+		PolicyGeneration:  s.pol.gen.Load(),
 	}
 	for i, sh := range s.shards {
 		m := sh.mediations.Load()
@@ -567,6 +649,8 @@ func (s *Service) Stats() Stats {
 			DispatchFailures:  sh.dispatchFailures.Load(),
 			Imputations:       sh.imputations.Load(),
 			IntentionTimeouts: sh.intentionTimeouts.Load(),
+			PolicyGeneration:  sh.appliedGen.Load(),
+			PolicySwaps:       sh.policySwaps.Load(),
 		}
 		if m > 0 {
 			ss.MeanCandidates = float64(sh.candidateSum.Load()) / float64(m)

@@ -195,9 +195,16 @@ func New(allocator alloc.Allocator, cfg Config) *Mediator {
 // Allocator returns the active allocation technique.
 func (m *Mediator) Allocator() alloc.Allocator { return m.allocator }
 
-// SetAllocator swaps the allocation technique (used by sweeps; satisfaction
-// memory is preserved).
+// SetAllocator swaps the allocation technique (used by sweeps and by the
+// live engine's policy generations; satisfaction memory is preserved). Like
+// Mediate, it must run on the mediating goroutine — the engine applies
+// generation swaps under the shard lock, at mediation boundaries.
 func (m *Mediator) SetAllocator(a alloc.Allocator) { m.allocator = a }
+
+// SetParticipantDeadline retunes the per-participant bound on context-aware
+// intention and bid calls (see Config.ParticipantDeadline). Same threading
+// contract as SetAllocator: call it on the mediating goroutine only.
+func (m *Mediator) SetParticipantDeadline(d time.Duration) { m.cfg.ParticipantDeadline = d }
 
 // Registry exposes the satisfaction registry (read by experiments and by
 // participant departure rules).

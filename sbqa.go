@@ -52,6 +52,7 @@ import (
 	"sbqa/internal/mediator"
 	"sbqa/internal/metrics"
 	"sbqa/internal/model"
+	"sbqa/internal/policy"
 	"sbqa/internal/satisfaction"
 	"sbqa/internal/score"
 	"sbqa/internal/stats"
@@ -108,7 +109,14 @@ type (
 	KnBestParams = knbest.Params
 	// SbQA is the satisfaction-based allocator itself.
 	SbQA = core.SbQA
+	// StaticEnv is a deterministic table-backed environment for tests,
+	// previews, and embeddings with precomputed intentions.
+	StaticEnv = alloc.StaticEnv
 )
+
+// NewStaticEnv returns an empty table-backed environment ready to be
+// populated (SetCI/SetPI, satisfaction and bid tables).
+func NewStaticEnv() *StaticEnv { return alloc.NewStaticEnv() }
 
 // Legacy wraps a v1 environment into the batched v2 protocol.
 func Legacy(v1 EnvV1) LegacyEnv { return alloc.Legacy(v1) }
@@ -541,6 +549,99 @@ func NewLiveEngine(cfg LiveConfig) (*LiveService, error) { return live.NewServic
 func NewLiveWorker(id ProviderID, capacity float64, queueCap int, intentionFn func(Query) Intention) (*LiveWorker, error) {
 	return live.NewWorker(id, capacity, queueCap, intentionFn)
 }
+
+// ---------------------------------------------------------------------------
+// Policy control plane: declarative policies, hot reconfiguration, autotuning
+// ---------------------------------------------------------------------------
+
+// Declarative policy types. A PolicySpec names an allocation technique and
+// carries every tunable the paper exposes; the engine consumes it through
+// WithPolicy and hot-swaps it at mediation boundaries through
+// Engine.Reconfigure. The Tuner closes the self-adaptation loop
+// autonomously (see WithTuner).
+type (
+	// PolicySpec is a named, JSON-serializable allocation policy:
+	// allocator kind plus parameters (KnBest k/kn, ω mode, ε, seed,
+	// participant deadline). Build it by hand or parse it with
+	// ParsePolicy; validate with its Validate method.
+	PolicySpec = policy.Spec
+	// PolicyKind names an allocation technique in a PolicySpec.
+	PolicyKind = policy.Kind
+	// PolicyOmegaMode selects fixed vs satisfaction-adaptive ω.
+	PolicyOmegaMode = policy.OmegaMode
+	// PolicyDuration is a time.Duration that marshals as "250ms"-style
+	// strings in policy JSON.
+	PolicyDuration = policy.Duration
+	// PolicyChange is the typed event emitted when Reconfigure accepts a
+	// new policy generation.
+	PolicyChange = event.PolicyChange
+	// Tuner is the autonomic policy controller: a MAPE-K loop from the
+	// satisfaction snapshot stream back into bounded Reconfigure steps.
+	Tuner = policy.Tuner
+	// TunerConfig bounds the tuner (thresholds, hysteresis, min interval,
+	// hard parameter caps).
+	TunerConfig = policy.TunerConfig
+	// TunerStats snapshots the tuner's counters.
+	TunerStats = policy.TunerStats
+	// Reconfigurer is the control surface a Tuner drives; *Engine and
+	// *LiveService implement it.
+	Reconfigurer = policy.Reconfigurer
+)
+
+// The allocator kinds every PolicySpec may name.
+const (
+	// PolicySbQA runs the satisfaction-based allocator (the only tunable
+	// kind).
+	PolicySbQA = policy.SbQA
+	// PolicyCapacity runs the capacity-based baseline.
+	PolicyCapacity = policy.Capacity
+	// PolicyEconomic runs the Mariposa-style sealed-bid baseline.
+	PolicyEconomic = policy.Economic
+	// PolicyRandom runs the uniform-random control.
+	PolicyRandom = policy.Random
+	// PolicyRoundRobin runs the rotating control.
+	PolicyRoundRobin = policy.RoundRobin
+	// PolicyShareBased runs BOINC-native resource-share dispatching.
+	PolicyShareBased = policy.ShareBased
+)
+
+// Omega modes for PolicySpec.OmegaMode.
+const (
+	// PolicyOmegaAdaptive selects the satisfaction-adaptive Equation 2.
+	PolicyOmegaAdaptive = policy.OmegaAdaptive
+	// PolicyOmegaFixed pins ω to PolicySpec.Omega.
+	PolicyOmegaFixed = policy.OmegaFixed
+)
+
+// DefaultPolicy returns the demo default policy: SbQA with KnBest(20, 10),
+// adaptive ω, ε = 1, seed 1.
+func DefaultPolicy() PolicySpec { return policy.DefaultSpec() }
+
+// ParsePolicy decodes a JSON policy spec, rejecting unknown fields.
+func ParsePolicy(data []byte) (PolicySpec, error) { return policy.Parse(data) }
+
+// PolicyKinds lists every registered allocator kind.
+func PolicyKinds() []PolicyKind { return policy.Kinds() }
+
+// WithPolicy supplies the engine's allocation policy declaratively; the
+// spec builds one allocator per shard and is hot-swappable afterwards via
+// Engine.Reconfigure. Mutually exclusive with WithAllocator and
+// WithAllocatorFactory.
+func WithPolicy(spec PolicySpec) EngineOption { return live.WithPolicy(spec) }
+
+// WithTuner runs an autonomic policy tuner bound to the engine (requires
+// WithPolicy and WithSnapshotInterval): satisfaction snapshots feed a
+// MAPE-K loop that widens kn under consumer starvation and nudges a fixed ω
+// toward the adaptive rule under consumer/provider imbalance, under
+// hysteresis, a minimum interval between actions, and hard bounds.
+func WithTuner(cfg TunerConfig) EngineOption { return live.WithTuner(cfg) }
+
+// NewTuner returns a standalone autonomic tuner driving target (any
+// Reconfigurer — typically an *Engine). Feed it satisfaction snapshots via
+// its Observer (install with WithObserver/MultiObserver) or Observe, Start
+// it, and Close it on shutdown. Engines built with WithTuner do this wiring
+// themselves.
+func NewTuner(target Reconfigurer, cfg TunerConfig) *Tuner { return policy.NewTuner(target, cfg) }
 
 // ---------------------------------------------------------------------------
 // Topic-based interests and the AdWords world (§I motivation)

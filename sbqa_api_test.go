@@ -169,6 +169,80 @@ func TestFacadeSymbolSmoke(t *testing.T) {
 		_ LiveExecutor = (*LiveWorker)(nil)
 	)
 	_ = WithParticipantDeadline(time.Millisecond) // v2 fan-out option
+
+	// Policy control plane.
+	var _ PolicyKind = PolicySbQA
+	for _, k := range []PolicyKind{PolicyCapacity, PolicyEconomic, PolicyRandom, PolicyRoundRobin, PolicyShareBased} {
+		if _, err := (PolicySpec{Kind: k}).Build(0); err != nil {
+			t.Errorf("PolicySpec{%q}.Build: %v", k, err)
+		}
+	}
+	if len(PolicyKinds()) != 6 {
+		t.Errorf("PolicyKinds() = %v, want all 6 kinds", PolicyKinds())
+	}
+	def := DefaultPolicy()
+	if err := def.Validate(); err != nil {
+		t.Errorf("DefaultPolicy invalid: %v", err)
+	}
+	var _ PolicyOmegaMode = PolicyOmegaAdaptive
+	var _ PolicyOmegaMode = PolicyOmegaFixed
+	var _ PolicyDuration = PolicyDuration(time.Millisecond)
+	var _ PolicyChange
+	if _, err := ParsePolicy([]byte(`{"kind":"sbqa","k":4,"kn":2}`)); err != nil {
+		t.Errorf("ParsePolicy: %v", err)
+	}
+	var _ *StaticEnv = NewStaticEnv()
+	var (
+		_ *Tuner
+		_ TunerConfig
+		_ TunerStats
+	)
+	_ = WithPolicy
+	_ = WithTuner
+	_ = NewTuner
+}
+
+// TestFacadePolicyFlow drives the control plane through the facade: a
+// policy-built engine, a hot Reconfigure observed as a typed event, and a
+// standalone tuner bound through the public Reconfigurer surface.
+func TestFacadePolicyFlow(t *testing.T) {
+	var changes int
+	eng, err := NewEngine(
+		WithWindow(10),
+		WithPolicy(PolicySpec{Kind: PolicySbQA, K: 4, Kn: 2, Seed: 1}),
+		WithObserver(ObserverFuncs{PolicyChange: func(pc PolicyChange) {
+			if pc.Generation == 1 && pc.Kind == string(PolicyCapacity) {
+				changes++
+			}
+		}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var _ Reconfigurer = eng
+	if _, ok := eng.Policy(); !ok {
+		t.Fatal("policy-built engine reports no policy")
+	}
+	if err := eng.Reconfigure(context.Background(), PolicySpec{Kind: PolicyCapacity}); err != nil {
+		t.Fatal(err)
+	}
+	if changes != 1 {
+		t.Fatalf("PolicyChange events = %d, want 1", changes)
+	}
+	if spec, _ := eng.Policy(); spec.Kind != PolicyCapacity {
+		t.Fatalf("Policy() = %+v after reconfigure", spec)
+	}
+	if eng.PolicyGeneration() != 1 {
+		t.Fatalf("PolicyGeneration() = %d, want 1", eng.PolicyGeneration())
+	}
+
+	tu := NewTuner(eng, TunerConfig{})
+	tu.Observe(SatisfactionSnapshot{Time: 1})
+	if st := tu.Stats(); st.Snapshots != 0 && st.Dropped == 0 {
+		t.Fatalf("unexpected tuner stats before start: %+v", st)
+	}
+	tu.Close()
 }
 
 // staticEnvStub is a minimal EnvV1 implementation for the legacy-adapter
