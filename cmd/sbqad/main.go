@@ -18,20 +18,33 @@
 //	POST   /v1/policy/preview dry-run a candidate policy against a submitted
 //	                          candidate set (no engine state touched)
 //	GET    /v1/stats          engine counters (incl. imputations/timeouts,
-//	                          policy generations, events_dropped) +
+//	                          policy generations, events_dropped, persistence) +
 //	                          per-participant satisfaction
+//	GET    /v1/metrics        the same counters in Prometheus text exposition
+//	                          format (scrape this, not the JSON)
 //	GET    /v1/events         server-sent events: allocation, rejection,
 //	                          dispatch_failure, registered, departed,
 //	                          result, satisfaction, imputation, policy_change
-//	GET    /v1/healthz        liveness + readiness summary
+//	GET    /v1/healthz        liveness: 200 as soon as HTTP serves, even
+//	                          mid-restore
+//	GET    /v1/readyz         readiness: 503 until the -state-dir restore and
+//	                          journal replay complete, then 200 + restore summary
 //
 // Remote participants answer intention webhooks under the per-participant
 // deadline (-participant-deadline); a webhook that misses it is imputed from
 // the participant's satisfaction registry state and the mediation proceeds.
 //
+// With -state-dir the daemon's adaptation state is durable: on boot it
+// restores the satisfaction memory, policy generation, and allocator
+// sampling streams persisted there (replaying the journal tail after a
+// crash), and on SIGINT/SIGTERM the graceful shutdown drains in-flight
+// tickets via Engine.Close and flushes a final snapshot, so the next boot
+// resumes warm. Workers and consumers are runtime objects — re-register
+// them after a restart; their memory is already there.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
-// HTTP requests, drains in-flight tickets via Engine.Close, stops its
-// workers, and exits.
+// HTTP requests, drains in-flight tickets via Engine.Close (flushing the
+// state snapshot when -state-dir is set), stops its workers, and exits.
 //
 // Example session:
 //
@@ -76,6 +89,10 @@ func main() {
 			"path to a JSON allocation-policy spec; overrides -k/-kn/-seed (see PUT /v1/policy for the schema)")
 		autotune = flag.Bool("autotune", false,
 			"run the autonomic policy tuner (widens kn under consumer starvation, rebalances fixed ω); requires -snapshot > 0")
+		stateDir = flag.String("state-dir", "",
+			"directory for durable adaptation state (satisfaction memory, policy generation, sampling streams); restored on boot, flushed on SIGTERM; empty disables persistence")
+		stateSyncEvery = flag.Int("state-sync-every", 0,
+			"journal fsync cadence with -state-dir: one fsync per N mediation outcomes (1 = every outcome, the crash-loss bound; 0 = library default 64)")
 	)
 	flag.Parse()
 
@@ -132,6 +149,13 @@ func main() {
 	if *autotune {
 		opts = append(opts, sbqa.WithTuner(sbqa.TunerConfig{Logf: log.Printf}))
 	}
+	if *stateDir != "" {
+		var popts []sbqa.PersistOption
+		if *stateSyncEvery > 0 {
+			popts = append(popts, sbqa.PersistSyncEvery(*stateSyncEvery))
+		}
+		opts = append(opts, sbqa.WithPersistence(*stateDir, popts...))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -156,21 +180,29 @@ func run(ctx context.Context, addr string, opts ...sbqa.EngineOption) error {
 
 // serve runs the gateway on ln until ctx is done, then shuts down
 // gracefully: stop accepting requests, drain in-flight tickets via
-// Engine.Close, stop the gateway's workers, and return. Factored out of
-// main so the shutdown path is testable with an ephemeral listener and a
-// plain context cancel.
+// Engine.Close (which, with -state-dir, flushes the final state snapshot),
+// stop the gateway's workers, and return. Factored out of main so the
+// shutdown path is testable with an ephemeral listener and a plain context
+// cancel.
+//
+// The listener starts serving BEFORE the engine is built: /v1/healthz
+// answers immediately while a -state-dir restore replays its journal, and
+// /v1/readyz (plus every engine-backed endpoint) answers 503 until the
+// restore completes.
 func serve(ctx context.Context, ln net.Listener, opts ...sbqa.EngineOption) error {
-	gw, err := newGateway(opts...)
-	if err != nil {
-		ln.Close()
-		return err
-	}
+	gw := newGatewayShell()
 	defer gw.close()
 
 	srv := &http.Server{Handler: gw.handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Printf("sbqad: listening on %s\n", ln.Addr())
+	if err := gw.init(opts...); err != nil {
+		srv.Close()
+		<-serveErr
+		return err
+	}
+	fmt.Println("sbqad: ready")
 
 	select {
 	case err := <-serveErr:

@@ -1,0 +1,148 @@
+package main
+
+// GET /v1/metrics — the engine's counters in Prometheus text exposition
+// format (version 0.0.4), so the daemon is scrapeable without parsing the
+// JSON stats endpoint. Hand-rolled writer: the format is three line shapes
+// (# HELP, # TYPE, sample), not worth a client-library dependency.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sbqa"
+)
+
+// metricsWriter accumulates one exposition document.
+type metricsWriter struct {
+	b strings.Builder
+}
+
+// header emits the HELP/TYPE preamble of one metric family.
+func (m *metricsWriter) header(name, help, typ string) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line; labels come as alternating key, value.
+func (m *metricsWriter) sample(name string, value float64, labels ...string) {
+	m.b.WriteString(name)
+	if len(labels) > 0 {
+		m.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				m.b.WriteByte(',')
+			}
+			fmt.Fprintf(&m.b, "%s=%q", labels[i], labels[i+1])
+		}
+		m.b.WriteByte('}')
+	}
+	// %g renders integral values without a decimal point and large
+	// counters without loss until 2^53 — fine for scrape counters.
+	fmt.Fprintf(&m.b, " %g\n", value)
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := &metricsWriter{}
+	eng := g.engine()
+	m.header("sbqa_ready", "1 once the engine is built and any persisted state is restored.", "gauge")
+	m.sample("sbqa_ready", b2f(eng != nil))
+	if eng == nil {
+		// Liveness-only document during the restore window: a scraper sees
+		// the daemon up but not ready.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(m.b.String()))
+		return
+	}
+	st := eng.Stats()
+
+	m.header("sbqa_queries_submitted_total", "Query IDs assigned (including failed mediations).", "counter")
+	m.sample("sbqa_queries_submitted_total", float64(st.QueriesSubmitted))
+	m.header("sbqa_providers", "Providers currently registered in the directory.", "gauge")
+	m.sample("sbqa_providers", float64(st.Providers))
+	m.header("sbqa_consumers", "Consumers currently registered in the directory.", "gauge")
+	m.sample("sbqa_consumers", float64(st.Consumers))
+	m.header("sbqa_policy_generation", "Latest accepted policy generation.", "gauge")
+	m.sample("sbqa_policy_generation", float64(st.PolicyGeneration))
+	m.header("sbqa_events_dropped_total", "SSE events dropped for slow subscribers.", "counter")
+	m.sample("sbqa_events_dropped_total", float64(g.hub.droppedEvents()))
+
+	m.header("sbqa_shard_mediations_total", "Successful mediations per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_mediations_total", float64(sh.Mediations), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_rejections_total", "Failed mediations per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_rejections_total", float64(sh.Rejections), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_dispatch_failures_total", "Allocations not fully delivered per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_dispatch_failures_total", float64(sh.DispatchFailures), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_imputations_total", "Intentions imputed for silent participants per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_imputations_total", float64(sh.Imputations), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_intention_timeouts_total", "Imputations caused by missed participant deadlines per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_intention_timeouts_total", float64(sh.IntentionTimeouts), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_policy_swaps_total", "Policy generations adopted per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_policy_swaps_total", float64(sh.PolicySwaps), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_queue_depth", "Asynchronous submission queue backlog per shard.", "gauge")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_queue_depth", float64(sh.QueueDepth), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_shard_mean_candidates", "Mean candidate-set size per successful mediation.", "gauge")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_mean_candidates", sh.MeanCandidates, "shard", strconv.Itoa(i))
+	}
+
+	m.header("sbqa_worker_queue_depth", "Tasks queued per registered worker.", "gauge")
+	workerIDs := make([]int, 0, len(st.WorkerQueueDepths))
+	for id := range st.WorkerQueueDepths {
+		workerIDs = append(workerIDs, int(id))
+	}
+	sort.Ints(workerIDs)
+	for _, id := range workerIDs {
+		m.sample("sbqa_worker_queue_depth", float64(st.WorkerQueueDepths[sbqa.ProviderID(id)]), "worker", strconv.Itoa(id))
+	}
+
+	if ps := st.Persistence; ps != nil {
+		m.header("sbqa_persist_records_appended_total", "Journal records appended.", "counter")
+		m.sample("sbqa_persist_records_appended_total", float64(ps.RecordsAppended))
+		m.header("sbqa_persist_records_dropped_total", "Events dropped by the full recorder queue.", "counter")
+		m.sample("sbqa_persist_records_dropped_total", float64(ps.RecordsDropped))
+		m.header("sbqa_persist_append_errors_total", "Journal records lost to write errors.", "counter")
+		m.sample("sbqa_persist_append_errors_total", float64(ps.AppendErrors))
+		m.header("sbqa_persist_syncs_total", "Journal fsyncs.", "counter")
+		m.sample("sbqa_persist_syncs_total", float64(ps.Syncs))
+		m.header("sbqa_persist_snapshots_written_total", "Snapshots written (compactions and the Close flush).", "counter")
+		m.sample("sbqa_persist_snapshots_written_total", float64(ps.SnapshotsWritten))
+		m.header("sbqa_persist_compactions_total", "Background compactions.", "counter")
+		m.sample("sbqa_persist_compactions_total", float64(ps.Compactions))
+		m.header("sbqa_persist_sealed_segments", "Sealed journal segments awaiting compaction.", "gauge")
+		m.sample("sbqa_persist_sealed_segments", float64(ps.SealedSegments))
+		m.header("sbqa_persist_queue_depth", "Recorder queue backlog.", "gauge")
+		m.sample("sbqa_persist_queue_depth", float64(ps.QueueDepth))
+		m.header("sbqa_persist_restore_replayed_records", "Journal records replayed by the boot restore.", "gauge")
+		m.sample("sbqa_persist_restore_replayed_records", float64(ps.Restore.ReplayedRecords))
+		m.header("sbqa_persist_restore_snapshot_loaded", "1 when the boot restore loaded a snapshot.", "gauge")
+		m.sample("sbqa_persist_restore_snapshot_loaded", b2f(ps.Restore.SnapshotLoaded))
+		m.header("sbqa_persist_restore_torn_tail", "1 when the boot restore found a torn final journal record.", "gauge")
+		m.sample("sbqa_persist_restore_torn_tail", b2f(ps.Restore.TornTail))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(m.b.String()))
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sbqa"
+)
+
+// TestReadyzNotReadyWindow drives the gateway through its startup sequence:
+// before init, /v1/healthz is alive, /v1/readyz and every engine-backed
+// endpoint answer 503; after init, readyz flips to 200.
+func TestReadyzNotReadyWindow(t *testing.T) {
+	gw := newGatewayShell()
+	defer gw.close()
+	srv := httptest.NewServer(gw.handler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// Liveness holds during the window; readiness does not.
+	if resp, body := get("/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before init: %d %s", resp.StatusCode, body)
+	} else if !strings.Contains(body, `"ready":false`) {
+		t.Errorf("healthz before init should report ready:false, got %s", body)
+	}
+	if resp, _ := get("/v1/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before init: %d, want 503", resp.StatusCode)
+	}
+	if resp, body := get("/v1/stats"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stats before init: %d %s, want 503", resp.StatusCode, body)
+	}
+	var posted struct {
+		Error string `json:"error"`
+	}
+	resp := postJSON(t, srv.URL+"/v1/queries", map[string]any{"consumer": 0, "n": 1, "work": 1}, &posted)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit before init: %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(posted.Error, "starting") {
+		t.Errorf("submit before init error %q, want a starting notice", posted.Error)
+	}
+	// Metrics stay scrapeable and report not-ready.
+	if resp, body := get("/v1/metrics"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics before init: %d", resp.StatusCode)
+	} else if !strings.Contains(body, "sbqa_ready 0") {
+		t.Errorf("metrics before init missing sbqa_ready 0:\n%s", body)
+	}
+
+	if err := gw.init(sbqa.WithWindow(10), sbqa.WithPolicy(sbqa.DefaultPolicy())); err != nil {
+		t.Fatal(err)
+	}
+
+	if resp, body := get("/v1/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after init: %d %s", resp.StatusCode, body)
+	} else if !strings.Contains(body, `"status":"ready"`) {
+		t.Errorf("readyz after init: %s", body)
+	}
+	if resp, _ := get("/v1/stats"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after init: %d", resp.StatusCode)
+	}
+	if _, body := get("/v1/healthz"); !strings.Contains(body, `"ready":true`) {
+		t.Errorf("healthz after init should report ready:true, got %s", body)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus text exposition: content type,
+// HELP/TYPE preambles, per-shard labels, and the persistence family when a
+// state dir is configured.
+func TestMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	gw, err := newGateway(
+		sbqa.WithWindow(10),
+		sbqa.WithConcurrency(2),
+		sbqa.WithPolicy(sbqa.DefaultPolicy()),
+		sbqa.WithPersistence(dir, sbqa.PersistSyncEvery(1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+	srv := httptest.NewServer(gw.handler())
+	defer srv.Close()
+
+	var reg struct {
+		ID int `json:"id"`
+	}
+	postJSON(t, srv.URL+"/v1/workers", map[string]any{"id": 1, "capacity": 100, "intention": 0.5}, &reg)
+	postJSON(t, srv.URL+"/v1/consumers", map[string]any{"id": 0, "intention": 0.6}, &reg)
+	var qr queryResponse
+	postJSON(t, srv.URL+"/v1/queries", map[string]any{"consumer": 0, "n": 1, "work": 1, "wait": "results"}, &qr)
+	if qr.Error != "" {
+		t.Fatalf("query failed: %s", qr.Error)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# HELP sbqa_queries_submitted_total",
+		"# TYPE sbqa_queries_submitted_total counter",
+		"sbqa_queries_submitted_total 1",
+		"sbqa_ready 1",
+		"sbqa_providers 1",
+		"sbqa_consumers 1",
+		`sbqa_shard_mediations_total{shard="0"}`,
+		`sbqa_shard_mediations_total{shard="1"}`,
+		`sbqa_shard_queue_depth{shard="0"}`,
+		`sbqa_worker_queue_depth{worker="1"}`,
+		"sbqa_events_dropped_total",
+		"# TYPE sbqa_persist_records_appended_total counter",
+		"sbqa_persist_restore_snapshot_loaded 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestDaemonRestartWalkthrough is the operator story from the README: run a
+// gateway with -state-dir, accumulate satisfaction, stop it (graceful flush),
+// start a new gateway over the same directory, and find the learned state —
+// satisfaction, policy generation, query counter — already there.
+func TestDaemonRestartWalkthrough(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	boot := []sbqa.EngineOption{
+		sbqa.WithWindow(20),
+		sbqa.WithPolicy(sbqa.DefaultPolicy()),
+		sbqa.WithPersistence(dir, sbqa.PersistSyncEvery(1)),
+	}
+
+	gw1, err := newGateway(boot...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(gw1.handler())
+	var reg struct {
+		ID int `json:"id"`
+	}
+	postJSON(t, srv1.URL+"/v1/workers", map[string]any{"id": 7, "capacity": 100, "intention": 0.8}, &reg)
+	postJSON(t, srv1.URL+"/v1/consumers", map[string]any{"id": 0, "intention": 0.6}, &reg)
+	const queries = 12
+	for i := 0; i < queries; i++ {
+		var qr queryResponse
+		postJSON(t, srv1.URL+"/v1/queries", map[string]any{"consumer": 0, "n": 1, "work": 1, "wait": "results"}, &qr)
+		if qr.Error != "" {
+			t.Fatalf("query %d: %s", i, qr.Error)
+		}
+	}
+	// Reconfigure so the restart has a generation to restore.
+	req, _ := http.NewRequest(http.MethodPut, srv1.URL+"/v1/policy", strings.NewReader(`{"kind":"sbqa","k":8,"kn":4,"name":"tuned"}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/policy: %d", resp.StatusCode)
+	}
+	var before statsResponse
+	getJSON(t, srv1.URL+"/v1/stats", &before)
+	srv1.Close()
+	gw1.close() // graceful: drains the journal, flushes the final snapshot
+
+	gw2, err := newGateway(boot...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.close()
+	srv2 := httptest.NewServer(gw2.handler())
+	defer srv2.Close()
+
+	var ready map[string]any
+	getJSON(t, srv2.URL+"/v1/readyz", &ready)
+	if ready["status"] != "ready" {
+		t.Fatalf("restarted daemon not ready: %v", ready)
+	}
+	var after statsResponse
+	getJSON(t, srv2.URL+"/v1/stats", &after)
+	if after.Persistence == nil || !after.Persistence.Restore.SnapshotLoaded {
+		t.Fatal("restart did not restore a snapshot")
+	}
+	if after.QueriesSubmitted != before.QueriesSubmitted {
+		t.Errorf("query counter %d after restart, want %d", after.QueriesSubmitted, before.QueriesSubmitted)
+	}
+	if after.PolicyGeneration != before.PolicyGeneration {
+		t.Errorf("policy generation %d after restart, want %d", after.PolicyGeneration, before.PolicyGeneration)
+	}
+	// The learned satisfaction survived the restart — before any new
+	// traffic, and with the participants themselves not yet re-registered.
+	for id, want := range before.Satisfaction.Consumers {
+		if got, ok := after.Satisfaction.Consumers[id]; !ok || got != want {
+			t.Errorf("consumer %s δs after restart %v, want %v", id, got, want)
+		}
+	}
+	for id, want := range before.Satisfaction.Providers {
+		if got, ok := after.Satisfaction.Providers[id]; !ok || got != want {
+			t.Errorf("provider %s δs after restart %v, want %v", id, got, want)
+		}
+	}
+	var policy policyResponse
+	getJSON(t, srv2.URL+"/v1/policy", &policy)
+	if policy.Policy == nil || policy.Policy.Name != "tuned" {
+		t.Errorf("restored policy %+v, want the reconfigured \"tuned\" spec", policy.Policy)
+	}
+}
+
+// getJSON fetches and decodes one JSON endpoint.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,11 +35,15 @@ type policyShardJSON struct {
 }
 
 func (g *gateway) handleGetPolicy(w http.ResponseWriter, _ *http.Request) {
-	resp := policyResponse{Generation: g.eng.PolicyGeneration()}
-	if spec, ok := g.eng.Policy(); ok {
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
+	resp := policyResponse{Generation: eng.PolicyGeneration()}
+	if spec, ok := eng.Policy(); ok {
 		resp.Policy = &spec
 	}
-	st := g.eng.Stats()
+	st := eng.Stats()
 	resp.Shards = make([]policyShardJSON, len(st.Shards))
 	for i, sh := range st.Shards {
 		resp.Shards[i] = policyShardJSON{
@@ -51,6 +55,10 @@ func (g *gateway) handleGetPolicy(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (g *gateway) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
 	var spec sbqa.PolicySpec
 	if !decodeJSON(w, r, &spec) {
 		return
@@ -60,8 +68,8 @@ func (g *gateway) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 	// Reconfigure and the generation read atomic with respect to other
 	// PUTs, so each caller learns the generation *its* spec was assigned.
 	g.policyMu.Lock()
-	err := g.eng.Reconfigure(context.WithoutCancel(r.Context()), spec)
-	gen := g.eng.PolicyGeneration()
+	err := eng.Reconfigure(context.WithoutCancel(r.Context()), spec)
+	gen := eng.PolicyGeneration()
 	g.policyMu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sbqa"
@@ -16,11 +17,20 @@ import (
 
 // gateway is the HTTP/JSON front end over the asynchronous Engine API:
 // submit, register-worker/consumer (local or webhook-backed remote), stats,
-// health, and a server-sent-events stream of the engine's observer events
-// plus per-query results.
+// metrics, health/readiness, and a server-sent-events stream of the
+// engine's observer events plus per-query results.
+//
+// The gateway separates liveness from readiness: the HTTP server may bind
+// and answer /v1/healthz while the engine is still being built — in
+// particular while a -state-dir restore replays a large journal. Until init
+// completes, /v1/readyz (and every engine-backed endpoint) answers 503.
 type gateway struct {
-	eng *sbqa.Engine
-	hub *hub
+	// ready flips once init has built (and, with -state-dir, restored)
+	// the engine; eng is written before the flip and only read by
+	// handlers after observing it.
+	ready atomic.Bool
+	eng   *sbqa.Engine
+	hub   *hub
 
 	// webhookClient performs the remote participants' intention calls. The
 	// engine's per-participant deadline bounds each call through its
@@ -56,24 +66,63 @@ type managedWorker interface {
 	Close()
 }
 
-// newGateway builds the engine from the given options with the gateway's
-// event hub installed as the engine observer (composed with nothing else;
-// callers wanting their own observer wrap the returned engine's events via
-// the SSE stream instead).
-func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
-	g := &gateway{
+// newGatewayShell builds a gateway whose HTTP surface is immediately
+// servable but not yet ready: every engine-backed endpoint answers 503
+// until init completes. serve uses this to bind the listener before the
+// (possibly long) state restore.
+func newGatewayShell() *gateway {
+	return &gateway{
 		hub:           newHub(),
 		webhookClient: &http.Client{Timeout: webhookClientTimeout},
 		shuttingDown:  make(chan struct{}),
 		workers:       make(map[sbqa.ProviderID]managedWorker),
 	}
+}
+
+// init builds the engine — restoring persisted state when the options carry
+// WithPersistence — with the gateway's event hub installed as the engine
+// observer, then marks the gateway ready.
+func (g *gateway) init(opts ...sbqa.EngineOption) error {
 	eng, err := sbqa.NewEngine(append(opts, sbqa.WithObserver(g.hub.observer()))...)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	g.eng = eng
+	g.ready.Store(true)
+	return nil
+}
+
+// newGateway builds a ready gateway in one step (tests and embedders that
+// do not need the not-ready window).
+func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
+	g := newGatewayShell()
+	if err := g.init(opts...); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
+
+// engine returns the engine once the gateway is ready, nil before.
+func (g *gateway) engine() *sbqa.Engine {
+	if !g.ready.Load() {
+		return nil
+	}
+	return g.eng
+}
+
+// requireEngine resolves the engine or answers 503 — the standard guard of
+// every engine-backed handler during the restore window.
+func (g *gateway) requireEngine(w http.ResponseWriter) (*sbqa.Engine, bool) {
+	eng := g.engine()
+	if eng == nil {
+		writeError(w, http.StatusServiceUnavailable, errStarting)
+		return nil, false
+	}
+	return eng, true
+}
+
+// errStarting is the not-ready answer while the engine restores.
+var errStarting = errors.New("starting: engine restoring persisted state")
 
 // beginShutdown ends the SSE streams (idempotent); call it before
 // http.Server.Shutdown so connected subscribers do not hold the server open
@@ -86,10 +135,14 @@ func (g *gateway) beginShutdown() {
 	}
 }
 
-// close shuts the engine and every worker the gateway started.
+// close shuts the engine and every worker the gateway started. With
+// persistence configured, Engine.Close drains the journal and flushes the
+// final snapshot — this is the daemon's flush-on-SIGTERM path.
 func (g *gateway) close() {
 	g.beginShutdown()
-	g.eng.Close()
+	if g.eng != nil {
+		g.eng.Close()
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, w := range g.workers {
@@ -108,8 +161,10 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("PUT /v1/policy", g.handlePutPolicy)
 	mux.HandleFunc("POST /v1/policy/preview", g.handlePolicyPreview)
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/events", g.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", g.handleReadyz)
 	return mux
 }
 
@@ -170,12 +225,16 @@ type consumerRequest struct {
 }
 
 func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request) {
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
 	var req consumerRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.IntentionURL != "" {
-		g.eng.RegisterConsumer(&remoteConsumer{
+		eng.RegisterConsumer(&remoteConsumer{
 			id:       sbqa.ConsumerID(req.ID),
 			url:      req.IntentionURL,
 			fallback: sbqa.Intention(req.Intention).Clamp(),
@@ -186,7 +245,7 @@ func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request)
 	}
 	base := req.Intention
 	preferIdle := req.PreferIdle
-	g.eng.RegisterConsumer(sbqa.LiveFuncConsumer{
+	eng.RegisterConsumer(sbqa.LiveFuncConsumer{
 		ID: sbqa.ConsumerID(req.ID),
 		Fn: func(_ sbqa.Query, snap sbqa.ProviderSnapshot) sbqa.Intention {
 			v := base
@@ -214,6 +273,10 @@ type workerRequest struct {
 }
 
 func (g *gateway) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
 	var req workerRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -242,14 +305,18 @@ func (g *gateway) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 		// Registered as a generic provider: the directory sees the webhook
 		// decoration (ProviderParticipant), dispatch sees the embedded
 		// executor.
-		g.eng.RegisterProvider(rw)
+		eng.RegisterProvider(rw)
 	} else {
-		g.eng.RegisterWorker(worker)
+		eng.RegisterWorker(worker)
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"id": req.ID})
 }
 
 func (g *gateway) handleUnregisterWorker(w http.ResponseWriter, r *http.Request) {
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker id: %w", err))
@@ -264,7 +331,7 @@ func (g *gateway) handleUnregisterWorker(w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusNotFound, fmt.Errorf("worker %d not registered via this gateway", id))
 		return
 	}
-	g.eng.UnregisterWorker(pid)
+	eng.UnregisterWorker(pid)
 	worker.Close()
 	writeJSON(w, http.StatusOK, map[string]int{"id": id})
 }
@@ -296,6 +363,10 @@ type resultJSON struct {
 }
 
 func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
 	var req queryRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -315,7 +386,7 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// wait:"none" submissions fail dispatch before the shard ever picked
 	// them up. The request context still bounds how long the caller waits
 	// below.
-	t := g.eng.Submit(context.WithoutCancel(r.Context()), q)
+	t := eng.Submit(context.WithoutCancel(r.Context()), q)
 	// Results reach the SSE stream whatever the caller waits for.
 	go g.publishResults(t)
 
@@ -379,6 +450,49 @@ type statsResponse struct {
 	Satisfaction     satisfactionMap `json:"satisfaction"`
 	PolicyGeneration uint64          `json:"policy_generation"`
 	EventsDropped    uint64          `json:"events_dropped"`
+	Persistence      *persistJSON    `json:"persistence,omitempty"`
+}
+
+// persistJSON surfaces the durability counters (absent without -state-dir).
+type persistJSON struct {
+	RecordsAppended  uint64 `json:"records_appended"`
+	RecordsDropped   uint64 `json:"records_dropped"`
+	AppendErrors     uint64 `json:"append_errors"`
+	Syncs            uint64 `json:"syncs"`
+	SealedSegments   int    `json:"sealed_segments"`
+	SnapshotsWritten uint64 `json:"snapshots_written"`
+	Compactions      uint64 `json:"compactions"`
+	QueueDepth       int    `json:"queue_depth"`
+	Restore          struct {
+		SnapshotLoaded  bool `json:"snapshot_loaded"`
+		Consumers       int  `json:"consumers"`
+		Providers       int  `json:"providers"`
+		ReplayedRecords int  `json:"replayed_records"`
+		TornTail        bool `json:"torn_tail"`
+	} `json:"restore"`
+}
+
+// newPersistJSON converts the engine's persistence stats block.
+func newPersistJSON(ps *sbqa.PersistenceStats) *persistJSON {
+	if ps == nil {
+		return nil
+	}
+	p := &persistJSON{
+		RecordsAppended:  ps.RecordsAppended,
+		RecordsDropped:   ps.RecordsDropped,
+		AppendErrors:     ps.AppendErrors,
+		Syncs:            ps.Syncs,
+		SealedSegments:   ps.SealedSegments,
+		SnapshotsWritten: ps.SnapshotsWritten,
+		Compactions:      ps.Compactions,
+		QueueDepth:       ps.QueueDepth,
+	}
+	p.Restore.SnapshotLoaded = ps.Restore.SnapshotLoaded
+	p.Restore.Consumers = ps.Restore.Consumers
+	p.Restore.Providers = ps.Restore.Providers
+	p.Restore.ReplayedRecords = ps.Restore.ReplayedRecords
+	p.Restore.TornTail = ps.Restore.TornTail
+	return p
 }
 
 type shardJSON struct {
@@ -399,7 +513,11 @@ type satisfactionMap struct {
 }
 
 func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := g.eng.Stats()
+	eng, ok := g.requireEngine(w)
+	if !ok {
+		return
+	}
+	st := eng.Stats()
 	resp := statsResponse{
 		Shards:           make([]shardJSON, len(st.Shards)),
 		QueriesSubmitted: st.QueriesSubmitted,
@@ -412,6 +530,7 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 		PolicyGeneration: st.PolicyGeneration,
 		EventsDropped:    g.hub.droppedEvents(),
+		Persistence:      newPersistJSON(st.Persistence),
 	}
 	for i, sh := range st.Shards {
 		resp.Shards[i] = shardJSON{
@@ -429,7 +548,7 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for id, depth := range st.WorkerQueueDepths {
 		resp.WorkerQueues[strconv.Itoa(int(id))] = depth
 	}
-	reg := g.eng.Registry()
+	reg := eng.Registry()
 	for _, id := range reg.ConsumerIDs() {
 		resp.Satisfaction.Consumers[strconv.Itoa(int(id))] = reg.ConsumerSatisfaction(id)
 	}
@@ -439,16 +558,39 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness plus a small readiness summary; load
-// balancers and the graceful-shutdown test probe it.
+// handleHealthz reports liveness: the process is up and serving HTTP. It
+// answers 200 even while the engine restores — restart loops must not kill
+// a daemon replaying a large journal; use /v1/readyz to gate traffic.
 func (g *gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	st := g.eng.Stats()
+	eng := g.engine()
+	if eng == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": false})
+		return
+	}
+	st := eng.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
+		"ready":     true,
 		"shards":    len(st.Shards),
 		"providers": st.Providers,
 		"consumers": st.Consumers,
 	})
+}
+
+// handleReadyz reports readiness: 503 until the engine is built and any
+// persisted state has been restored and replayed, 200 (with the restore
+// summary) afterwards. Load balancers gate traffic on this.
+func (g *gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	eng := g.engine()
+	if eng == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	resp := map[string]any{"status": "ready"}
+	if ps := newPersistJSON(eng.Stats().Persistence); ps != nil {
+		resp["restore"] = ps.Restore
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleEvents streams the engine's event feed as server-sent events.

@@ -1,0 +1,119 @@
+package alloc
+
+// This file defines the allocator-state persistence contract. Allocators are
+// deliberately small state machines — a sampling RNG here, a rotation cursor
+// there — but that state is exactly what makes two runs with the same seed
+// reproducible. A durable engine that snapshots satisfaction memory without
+// the allocator state would resume with its sampling streams rewound to the
+// seed, so warm restarts would diverge from the uninterrupted run. Stateful
+// closes that gap: allocators that carry mutable decision state export it as
+// a small opaque blob and restore it on boot.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sbqa/internal/stats"
+)
+
+// Stateful is the optional allocator extension for durable engines: an
+// allocator that carries mutable decision state (sampling RNG positions,
+// rotation cursors) exports it as an opaque blob and can later be restored
+// from one, resuming its decision stream exactly where it stopped.
+//
+// Both methods follow the Allocate threading contract: they must run on the
+// goroutine that owns the allocator (the engine calls them under the shard
+// lock). Blobs are versioned by their producer; RestoreState must reject —
+// with an error, never a panic — blobs it does not recognize, since a policy
+// change between snapshot and restore can hand an allocator another kind's
+// state.
+type Stateful interface {
+	// ExportState returns the allocator's mutable decision state.
+	ExportState() []byte
+
+	// RestoreState resumes from a blob previously returned by ExportState.
+	RestoreState(state []byte) error
+}
+
+// rngStateLen is the encoded size of one stats.RNG state: a one-byte tag
+// plus four little-endian uint64 words.
+const rngStateLen = 1 + 4*8
+
+// rngStateTag distinguishes RNG blobs from other allocator state encodings.
+const rngStateTag = 0x52 // 'R'
+
+// MarshalRNGState encodes an RNG state blob for ExportState implementations
+// built around a single stats.RNG.
+func MarshalRNGState(state [4]uint64) []byte {
+	buf := make([]byte, rngStateLen)
+	buf[0] = rngStateTag
+	for i, w := range state {
+		binary.LittleEndian.PutUint64(buf[1+8*i:], w)
+	}
+	return buf
+}
+
+// UnmarshalRNGState decodes a blob produced by MarshalRNGState.
+func UnmarshalRNGState(blob []byte) ([4]uint64, error) {
+	var state [4]uint64
+	if len(blob) != rngStateLen || blob[0] != rngStateTag {
+		return state, fmt.Errorf("alloc: not an RNG state blob (%d bytes)", len(blob))
+	}
+	for i := range state {
+		state[i] = binary.LittleEndian.Uint64(blob[1+8*i:])
+	}
+	return state, nil
+}
+
+// restoreRNG applies a blob to one RNG, shared by the baseline Stateful
+// implementations.
+func restoreRNG(rng *stats.RNG, blob []byte) error {
+	state, err := UnmarshalRNGState(blob)
+	if err != nil {
+		return err
+	}
+	rng.Restore(state)
+	return nil
+}
+
+// ExportState implements Stateful: the sampling stream position.
+func (r *Random) ExportState() []byte { return MarshalRNGState(r.rng.State()) }
+
+// RestoreState implements Stateful.
+func (r *Random) RestoreState(state []byte) error { return restoreRNG(r.rng, state) }
+
+// ExportState implements Stateful: the bid-sampling stream position.
+func (e *Economic) ExportState() []byte { return MarshalRNGState(e.rng.State()) }
+
+// RestoreState implements Stateful.
+func (e *Economic) RestoreState(state []byte) error { return restoreRNG(e.rng, state) }
+
+// roundRobinStateTag distinguishes the rotation-cursor blob.
+const roundRobinStateTag = 0x43 // 'C'
+
+// ExportState implements Stateful: the rotation cursor.
+func (r *RoundRobin) ExportState() []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = roundRobinStateTag
+	binary.LittleEndian.PutUint64(buf[1:], uint64(r.cursor))
+	return buf
+}
+
+// RestoreState implements Stateful.
+func (r *RoundRobin) RestoreState(state []byte) error {
+	if len(state) != 1+8 || state[0] != roundRobinStateTag {
+		return fmt.Errorf("alloc: not a round-robin state blob (%d bytes)", len(state))
+	}
+	cursor := binary.LittleEndian.Uint64(state[1:])
+	if cursor > 1<<31 {
+		return fmt.Errorf("alloc: round-robin cursor %d out of range", cursor)
+	}
+	r.cursor = int(cursor)
+	return nil
+}
+
+var (
+	_ Stateful = (*Random)(nil)
+	_ Stateful = (*Economic)(nil)
+	_ Stateful = (*RoundRobin)(nil)
+)

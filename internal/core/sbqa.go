@@ -177,6 +177,25 @@ func (s *SbQA) Scorer() *score.Scorer {
 	return &sc
 }
 
+// ExportState implements alloc.Stateful: the KnBest sampling stream's
+// position. Like Allocate it must run on the goroutine that owns the
+// allocator (the engine exports under the shard lock); the tunables
+// (SetParams/SetScoring) are NOT part of the blob — they belong to the
+// policy spec, which the durability layer persists separately.
+func (s *SbQA) ExportState() []byte { return alloc.MarshalRNGState(s.selector.RNGState()) }
+
+// RestoreState implements alloc.Stateful, resuming the KnBest sampling
+// stream so a restored engine draws the same stage-1 samples an
+// uninterrupted run would have.
+func (s *SbQA) RestoreState(state []byte) error {
+	rng, err := alloc.UnmarshalRNGState(state)
+	if err != nil {
+		return err
+	}
+	s.selector.RestoreRNGState(rng)
+	return nil
+}
+
 // Allocate implements alloc.Allocator: one full SbQA mediation.
 func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candidates []model.ProviderSnapshot) (*model.Allocation, error) {
 	if len(candidates) == 0 {
@@ -247,3 +266,4 @@ func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candi
 }
 
 var _ alloc.Allocator = (*SbQA)(nil)
+var _ alloc.Stateful = (*SbQA)(nil)

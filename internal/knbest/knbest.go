@@ -73,6 +73,16 @@ func NewSelector(params Params, rng *stats.RNG) *Selector {
 // Params returns the selector's configuration.
 func (s *Selector) Params() Params { return s.params }
 
+// RNGState exposes the sampling stream's internal state for persistence;
+// pair with RestoreRNGState. Same threading contract as Select: the selector
+// (and thus its RNG) belongs to the mediating goroutine.
+func (s *Selector) RNGState() [4]uint64 { return s.rng.State() }
+
+// RestoreRNGState resumes the sampling stream from a persisted state, so a
+// restarted mediator draws the same stage-1 samples an uninterrupted run
+// would have.
+func (s *Selector) RestoreRNGState(state [4]uint64) { s.rng.Restore(state) }
+
 // SetParams replaces the configuration (Scenario 6 sweeps kn at run time).
 // Like Select, it must run on the mediating goroutine; callers that retune
 // from other goroutines should hold their parameters in an atomic snapshot

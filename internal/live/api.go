@@ -12,6 +12,7 @@ import (
 	"sbqa/internal/event"
 	"sbqa/internal/mediator"
 	"sbqa/internal/model"
+	"sbqa/internal/persist"
 	"sbqa/internal/policy"
 	"sbqa/internal/satisfaction"
 )
@@ -151,7 +152,8 @@ func FireAndForget() QueryOption {
 type Engine struct {
 	svc    *Service
 	queues []chan engineItem
-	tuner  *policy.Tuner // nil unless built WithTuner
+	tuner  *policy.Tuner      // nil unless built WithTuner
+	pst    *enginePersistence // nil unless built WithPersistence
 
 	mu     sync.RWMutex // guards closed vs in-flight enqueues
 	closed bool
@@ -244,9 +246,39 @@ func newEngine(cfg Config) (*Engine, error) {
 		tuner = policy.NewTuner(nil, *cfg.Tuner)
 		cfg.Observer = event.Multi(tuner.Observer(), cfg.Observer)
 	}
+	// The durability recorder joins the observer chain before the service
+	// captures it, so every shard's events reach the journal. The store is
+	// opened here; restore waits until the service (and its registry)
+	// exists.
+	var pst *enginePersistence
+	if cfg.PersistDir != "" {
+		var err error
+		pst, err = openPersistence(cfg.PersistDir, cfg.PersistOpts)
+		if err != nil {
+			return nil, err
+		}
+		pst.rec = pst.store.NewRecorder()
+		cfg.Observer = event.Multi(pst.rec, cfg.Observer)
+	}
 	svc, err := NewServiceWithConfig(cfg)
 	if err != nil {
+		if pst != nil {
+			pst.rec.Close()
+			pst.store.Close()
+		}
 		return nil, err
+	}
+	if pst != nil {
+		if err := pst.restore(svc, &cfg); err != nil {
+			pst.rec.Close()
+			pst.store.Close()
+			return nil, err
+		}
+		pst.rec.SetPolicySource(svc.policySource)
+		// The recorder joined the observer chain before the service was
+		// built; its writer starts only now that the store has restored
+		// and is open for appends.
+		pst.rec.Start()
 	}
 	depth := cfg.QueueDepth
 	if depth < 1 {
@@ -256,6 +288,7 @@ func newEngine(cfg Config) (*Engine, error) {
 		svc:      svc,
 		queues:   make([]chan engineItem, len(svc.shards)),
 		tuner:    tuner,
+		pst:      pst,
 		stopSnap: make(chan struct{}),
 	}
 	for i := range e.queues {
@@ -266,6 +299,22 @@ func newEngine(cfg Config) (*Engine, error) {
 	if cfg.SnapshotInterval > 0 && cfg.Observer != nil {
 		e.wg.Add(1)
 		go e.snapshotLoop(cfg.SnapshotInterval, cfg.Observer)
+	}
+	if pst != nil {
+		pcfg := persist.Config{}
+		for _, o := range cfg.PersistOpts {
+			o(&pcfg)
+		}
+		interval := pcfg.CompactInterval
+		if interval <= 0 {
+			interval = persist.DefaultCompactInterval
+		}
+		threshold := pcfg.CompactAfterSegments
+		if threshold < 1 {
+			threshold = persist.DefaultCompactAfterSegments
+		}
+		e.wg.Add(1)
+		go e.persistLoop(interval, threshold)
 	}
 	if tuner != nil {
 		tuner.Bind(e)
@@ -399,10 +448,18 @@ func (e *Engine) Close() {
 		e.tuner.Close() // stop retuning before the shard loops drain
 	}
 	close(e.stopSnap)
+	if e.pst != nil {
+		close(e.pst.stop)
+	}
 	for _, q := range e.queues {
 		close(q)
 	}
 	e.wg.Wait()
+	if e.pst != nil {
+		// Shard loops have drained: journal the tail, write the final
+		// snapshot (warm-restart point), close the store.
+		e.closePersistence()
+	}
 }
 
 // Service exposes the blocking v1 surface sharing this engine's shards,
@@ -473,6 +530,10 @@ func (e *Engine) Stats() Stats {
 	st := e.svc.Stats()
 	for i := range st.Shards {
 		st.Shards[i].QueueDepth = len(e.queues[i])
+	}
+	if e.pst != nil {
+		pstStats := e.pst.rec.Stats()
+		st.Persistence = &pstStats
 	}
 	return st
 }

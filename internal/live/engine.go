@@ -12,6 +12,7 @@ import (
 	"sbqa/internal/event"
 	"sbqa/internal/mediator"
 	"sbqa/internal/model"
+	"sbqa/internal/persist"
 	"sbqa/internal/policy"
 	"sbqa/internal/satisfaction"
 )
@@ -101,6 +102,14 @@ type Config struct {
 	// seconds on the mediation time axis. Nil uses wall-clock seconds
 	// since the service started. Deterministic tests inject a fake clock.
 	NowFn func() float64
+
+	// PersistDir, when non-empty, makes the engine's adaptation state
+	// durable under that directory (see WithPersistence); PersistOpts
+	// tune the store. Only the asynchronous Engine honors these — the
+	// blocking Service constructors ignore them (persistence needs the
+	// engine's lifecycle: restore on construction, flush on Close).
+	PersistDir  string
+	PersistOpts []persist.Option
 }
 
 // shard is one mediation lane: a single-threaded mediator behind its own
@@ -586,6 +595,11 @@ type Stats struct {
 	// Reconfigure counter); individual shards adopt it at their next
 	// mediation boundary (see ShardStats.PolicyGeneration).
 	PolicyGeneration uint64
+
+	// Persistence holds the durability counters when the engine was built
+	// with WithPersistence; nil otherwise. Filled by Engine.Stats (the
+	// blocking Service has no persistence).
+	Persistence *persist.Stats
 }
 
 // Mediations returns the total successful mediations across all shards.

@@ -1,0 +1,173 @@
+package persist
+
+// Low-level little-endian codec helpers shared by the snapshot and journal
+// encoders. Both sides carry a sticky error so encode/decode sequences read
+// linearly; decoders additionally bound every length they trust, so corrupt
+// or adversarial input (the fuzz targets) can make them fail but never make
+// them allocate unboundedly or panic.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// maxBlob bounds any single length-prefixed byte field a decoder will
+// allocate for (policy specs, allocator states). Real blobs are tiny.
+const maxBlob = 1 << 24
+
+// cw is a sticky-error little-endian writer.
+type cw struct {
+	w       io.Writer
+	err     error
+	scratch [8]byte
+}
+
+func (c *cw) write(b []byte) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = c.w.Write(b)
+}
+
+func (c *cw) u8(v uint8) { c.scratch[0] = v; c.write(c.scratch[:1]) }
+func (c *cw) u16(v uint16) {
+	binary.LittleEndian.PutUint16(c.scratch[:2], v)
+	c.write(c.scratch[:2])
+}
+func (c *cw) u32(v uint32) {
+	binary.LittleEndian.PutUint32(c.scratch[:4], v)
+	c.write(c.scratch[:4])
+}
+func (c *cw) u64(v uint64) {
+	binary.LittleEndian.PutUint64(c.scratch[:8], v)
+	c.write(c.scratch[:8])
+}
+func (c *cw) i64(v int64)   { c.u64(uint64(v)) }
+func (c *cw) f64(v float64) { c.u64(math.Float64bits(v)) }
+func (c *cw) bool(v bool) {
+	if v {
+		c.u8(1)
+	} else {
+		c.u8(0)
+	}
+}
+
+// blob writes a u32 length prefix followed by the bytes.
+func (c *cw) blob(b []byte) {
+	c.u32(uint32(len(b)))
+	c.write(b)
+}
+
+// cr is a sticky-error little-endian reader.
+type cr struct {
+	r       io.Reader
+	err     error
+	scratch [8]byte
+}
+
+// fail records the first error (mapping io.EOF mid-structure to
+// ErrUnexpectedEOF so torn input is distinguishable from clean end).
+func (c *cr) fail(err error) {
+	if c.err == nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		c.err = err
+	}
+}
+
+func (c *cr) read(b []byte) {
+	if c.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		c.fail(err)
+	}
+}
+
+func (c *cr) u8() uint8 {
+	c.read(c.scratch[:1])
+	if c.err != nil {
+		return 0
+	}
+	return c.scratch[0]
+}
+
+func (c *cr) u16() uint16 {
+	c.read(c.scratch[:2])
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(c.scratch[:2])
+}
+
+func (c *cr) u32() uint32 {
+	c.read(c.scratch[:4])
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(c.scratch[:4])
+}
+
+func (c *cr) u64() uint64 {
+	c.read(c.scratch[:8])
+	if c.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(c.scratch[:8])
+}
+
+func (c *cr) i64() int64   { return int64(c.u64()) }
+func (c *cr) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cr) bool() bool {
+	switch c.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		c.fail(fmt.Errorf("%w: bad bool", ErrCorrupt))
+		return false
+	}
+}
+
+// blob reads a u32-length-prefixed byte field, bounding the allocation.
+func (c *cr) blob() []byte {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if n > maxBlob {
+		c.fail(fmt.Errorf("%w: blob of %d bytes exceeds limit", ErrCorrupt, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	c.read(b)
+	if c.err != nil {
+		return nil
+	}
+	return b
+}
+
+// count reads a u32 element count and sanity-bounds the decoder's initial
+// allocation: the caller passes the minimum encoded size of one element, and
+// the returned capacity hint never exceeds a fixed chunk, so a forged count
+// cannot allocate gigabytes before the data runs out.
+func (c *cr) count() (n int, capHint int) {
+	v := c.u32()
+	if c.err != nil {
+		return 0, 0
+	}
+	n = int(v)
+	capHint = n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	return n, capHint
+}

@@ -1,0 +1,272 @@
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"sbqa/internal/model"
+	"sbqa/internal/satisfaction"
+)
+
+// Snapshot format (all integers little-endian):
+//
+//	magic     [8]byte "SBQASNP1"
+//	version   u16     (currently 1; hashed)
+//	payload           (hashed)
+//	crc32c    u32     (over version + payload, Castagnoli)
+//
+// Payload layout:
+//
+//	firstSegment u64      first journal segment NOT folded into this snapshot
+//	nextQueryID  i64
+//	policyGen    u64
+//	hasPolicy    u8; if 1: blob policyJSON
+//	shards       u32; per shard: u8 hasState, blob state
+//	window       u32      registry default window k
+//	consumers    u32; per consumer: i64 id, u32 k, u32 next,
+//	                  u32 records, records × (f64 obtained, f64 best, f64 adequation)
+//	providers    u32; per provider: i64 id, u32 k, u32 next,
+//	                  u32 records, records × (f64 intention, u8 performed)
+//
+// The codec is streaming in both directions — a million-participant registry
+// never materializes a second full copy of itself as one byte slice — and the
+// decoder bounds every allocation it makes before the checksum is verified,
+// so a corrupt length field cannot balloon memory.
+
+var snapshotMagic = [8]byte{'S', 'B', 'Q', 'A', 'S', 'N', 'P', '1'}
+
+// snapshotVersion is the current snapshot format version.
+const snapshotVersion = 1
+
+// crcTable is the Castagnoli polynomial shared by snapshots and journal
+// records.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ConsumerEntry pairs a consumer with its exported tracker state.
+type ConsumerEntry struct {
+	ID    model.ConsumerID
+	State satisfaction.ConsumerState
+}
+
+// ProviderEntry pairs a provider with its exported tracker state.
+type ProviderEntry struct {
+	ID    model.ProviderID
+	State satisfaction.ProviderState
+}
+
+// Snapshot is the full durable adaptation state of one engine: everything a
+// warm restart needs to resume as if the process had never stopped.
+type Snapshot struct {
+	// FirstSegment is the sequence number of the first journal segment NOT
+	// folded into this snapshot: restore replays segments >= FirstSegment.
+	FirstSegment uint64
+
+	// NextQueryID is the engine's query ID counter (QueriesSubmitted), so
+	// restored engines keep assigning strictly increasing IDs.
+	NextQueryID int64
+
+	// PolicyGeneration and PolicyJSON capture the active declarative
+	// policy (nil PolicyJSON when the engine runs without one).
+	PolicyGeneration uint64
+	PolicyJSON       []byte
+
+	// AllocStates holds each shard allocator's exported decision state
+	// (alloc.Stateful), indexed by shard; nil entries mean the allocator
+	// exported nothing. Restoring them is what makes a warm restart's
+	// allocation sequence byte-identical.
+	AllocStates [][]byte
+
+	// Window is the registry's default satisfaction window k at snapshot
+	// time — informational metadata for operators and tooling. Restore
+	// does NOT consume it: every tracker carries its own window in its
+	// exported state, and participants first seen during journal replay
+	// get the restoring engine's configured window (a deliberate
+	// semantics for -window changes across restarts).
+	Window int
+
+	// Consumers and Providers hold every tracked participant's exact
+	// window contents.
+	Consumers []ConsumerEntry
+	Providers []ProviderEntry
+}
+
+// CaptureRegistry exports every satisfaction tracker of reg into snapshot
+// entries, walking one stripe lock at a time and sorting by participant ID
+// so identical registry states encode to identical bytes.
+func CaptureRegistry(reg *satisfaction.Registry) ([]ConsumerEntry, []ProviderEntry) {
+	var cs []ConsumerEntry
+	var ps []ProviderEntry
+	for i := 0; i < reg.Stripes(); i++ {
+		reg.ExportConsumerStripe(i, func(id model.ConsumerID, st satisfaction.ConsumerState) {
+			cs = append(cs, ConsumerEntry{ID: id, State: st})
+		})
+		reg.ExportProviderStripe(i, func(id model.ProviderID, st satisfaction.ProviderState) {
+			ps = append(ps, ProviderEntry{ID: id, State: st})
+		})
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+	return cs, ps
+}
+
+// EncodeSnapshot streams the snapshot to w in the versioned, checksummed
+// format above.
+func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	if _, err := w.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(crcTable)
+	c := &cw{w: io.MultiWriter(w, crc)}
+	c.u16(snapshotVersion)
+	c.u64(s.FirstSegment)
+	c.i64(s.NextQueryID)
+	c.u64(s.PolicyGeneration)
+	c.bool(s.PolicyJSON != nil)
+	if s.PolicyJSON != nil {
+		c.blob(s.PolicyJSON)
+	}
+	c.u32(uint32(len(s.AllocStates)))
+	for _, st := range s.AllocStates {
+		c.bool(st != nil)
+		if st != nil {
+			c.blob(st)
+		}
+	}
+	c.u32(uint32(s.Window))
+	c.u32(uint32(len(s.Consumers)))
+	for _, e := range s.Consumers {
+		c.i64(int64(e.ID))
+		c.u32(uint32(e.State.K))
+		c.u32(uint32(e.State.Next))
+		c.u32(uint32(len(e.State.Records)))
+		for _, r := range e.State.Records {
+			c.f64(r.Obtained)
+			c.f64(r.Best)
+			c.f64(r.Adequation)
+		}
+	}
+	c.u32(uint32(len(s.Providers)))
+	for _, e := range s.Providers {
+		c.i64(int64(e.ID))
+		c.u32(uint32(e.State.K))
+		c.u32(uint32(e.State.Next))
+		c.u32(uint32(len(e.State.Records)))
+		for _, r := range e.State.Records {
+			c.f64(r.Intention)
+			c.bool(r.Performed)
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	trailer := &cw{w: w}
+	trailer.u32(crc.Sum32())
+	return trailer.err
+}
+
+// DecodeSnapshot reads one snapshot from r, verifying magic, version, and
+// checksum. Corrupt or truncated input returns an error wrapping ErrCorrupt
+// (or an unexpected-EOF error); it never panics.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, magic[:])
+	}
+	crc := crc32.New(crcTable)
+	c := &cr{r: io.TeeReader(r, crc)}
+	if v := c.u16(); c.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	}
+	s := &Snapshot{}
+	s.FirstSegment = c.u64()
+	s.NextQueryID = c.i64()
+	s.PolicyGeneration = c.u64()
+	if c.bool() {
+		s.PolicyJSON = c.blob()
+		if s.PolicyJSON == nil && c.err == nil {
+			// A present-but-empty policy is still a policy.
+			s.PolicyJSON = []byte{}
+		}
+	}
+	nShards, capHint := c.count()
+	if c.err == nil {
+		s.AllocStates = make([][]byte, 0, capHint)
+		for i := 0; i < nShards && c.err == nil; i++ {
+			var st []byte
+			if c.bool() {
+				st = c.blob()
+			}
+			s.AllocStates = append(s.AllocStates, st)
+		}
+	}
+	s.Window = int(c.u32())
+	nCons, capHint := c.count()
+	if c.err == nil {
+		s.Consumers = make([]ConsumerEntry, 0, capHint)
+		for i := 0; i < nCons && c.err == nil; i++ {
+			e := ConsumerEntry{ID: model.ConsumerID(c.i64())}
+			e.State.K = int(c.u32())
+			e.State.Next = int(c.u32())
+			nRec, recHint := c.count()
+			e.State.Records = make([]satisfaction.ConsumerRecordState, 0, recHint)
+			for j := 0; j < nRec && c.err == nil; j++ {
+				e.State.Records = append(e.State.Records, satisfaction.ConsumerRecordState{
+					Obtained:   c.f64(),
+					Best:       c.f64(),
+					Adequation: c.f64(),
+				})
+			}
+			s.Consumers = append(s.Consumers, e)
+		}
+	}
+	nProv, capHint := c.count()
+	if c.err == nil {
+		s.Providers = make([]ProviderEntry, 0, capHint)
+		for i := 0; i < nProv && c.err == nil; i++ {
+			e := ProviderEntry{ID: model.ProviderID(c.i64())}
+			e.State.K = int(c.u32())
+			e.State.Next = int(c.u32())
+			nRec, recHint := c.count()
+			e.State.Records = make([]satisfaction.ProviderRecordState, 0, recHint)
+			for j := 0; j < nRec && c.err == nil; j++ {
+				e.State.Records = append(e.State.Records, satisfaction.ProviderRecordState{
+					Intention: c.f64(),
+					Performed: c.bool(),
+				})
+			}
+			s.Providers = append(s.Providers, e)
+		}
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("snapshot payload: %w", c.err)
+	}
+	sum := crc.Sum32()
+	trailer := &cr{r: r}
+	if stored := trailer.u32(); trailer.err != nil {
+		return nil, fmt.Errorf("%w: snapshot checksum missing: %v", ErrCorrupt, trailer.err)
+	} else if stored != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, stored, sum)
+	}
+	return s, nil
+}
+
+// ApplyRegistry imports the snapshot's satisfaction state into reg,
+// replacing any existing trackers for the snapshotted participants.
+func (s *Snapshot) ApplyRegistry(reg *satisfaction.Registry) error {
+	for _, e := range s.Consumers {
+		if err := reg.ImportConsumer(e.ID, e.State); err != nil {
+			return fmt.Errorf("persist: snapshot restore: %w", err)
+		}
+	}
+	for _, e := range s.Providers {
+		if err := reg.ImportProvider(e.ID, e.State); err != nil {
+			return fmt.Errorf("persist: snapshot restore: %w", err)
+		}
+	}
+	return nil
+}

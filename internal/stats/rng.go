@@ -46,6 +46,23 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's full internal state. Together with Restore
+// it lets a persisted system resume a sampling stream exactly where it
+// stopped — the durability layer snapshots allocator RNGs so a warm restart
+// continues the same draw sequence bit-for-bit.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// Restore overwrites the generator's state with one previously returned by
+// State. An all-zero state (invalid for xoshiro) is replaced by the fixed
+// non-zero fallback NewRNG guarantees, so a corrupted snapshot can degrade
+// the stream but never wedge the generator.
+func (r *RNG) Restore(state [4]uint64) {
+	if state[0]|state[1]|state[2]|state[3] == 0 {
+		state[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = state
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -52,6 +52,7 @@ import (
 	"sbqa/internal/mediator"
 	"sbqa/internal/metrics"
 	"sbqa/internal/model"
+	"sbqa/internal/persist"
 	"sbqa/internal/policy"
 	"sbqa/internal/satisfaction"
 	"sbqa/internal/score"
@@ -642,6 +643,63 @@ func WithTuner(cfg TunerConfig) EngineOption { return live.WithTuner(cfg) }
 // it, and Close it on shutdown. Engines built with WithTuner do this wiring
 // themselves.
 func NewTuner(target Reconfigurer, cfg TunerConfig) *Tuner { return policy.NewTuner(target, cfg) }
+
+// ---------------------------------------------------------------------------
+// Durability: snapshot + journal persistence for the adaptation state
+// ---------------------------------------------------------------------------
+
+// Durable adaptation state types. WithPersistence makes everything SbQA has
+// learned — satisfaction windows, the active policy generation, allocator
+// sampling streams, the query ID counter — survive restarts: restore happens
+// in NewEngine, every state-mutating event is journaled asynchronously, and
+// Close flushes a final snapshot so a graceful restart resumes with
+// byte-identical allocations.
+type (
+	// PersistOption tunes the durability store (sync cadence, segment
+	// size, queue depth, compaction).
+	PersistOption = persist.Option
+	// PersistenceStats is the durability counter block of EngineStats
+	// (EngineStats.Persistence; nil without WithPersistence).
+	PersistenceStats = persist.Stats
+	// RestoreStats describes what a boot-time restore recovered.
+	RestoreStats = persist.RestoreStats
+)
+
+// ErrPersistCorrupt marks snapshot or journal data whose framing or
+// checksum does not hold (match with errors.Is).
+var ErrPersistCorrupt = persist.ErrCorrupt
+
+// WithPersistence makes the engine's adaptation state durable under dir.
+// After a graceful Close the next NewEngine with the same directory resumes
+// byte-identically (satisfaction memory, policy generation, sampling
+// streams, query IDs); after a crash, recovery loses at most the last
+// unsynced journal batch. Participants themselves are runtime objects and
+// must be re-registered on boot. See DESIGN.md §8.
+func WithPersistence(dir string, opts ...PersistOption) EngineOption {
+	return live.WithPersistence(dir, opts...)
+}
+
+// PersistSyncEvery sets the journal fsync cadence: one fsync per n appended
+// records (1 = every record; default 64). The crash-loss bound.
+func PersistSyncEvery(n int) PersistOption { return persist.SyncEvery(n) }
+
+// PersistSegmentBytes sets the journal segment rotation threshold (default
+// 4 MiB).
+func PersistSegmentBytes(n int64) PersistOption { return persist.SegmentBytes(n) }
+
+// PersistQueueDepth bounds the asynchronous recorder queue (default 4096);
+// overload drops events (counted in PersistenceStats.RecordsDropped) rather
+// than blocking a mediation.
+func PersistQueueDepth(n int) PersistOption { return persist.QueueDepth(n) }
+
+// PersistCompactAfterSegments sets how many sealed journal segments
+// accumulate before background compaction folds them into a fresh snapshot
+// (default 4).
+func PersistCompactAfterSegments(n int) PersistOption { return persist.CompactAfterSegments(n) }
+
+// PersistCompactInterval sets the cadence of the background compaction
+// check (default 30s).
+func PersistCompactInterval(d time.Duration) PersistOption { return persist.CompactInterval(d) }
 
 // ---------------------------------------------------------------------------
 // Topic-based interests and the AdWords world (§I motivation)

@@ -200,6 +200,68 @@ func TestFacadeSymbolSmoke(t *testing.T) {
 	_ = WithPolicy
 	_ = WithTuner
 	_ = NewTuner
+
+	// Durability surface.
+	var (
+		_ PersistenceStats
+		_ RestoreStats
+	)
+	if ErrPersistCorrupt == nil {
+		t.Error("ErrPersistCorrupt is nil")
+	}
+	_ = WithPersistence
+	_ = PersistSyncEvery
+	_ = PersistSegmentBytes
+	_ = PersistQueueDepth
+	_ = PersistCompactAfterSegments
+	_ = PersistCompactInterval
+}
+
+// TestFacadePersistenceFlow drives the durability surface through the
+// facade: a persistent engine accumulates state, closes gracefully, and a
+// second engine over the same directory restores it.
+func TestFacadePersistenceFlow(t *testing.T) {
+	dir := t.TempDir()
+	build := func() *Engine {
+		eng, err := NewEngine(
+			WithWindow(10),
+			WithPolicy(PolicySpec{Kind: PolicySbQA, K: 4, Kn: 2, Seed: 1}),
+			WithClock(func() float64 { return 1 }),
+			WithPersistence(dir, PersistSyncEvery(1), PersistQueueDepth(128)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := build()
+	w, err := NewLiveWorker(1, 100, 4, func(Query) Intention { return 0.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RegisterWorker(w)
+	eng.RegisterConsumer(LiveFuncConsumer{ID: 0, Fn: func(Query, ProviderSnapshot) Intention { return 0.7 }})
+	tk := eng.Submit(context.Background(), Query{Consumer: 0, N: 1, Work: 1})
+	if _, err := tk.Await(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.ConsumerSatisfaction(0)
+	st := eng.Stats()
+	if st.Persistence == nil {
+		t.Fatal("EngineStats.Persistence nil with WithPersistence")
+	}
+	eng.Close()
+	w.Close()
+
+	eng2 := build()
+	defer eng2.Close()
+	st2 := eng2.Stats()
+	if st2.Persistence == nil || !st2.Persistence.Restore.SnapshotLoaded {
+		t.Fatal("facade restart did not restore a snapshot")
+	}
+	if got := eng2.ConsumerSatisfaction(0); got != before {
+		t.Errorf("restored consumer δs %v, want %v", got, before)
+	}
 }
 
 // TestFacadePolicyFlow drives the control plane through the facade: a
