@@ -577,6 +577,26 @@ func BenchmarkLiveEngineTickets(b *testing.B) {
 	})
 }
 
+// BenchmarkMediateEndToEnd measures the complete mediation hot path the way
+// production traffic exercises it: Submit → candidate discovery → KnBest →
+// batched intention collection → SQLB scoring → dispatch, on a single shard
+// with 200 in-process providers. This is the benchmark the allocs/op gate in
+// CI watches (see .github/workflows/ci.yml): run with -benchmem; the gate
+// fails when allocs/op regresses against the committed BENCH_core.json
+// baseline.
+func BenchmarkMediateEndToEnd(b *testing.B) {
+	svc := benchEngine(b, 1, 200, 4)
+	q := Query{Consumer: 0, N: 2, Work: 10}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Submit(ctx, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDirectoryCandidates measures indexed candidate discovery with a
 // 10%-specialist population: class-restricted discovery touches only the
 // class bucket plus the universal pool.

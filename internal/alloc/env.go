@@ -73,6 +73,11 @@ func (e *StaticEnv) ProviderSatisfactions(kn []model.ProviderSnapshot) []float64
 	return Legacy(e).ProviderSatisfactions(kn)
 }
 
+// AppendProviderSatisfactions implements SatisfactionAppender.
+func (e *StaticEnv) AppendProviderSatisfactions(kn []model.ProviderSnapshot, dst []float64) []float64 {
+	return Legacy(e).AppendProviderSatisfactions(kn, dst)
+}
+
 // ConsumerIntention implements EnvV1.
 func (e *StaticEnv) ConsumerIntention(q model.Query, p model.ProviderSnapshot) model.Intention {
 	if m, ok := e.CI[q.Consumer]; ok {

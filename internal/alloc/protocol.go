@@ -114,6 +114,16 @@ type Env interface {
 	ProviderSatisfactions(kn []model.ProviderSnapshot) []float64
 }
 
+// SatisfactionAppender is an optional Env extension for the zero-allocation
+// hot path: AppendProviderSatisfactions appends δs(p) for each provider in
+// the batch to dst (position-aligned with kn) and returns the extended
+// slice, letting the allocator reuse one scratch buffer across mediations
+// instead of receiving a fresh slice per ProviderSatisfactions call.
+// Allocators type-assert for it and fall back to ProviderSatisfactions.
+type SatisfactionAppender interface {
+	AppendProviderSatisfactions(kn []model.ProviderSnapshot, dst []float64) []float64
+}
+
 // EnvV1 is the original synchronous, per-provider, context-free environment
 // interface (the v1 alloc.Env). In-process embeddings that computed
 // intentions from local tables or policies keep implementing it and adapt
@@ -188,11 +198,15 @@ func (l LegacyEnv) ConsumerSatisfaction(c model.ConsumerID) float64 {
 
 // ProviderSatisfactions implements Env.
 func (l LegacyEnv) ProviderSatisfactions(kn []model.ProviderSnapshot) []float64 {
-	sat := make([]float64, len(kn))
-	for i, snap := range kn {
-		sat[i] = l.V1.ProviderSatisfaction(snap.ID)
+	return l.AppendProviderSatisfactions(kn, make([]float64, 0, len(kn)))
+}
+
+// AppendProviderSatisfactions implements SatisfactionAppender.
+func (l LegacyEnv) AppendProviderSatisfactions(kn []model.ProviderSnapshot, dst []float64) []float64 {
+	for _, snap := range kn {
+		dst = append(dst, l.V1.ProviderSatisfaction(snap.ID))
 	}
-	return sat
+	return dst
 }
 
 // DevotedAvailable implements ShareEnv by forwarding to the wrapped
@@ -207,6 +221,7 @@ func (l LegacyEnv) DevotedAvailable(q model.Query, p model.ProviderSnapshot) flo
 
 var _ Env = LegacyEnv{}
 var _ ShareEnv = LegacyEnv{}
+var _ SatisfactionAppender = LegacyEnv{}
 
 // CheckBatch validates that a batched response is position-aligned with its
 // candidate batch — the defensive check allocators apply before indexing.

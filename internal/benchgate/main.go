@@ -3,6 +3,8 @@
 //
 //	benchgate -extract FILE.json        # test2json stream → plain bench text
 //	benchgate -gate PCT [-normalize] BASE.txt NEW.txt
+//	benchgate -allocgate BASE.txt NEW.txt
+//	benchgate -maxallocs N [-bench NAME] NEW.txt
 //
 // -extract converts a `go test -json` stream into the classic benchmark
 // text format (the format benchstat consumes), so the committed baseline
@@ -29,6 +31,18 @@
 // which is why it is excluded; with a single shared benchmark -normalize is
 // a no-op. Benchmark names are compared with their -N GOMAXPROCS suffix
 // stripped, and a comparison that shares no benchmarks at all fails.
+//
+// -allocgate compares per-benchmark median allocs/op (runs must use
+// -benchmem) between two bench text files and fails when any shared
+// benchmark allocates MORE than its baseline. Unlike ns/op, allocs/op is a
+// property of the compiled code, not the machine — identical on every
+// runner — so the gate is exact: no percentage threshold, no normalization.
+// Benchmarks without an allocs/op column are skipped.
+//
+// -maxallocs enforces an absolute ceiling: it fails when any benchmark in
+// NEW.txt (or just -bench NAME, when given) reports a median allocs/op above
+// N. This pins hot-path budgets ("mediation stays single-digit") even when
+// the committed baseline is regenerated.
 package main
 
 import (
@@ -47,6 +61,9 @@ func main() {
 	extract := flag.String("extract", "", "test2json file to convert to bench text on stdout")
 	gate := flag.Float64("gate", 0, "fail when median ns/op regresses by more than this percent")
 	normalize := flag.Bool("normalize", false, "divide each ratio by the geomean ratio (cancels uniform hardware shifts)")
+	allocGate := flag.Bool("allocgate", false, "fail when any shared benchmark's median allocs/op exceeds the baseline")
+	maxAllocs := flag.Float64("maxallocs", -1, "fail when any benchmark's median allocs/op exceeds this ceiling")
+	benchName := flag.String("bench", "", "restrict -maxallocs to this benchmark name (default: all)")
 	flag.Parse()
 
 	switch {
@@ -61,6 +78,32 @@ func main() {
 			os.Exit(2)
 		}
 		ok, err := runGate(*gate, *normalize, flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *allocGate:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchgate: -allocgate needs BASE.txt and NEW.txt")
+			os.Exit(2)
+		}
+		ok, err := runAllocGate(flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *maxAllocs >= 0:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchgate: -maxallocs needs NEW.txt")
+			os.Exit(2)
+		}
+		ok, err := runMaxAllocs(*maxAllocs, *benchName, flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(2)
@@ -102,11 +145,19 @@ func runExtract(path string) error {
 	return sc.Err()
 }
 
-// parseBench reads bench text and returns name → ns/op samples. The -N
-// GOMAXPROCS suffix is stripped from names: the committed baseline and the
-// CI runner generally differ in core count, and a gate that compares
-// "BenchmarkX" against "BenchmarkX-4" would silently compare nothing.
+// parseBench reads bench text and returns name → ns/op samples (see
+// parseBenchUnit).
 func parseBench(path string) (map[string][]float64, error) {
+	return parseBenchUnit(path, "ns/op")
+}
+
+// parseBenchUnit reads bench text and returns name → samples for the given
+// unit column ("ns/op", "allocs/op", "B/op"). The -N GOMAXPROCS suffix is
+// stripped from names: the committed baseline and the CI runner generally
+// differ in core count, and a gate that compares "BenchmarkX" against
+// "BenchmarkX-4" would silently compare nothing. Benchmarks lacking the unit
+// (e.g. allocs/op without -benchmem) are simply absent from the result.
+func parseBenchUnit(path, unit string) (map[string][]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -117,18 +168,18 @@ func parseBench(path string) (map[string][]float64, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		// BenchmarkName-8  1234  567.8 ns/op  [...]
+		// BenchmarkName-8  1234  567.8 ns/op  42 B/op  3 allocs/op  [...]
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
 		name := stripCPUSuffix(fields[0])
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			if fields[i+1] != unit {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("%s: bad ns/op in %q", path, sc.Text())
+				return nil, fmt.Errorf("%s: bad %s in %q", path, unit, sc.Text())
 			}
 			samples[name] = append(samples[name], v)
 			break
@@ -227,6 +278,80 @@ func runGate(pct float64, normalize bool, basePath, newPath string) (bool, error
 	}
 	if !ok {
 		fmt.Printf("benchgate: FAIL — regression beyond %.0f%% against the committed baseline\n", pct)
+	}
+	return ok, nil
+}
+
+// runAllocGate fails when any benchmark present in both files allocates more
+// per op (median) than the baseline records. Exact comparison — allocation
+// counts are machine-independent, so any increase is a code regression.
+func runAllocGate(basePath, newPath string) (bool, error) {
+	base, err := parseBenchUnit(basePath, "allocs/op")
+	if err != nil {
+		return false, err
+	}
+	cur, err := parseBenchUnit(newPath, "allocs/op")
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, present := cur[name]; present {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return false, fmt.Errorf("no benchmark reports allocs/op in both %s and %s — run with -benchmem and refresh the baseline", basePath, newPath)
+	}
+	ok := true
+	for _, name := range names {
+		b, c := median(base[name]), median(cur[name])
+		status := "ok"
+		if c > b {
+			status = "REGRESSED"
+			ok = false
+		}
+		fmt.Printf("benchgate: %-45s base %6.0f allocs/op → %6.0f allocs/op  %s\n", name, b, c, status)
+	}
+	if !ok {
+		fmt.Println("benchgate: FAIL — allocs/op regressed against the committed baseline")
+	}
+	return ok, nil
+}
+
+// runMaxAllocs fails when any benchmark in the file (or just name, when
+// non-empty) reports a median allocs/op above the ceiling.
+func runMaxAllocs(ceiling float64, name, path string) (bool, error) {
+	cur, err := parseBenchUnit(path, "allocs/op")
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		if name == "" || n == name {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		if name != "" {
+			return false, fmt.Errorf("benchmark %s reports no allocs/op in %s — run with -benchmem", name, path)
+		}
+		return false, fmt.Errorf("no benchmark reports allocs/op in %s — run with -benchmem", path)
+	}
+	ok := true
+	for _, n := range names {
+		c := median(cur[n])
+		status := "ok"
+		if c > ceiling {
+			status = fmt.Sprintf("OVER CEILING (> %.0f)", ceiling)
+			ok = false
+		}
+		fmt.Printf("benchgate: %-45s %6.0f allocs/op (ceiling %.0f)  %s\n", n, c, ceiling, status)
+	}
+	if !ok {
+		fmt.Printf("benchgate: FAIL — allocs/op above the %.0f ceiling\n", ceiling)
 	}
 	return ok, nil
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseBench = `goos: linux
+BenchmarkMediateEndToEnd-8   	   80000	     14000 ns/op	     516 B/op	       4 allocs/op
+BenchmarkMediateEndToEnd-8   	   80000	     13900 ns/op	     516 B/op	       4 allocs/op
+BenchmarkDirectoryCandidates-8 	  500000	      2100 ns/op
+PASS
+`
+
+func TestParseBenchUnit(t *testing.T) {
+	path := writeBench(t, "base.txt", baseBench)
+
+	ns, err := parseBenchUnit(path, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ns["BenchmarkMediateEndToEnd"]); got != 2 {
+		t.Fatalf("ns/op samples = %d, want 2", got)
+	}
+	if got := ns["BenchmarkDirectoryCandidates"]; len(got) != 1 || got[0] != 2100 {
+		t.Fatalf("DirectoryCandidates ns/op = %v, want [2100]", got)
+	}
+
+	allocs, err := parseBenchUnit(path, "allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allocs["BenchmarkMediateEndToEnd"]; len(got) != 2 || got[0] != 4 {
+		t.Fatalf("allocs/op samples = %v, want [4 4]", got)
+	}
+	// No -benchmem columns → absent, not zero.
+	if _, present := allocs["BenchmarkDirectoryCandidates"]; present {
+		t.Fatal("benchmark without allocs/op column should be absent")
+	}
+}
+
+func TestAllocGate(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+
+	same := writeBench(t, "same.txt",
+		"BenchmarkMediateEndToEnd-16 \t 90000 \t 9000 ns/op \t 516 B/op \t 4 allocs/op\n")
+	ok, err := runAllocGate(base, same)
+	if err != nil || !ok {
+		t.Fatalf("equal allocs should pass, got ok=%v err=%v", ok, err)
+	}
+
+	better := writeBench(t, "better.txt",
+		"BenchmarkMediateEndToEnd-16 \t 90000 \t 9000 ns/op \t 400 B/op \t 3 allocs/op\n")
+	ok, err = runAllocGate(base, better)
+	if err != nil || !ok {
+		t.Fatalf("fewer allocs should pass, got ok=%v err=%v", ok, err)
+	}
+
+	worse := writeBench(t, "worse.txt",
+		"BenchmarkMediateEndToEnd-16 \t 90000 \t 9000 ns/op \t 600 B/op \t 5 allocs/op\n")
+	ok, err = runAllocGate(base, worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("more allocs than baseline must fail the gate")
+	}
+
+	empty := writeBench(t, "empty.txt", "BenchmarkOther-4 \t 10 \t 5 ns/op\n")
+	if _, err := runAllocGate(base, empty); err == nil {
+		t.Fatal("empty intersection must error, not pass")
+	}
+}
+
+func TestMaxAllocs(t *testing.T) {
+	cur := writeBench(t, "new.txt", baseBench)
+
+	ok, err := runMaxAllocs(9, "BenchmarkMediateEndToEnd", cur)
+	if err != nil || !ok {
+		t.Fatalf("4 allocs under a ceiling of 9 should pass, got ok=%v err=%v", ok, err)
+	}
+
+	ok, err = runMaxAllocs(3, "BenchmarkMediateEndToEnd", cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("4 allocs over a ceiling of 3 must fail")
+	}
+
+	// Named benchmark with no allocs/op column: an error, not a silent pass.
+	if _, err := runMaxAllocs(9, "BenchmarkDirectoryCandidates", cur); err == nil {
+		t.Fatal("benchmark without -benchmem data must error")
+	}
+}

@@ -70,6 +70,37 @@ func FixedOmega(v float64) *float64 { return &v }
 type SbQA struct {
 	selector *knbest.Selector // RNG + scratch: owned by the mediating goroutine
 	tune     atomic.Pointer[tuning]
+	scr      sbqaScratch // flat scoring columns: owned by the mediating goroutine
+}
+
+// sbqaScratch holds the per-allocator flat scoring columns, reused across
+// mediations so Allocate's scoring stage allocates nothing. Position-aligned
+// with the Kn set of the current mediation; contents are dead once Allocate
+// returns (the allocation owns copies of everything it keeps).
+type sbqaScratch struct {
+	ids    []model.ProviderID
+	satP   []float64
+	omega  []float64
+	scores []float64
+	order  []int
+	ranker score.FlatRanker
+}
+
+// grow resizes every column to m, reallocating only when capacity is
+// exceeded.
+func (s *sbqaScratch) grow(m int) {
+	if cap(s.ids) < m {
+		s.ids = make([]model.ProviderID, m)
+		s.satP = make([]float64, m)
+		s.omega = make([]float64, m)
+		s.scores = make([]float64, m)
+		s.order = make([]int, m)
+	}
+	s.ids = s.ids[:m]
+	s.satP = s.satP[:m]
+	s.omega = s.omega[:m]
+	s.scores = s.scores[:m]
+	s.order = s.order[:m]
 }
 
 // tuning is one immutable parameter snapshot: the KnBest stages plus the
@@ -221,45 +252,62 @@ func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candi
 		return nil, err
 	}
 	satC := env.ConsumerSatisfaction(q.Consumer)
-	satP := env.ProviderSatisfactions(kn)
-	if err := alloc.CheckBatch(len(satP), len(kn), "satisfaction"); err != nil {
+	m := len(kn)
+	s.scr.grow(m)
+	var satP []float64
+	if ap, ok := env.(alloc.SatisfactionAppender); ok {
+		satP = ap.AppendProviderSatisfactions(kn, s.scr.satP[:0])
+	} else {
+		satP = env.ProviderSatisfactions(kn)
+	}
+	if err := alloc.CheckBatch(len(satP), m, "satisfaction"); err != nil {
 		return nil, err
 	}
-	scored := make([]score.Candidate, len(kn))
+
+	// Score over flat parallel columns borrowed from the environment's batch
+	// buffers — no per-provider structs — then rank a position permutation.
+	// Same math, same stable comparator (score desc, ID asc) as the
+	// historical struct-based Rank, so the order is byte-identical.
 	for i, snap := range kn {
-		scored[i] = score.Candidate{
-			Provider: snap.ID,
-			PI:       set.PI[i],
-			CI:       set.CI[i],
-			SatC:     satC,
-			SatP:     satP[i],
-		}
+		s.scr.ids[i] = snap.ID
 	}
-	ranked := tn.scorer.Rank(scored)
+	tn.scorer.ScoreInto(score.View{
+		IDs:  s.scr.ids,
+		PI:   set.PI,
+		CI:   set.CI,
+		SatC: satC,
+		SatP: satP,
+	}, s.scr.omega, s.scr.scores)
+	s.scr.ranker.Rank(s.scr.scores, s.scr.ids, s.scr.order)
 
 	n := q.N
 	if n < 1 {
 		n = 1
 	}
-	if n > len(ranked) {
-		n = len(ranked)
+	if n > m {
+		n = m
 	}
 
+	// The allocation owns its vectors (the scratch is reused next
+	// mediation); three backing arrays cover all five, with capped subslices
+	// so later compaction of one cannot clobber its neighbor.
+	ids := make([]model.ProviderID, m+n)
+	ints := make([]model.Intention, 2*m)
 	a := &model.Allocation{
 		Query:              q,
-		Selected:           make([]model.ProviderID, 0, n),
-		Proposed:           make([]model.ProviderID, 0, len(ranked)),
-		ConsumerIntentions: make([]model.Intention, 0, len(ranked)),
-		ProviderIntentions: make([]model.Intention, 0, len(ranked)),
-		Scores:             make([]float64, 0, len(ranked)),
+		Proposed:           ids[:m:m],
+		Selected:           ids[m : m+n : m+n],
+		ConsumerIntentions: ints[:m:m],
+		ProviderIntentions: ints[m : 2*m : 2*m],
+		Scores:             make([]float64, m),
 	}
-	for i, r := range ranked {
-		a.Proposed = append(a.Proposed, r.Provider)
-		a.ConsumerIntentions = append(a.ConsumerIntentions, r.CI)
-		a.ProviderIntentions = append(a.ProviderIntentions, r.PI)
-		a.Scores = append(a.Scores, r.Score)
-		if i < n {
-			a.Selected = append(a.Selected, r.Provider)
+	for r, i := range s.scr.order {
+		a.Proposed[r] = s.scr.ids[i]
+		a.ConsumerIntentions[r] = set.CI[i]
+		a.ProviderIntentions[r] = set.PI[i]
+		a.Scores[r] = s.scr.scores[i]
+		if r < n {
+			a.Selected[r] = s.scr.ids[i]
 		}
 	}
 	return a, nil

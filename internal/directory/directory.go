@@ -95,6 +95,20 @@ type Directory struct {
 	universal []model.ProviderID
 	byClass   map[int][]model.ProviderID
 
+	// Intern tables: every registered participant is assigned a small dense
+	// index (an "interned ID") for the lifetime of its registration. The
+	// mediation hot path keys per-provider caches by these indices — a slice
+	// lookup instead of a map lookup per provider. Unregistration releases
+	// the index to a free list, so the table's high-water mark is bounded by
+	// the maximum number of *concurrently* registered participants, not by
+	// lifetime churn.
+	pIdx  map[model.ProviderID]int32
+	pFree []int32
+	pNext int32
+	cIdx  map[model.ConsumerID]int32
+	cFree []int32
+	cNext int32
+
 	// obs holds the registration observer (an event.Observer), swapped
 	// atomically so SetObserver is safe while the directory is shared.
 	obs atomic.Value
@@ -107,6 +121,8 @@ func New() *Directory {
 		consumers: make(map[model.ConsumerID]Consumer),
 		classesOf: make(map[model.ProviderID][]int),
 		byClass:   make(map[int][]model.ProviderID),
+		pIdx:      make(map[model.ProviderID]int32),
+		cIdx:      make(map[model.ConsumerID]int32),
 	}
 }
 
@@ -145,6 +161,8 @@ func (d *Directory) RegisterProvider(p Provider) {
 	d.mu.Lock()
 	if _, exists := d.providers[id]; exists {
 		d.unindexLocked(id)
+	} else {
+		d.pIdx[id] = d.internLocked(&d.pFree, &d.pNext)
 	}
 	d.providers[id] = p
 	d.classesOf[id] = classes
@@ -175,6 +193,10 @@ func (d *Directory) UnregisterProvider(id model.ProviderID) {
 		d.unindexLocked(id)
 		delete(d.providers, id)
 		delete(d.classesOf, id)
+		if di, ok := d.pIdx[id]; ok {
+			d.pFree = append(d.pFree, di)
+			delete(d.pIdx, id)
+		}
 	}
 	d.mu.Unlock()
 	if !exists {
@@ -203,6 +225,9 @@ func (d *Directory) unindexLocked(id model.ProviderID) {
 func (d *Directory) RegisterConsumer(c Consumer) {
 	id := c.ConsumerID()
 	d.mu.Lock()
+	if _, exists := d.consumers[id]; !exists {
+		d.cIdx[id] = d.internLocked(&d.cFree, &d.cNext)
+	}
 	d.consumers[id] = c
 	d.mu.Unlock()
 	if obs := d.observer(); obs != nil {
@@ -215,6 +240,12 @@ func (d *Directory) UnregisterConsumer(id model.ConsumerID) {
 	d.mu.Lock()
 	_, exists := d.consumers[id]
 	delete(d.consumers, id)
+	if exists {
+		if di, ok := d.cIdx[id]; ok {
+			d.cFree = append(d.cFree, di)
+			delete(d.cIdx, id)
+		}
+	}
 	d.mu.Unlock()
 	if !exists {
 		return
@@ -314,6 +345,98 @@ func (d *Directory) Candidates(q model.Query, buf []Provider) []Provider {
 		}
 	}
 	return buf[:kept]
+}
+
+// internLocked hands out the next dense index, reusing released ones first.
+func (d *Directory) internLocked(free *[]int32, next *int32) int32 {
+	if n := len(*free); n > 0 {
+		di := (*free)[n-1]
+		*free = (*free)[:n-1]
+		return di
+	}
+	di := *next
+	*next++
+	return di
+}
+
+// ProviderIndex returns the interned dense index of a registered provider.
+// Indices are stable for the lifetime of the registration, contiguous from
+// zero, and recycled after unregistration — callers keying caches by index
+// must invalidate them when the provider departs (the mediator's snapshot
+// cache does this with per-batch generation stamps).
+func (d *Directory) ProviderIndex(id model.ProviderID) (int32, bool) {
+	d.mu.RLock()
+	di, ok := d.pIdx[id]
+	d.mu.RUnlock()
+	return di, ok
+}
+
+// ConsumerIndex returns the interned dense index of a registered consumer
+// (same lifecycle as ProviderIndex).
+func (d *Directory) ConsumerIndex(id model.ConsumerID) (int32, bool) {
+	d.mu.RLock()
+	di, ok := d.cIdx[id]
+	d.mu.RUnlock()
+	return di, ok
+}
+
+// ProviderInternBound returns an exclusive upper bound on every provider
+// index currently handed out — the intern table's high-water mark. Sizing a
+// slice-backed cache to this bound makes every interned index a valid slot.
+// The bound tracks the maximum number of concurrently registered providers,
+// not lifetime churn (released indices are reused).
+func (d *Directory) ProviderInternBound() int {
+	d.mu.RLock()
+	n := int(d.pNext)
+	d.mu.RUnlock()
+	return n
+}
+
+// ConsumerInternBound is ProviderInternBound for consumers.
+func (d *Directory) ConsumerInternBound() int {
+	d.mu.RLock()
+	n := int(d.cNext)
+	d.mu.RUnlock()
+	return n
+}
+
+// CandidatesIndexed is Candidates with the candidates' interned indices:
+// idx receives, position-aligned with the returned providers, each
+// candidate's dense index. Both slices are appended to and returned. The
+// mediator uses the indices to key its per-batch snapshot cache without a
+// map.
+func (d *Directory) CandidatesIndexed(q model.Query, buf []Provider, idx []int32) ([]Provider, []int32) {
+	base := len(buf)
+	d.mu.RLock()
+	uni, cls := d.universal, d.byClass[q.Class]
+	i, j := 0, 0
+	for i < len(uni) || j < len(cls) {
+		var id model.ProviderID
+		switch {
+		case j >= len(cls) || (i < len(uni) && uni[i] < cls[j]):
+			id = uni[i]
+			i++
+		default:
+			id = cls[j]
+			j++
+		}
+		if p := d.providers[id]; p != nil {
+			buf = append(buf, p)
+			idx = append(idx, d.pIdx[id])
+		}
+	}
+	d.mu.RUnlock()
+	// CanPerform runs outside the lock (see Candidates); compact both
+	// slices together to keep them aligned.
+	kept := base
+	for k, p := range buf[base:] {
+		if p.CanPerform(q) {
+			buf[kept] = p
+			idx[kept] = idx[base+k]
+			kept++
+		}
+	}
+	return buf[:kept], idx[:kept]
 }
 
 // insertID inserts id into the sorted slice ids, keeping it sorted; it is a

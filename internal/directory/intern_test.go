@@ -1,0 +1,123 @@
+package directory
+
+import (
+	"testing"
+
+	"sbqa/internal/model"
+)
+
+// TestInternIndexLifecycle pins the intern table contract: registration
+// assigns a dense index, unregistration releases it, and a later
+// registration reuses the freed slot instead of growing the table.
+func TestInternIndexLifecycle(t *testing.T) {
+	d := New()
+	d.RegisterProvider(&stub{id: 1})
+	d.RegisterProvider(&stub{id: 2})
+	d.RegisterProvider(&stub{id: 3})
+
+	i1, ok1 := d.ProviderIndex(1)
+	i2, ok2 := d.ProviderIndex(2)
+	i3, ok3 := d.ProviderIndex(3)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("registered providers must have interned indices")
+	}
+	seen := map[int32]bool{i1: true, i2: true, i3: true}
+	if len(seen) != 3 {
+		t.Fatalf("indices must be distinct, got %d/%d/%d", i1, i2, i3)
+	}
+	for _, di := range []int32{i1, i2, i3} {
+		if di < 0 || int(di) >= d.ProviderInternBound() {
+			t.Fatalf("index %d outside [0, %d)", di, d.ProviderInternBound())
+		}
+	}
+
+	// Re-registering (replace) keeps the existing index.
+	d.RegisterProvider(&stub{id: 2})
+	if i2b, _ := d.ProviderIndex(2); i2b != i2 {
+		t.Fatalf("replacement changed index: %d → %d", i2, i2b)
+	}
+
+	// Unregistration forgets the index…
+	d.UnregisterProvider(2)
+	if _, ok := d.ProviderIndex(2); ok {
+		t.Fatal("unregistered provider still has an interned index")
+	}
+	// …and the next registration reuses the freed slot: the bound is flat.
+	bound := d.ProviderInternBound()
+	d.RegisterProvider(&stub{id: 99})
+	if i99, _ := d.ProviderIndex(99); i99 != i2 {
+		t.Fatalf("freed index %d not reused, got %d", i2, i99)
+	}
+	if d.ProviderInternBound() != bound {
+		t.Fatalf("bound grew on slot reuse: %d → %d", bound, d.ProviderInternBound())
+	}
+
+	// Same lifecycle for consumers.
+	d.RegisterConsumer(consumerStub{id: 7})
+	c7, ok := d.ConsumerIndex(7)
+	if !ok || c7 != 0 {
+		t.Fatalf("first consumer index = %d ok=%v, want 0 true", c7, ok)
+	}
+	d.UnregisterConsumer(7)
+	if _, ok := d.ConsumerIndex(7); ok {
+		t.Fatal("unregistered consumer still interned")
+	}
+	d.RegisterConsumer(consumerStub{id: 8})
+	if c8, _ := d.ConsumerIndex(8); c8 != c7 {
+		t.Fatalf("consumer slot not recycled: %d, want %d", c8, c7)
+	}
+}
+
+// TestInternBoundStaysBoundedUnderChurn registers and unregisters far more
+// providers than are ever alive at once: the intern table's high-water mark
+// must track peak concurrent registrations, not lifetime churn — a
+// long-running engine under provider churn must not grow its slice-backed
+// snapshot caches without bound.
+func TestInternBoundStaysBoundedUnderChurn(t *testing.T) {
+	d := New()
+	const alive = 8
+	const rounds = 10000
+	for r := 0; r < rounds; r++ {
+		if r >= alive {
+			d.UnregisterProvider(model.ProviderID(r - alive))
+		}
+		d.RegisterProvider(&stub{id: model.ProviderID(r)})
+	}
+	if got := d.ProviderInternBound(); got > alive {
+		t.Fatalf("intern bound %d after %d churn rounds, want ≤ %d (peak concurrent registrations)",
+			got, rounds, alive)
+	}
+	// Every live provider still resolves to a valid in-bound index.
+	for r := rounds - alive; r < rounds; r++ {
+		di, ok := d.ProviderIndex(model.ProviderID(r))
+		if !ok || int(di) >= d.ProviderInternBound() {
+			t.Fatalf("live provider %d: index %d ok=%v bound=%d", r, di, ok, d.ProviderInternBound())
+		}
+	}
+}
+
+// TestCandidatesIndexedAlignment checks that CandidatesIndexed returns
+// position-aligned providers and indices, consistent with ProviderIndex, and
+// identical in order to Candidates.
+func TestCandidatesIndexedAlignment(t *testing.T) {
+	d := New()
+	for i := 10; i > 0; i-- {
+		d.RegisterProvider(&stub{id: model.ProviderID(i)})
+	}
+	q := model.Query{Consumer: 1, N: 1, Work: 1}
+	plain := d.Candidates(q, nil)
+	got, idx := d.CandidatesIndexed(q, nil, nil)
+	if !equalIDs(ids(got), ids(plain)) {
+		t.Fatalf("CandidatesIndexed order %v != Candidates order %v", ids(got), ids(plain))
+	}
+	if len(idx) != len(got) {
+		t.Fatalf("idx length %d != candidates length %d", len(idx), len(got))
+	}
+	for i, p := range got {
+		want, ok := d.ProviderIndex(p.ProviderID())
+		if !ok || idx[i] != want {
+			t.Fatalf("candidate %d (provider %d): idx %d, want %d (ok=%v)",
+				i, p.ProviderID(), idx[i], want, ok)
+		}
+	}
+}

@@ -23,6 +23,19 @@
 // Implementations should embed Nop so that adding a method to Observer is
 // not a breaking change; Funcs adapts free functions for callers that only
 // care about a subset of events.
+//
+// # Memory discipline
+//
+// Because events fire on the mediation hot path (often per query, under a
+// shard lock), the event types themselves are allocation-free by design:
+// every payload is a value type passed by value (Imputation, PolicyChange)
+// or a pointer to engine-owned state the observer must not retain
+// (*model.Allocation). Emitting an event allocates nothing — observers that
+// need to keep a payload copy it into their own storage, the way
+// persist.Recorder copies allocations into pooled journal records. Keep new
+// event payloads to plain value structs; a payload that forces the emitter
+// to heap-allocate per event would tax every query whether or not anyone is
+// listening.
 package event
 
 import (

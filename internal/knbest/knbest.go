@@ -59,6 +59,29 @@ type Selector struct {
 
 	// scratch buffers reused across calls to avoid per-query allocation.
 	idxBuf []int
+	sample []model.ProviderSnapshot
+	sorter snapSorter
+}
+
+// snapSorter is the selector's reusable sort.Interface over its sample
+// scratch: keeping it as a struct field (rather than a sort.SliceStable
+// closure) makes the stage-2 sort allocation-free. The comparator is the
+// KnBest tiebreak chain — utilization, then queue length, then ID — and the
+// sort is stable, so the result is byte-identical to the historical
+// sort.SliceStable ordering.
+type snapSorter struct{ s []model.ProviderSnapshot }
+
+func (x *snapSorter) Len() int      { return len(x.s) }
+func (x *snapSorter) Swap(i, j int) { x.s[i], x.s[j] = x.s[j], x.s[i] }
+func (x *snapSorter) Less(i, j int) bool {
+	a, b := x.s[i], x.s[j]
+	if a.Utilization != b.Utilization {
+		return a.Utilization < b.Utilization
+	}
+	if a.QueueLen != b.QueueLen {
+		return a.QueueLen < b.QueueLen
+	}
+	return a.ID < b.ID
 }
 
 // NewSelector returns a selector with the given parameters and RNG. A nil
@@ -100,6 +123,10 @@ func (s *Selector) Select(candidates []model.ProviderSnapshot) []model.ProviderS
 // parameters per call lets callers keep them in a lock-free snapshot that a
 // tuner swaps while mediations are in flight; the selector itself (its RNG
 // and scratch buffers) still belongs to a single goroutine.
+//
+// The returned slice is selector-owned scratch: it is valid until the next
+// Select/SelectWith call, which overwrites it. Callers that need the set
+// beyond the current mediation must copy it.
 func (s *Selector) SelectWith(params Params, candidates []model.ProviderSnapshot) []model.ProviderSnapshot {
 	n := len(candidates)
 	if n == 0 {
@@ -112,22 +139,21 @@ func (s *Selector) SelectWith(params Params, candidates []model.ProviderSnapshot
 		k = n
 	}
 	s.idxBuf = s.rng.SampleK(n, k, s.idxBuf)
-	sample := make([]model.ProviderSnapshot, 0, k)
+	if cap(s.sample) < k {
+		s.sample = make([]model.ProviderSnapshot, 0, k)
+	}
+	sample := s.sample[:0]
 	for _, idx := range s.idxBuf {
 		sample = append(sample, candidates[idx])
 	}
+	s.sample = sample
 
 	// Stage 2: the kn least-utilized providers of K. Ties break by queue
-	// length, then by ID for determinism.
-	sort.SliceStable(sample, func(i, j int) bool {
-		if sample[i].Utilization != sample[j].Utilization {
-			return sample[i].Utilization < sample[j].Utilization
-		}
-		if sample[i].QueueLen != sample[j].QueueLen {
-			return sample[i].QueueLen < sample[j].QueueLen
-		}
-		return sample[i].ID < sample[j].ID
-	})
+	// length, then by ID for determinism; the stable sort over the reusable
+	// sorter reproduces the historical sort.SliceStable order exactly.
+	s.sorter.s = sample
+	sort.Stable(&s.sorter)
+	s.sorter.s = nil
 	kn := params.Kn
 	if kn <= 0 || kn > len(sample) {
 		kn = len(sample)

@@ -345,15 +345,37 @@ func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
 // (Engine.Submit → Ticket.Await), which collects exactly this query's
 // results without a shared channel.
 //
-// Submit is a thin blocking wrapper over the same ticket pipeline the
-// asynchronous Engine uses; with Concurrency = 1 its outcome is
-// byte-identical to driving a serialized mediator directly.
+// Submit runs the same pipeline as the asynchronous Engine's tickets but
+// ticket-free: the call is synchronous end to end, so no ticket struct or
+// completion channel is needed — with Concurrency = 1 its outcome is
+// byte-identical to driving a serialized mediator directly, and the hand-off
+// itself allocates nothing on full delivery.
 func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Result) (*model.Allocation, error) {
 	q.ID = model.QueryID(s.nextID.Add(1))
 	q.IssuedAt = s.nowFn()
-	t := newTicket(q, results, false)
-	s.process(ctx, t)
-	return t.Allocation()
+	sh := s.shardFor(q.Consumer)
+	sh.mu.Lock()
+	sh.applyPolicy() // adopt a reconfigured policy at the mediation boundary
+	a, err := sh.med.Mediate(ctx, q.IssuedAt, q)
+	sh.mu.Unlock()
+	if err != nil {
+		err = dispatchErr(q, err)
+		if errors.Is(err, ErrDispatch) {
+			sh.dispatchFailures.Add(1)
+			if s.obs != nil {
+				s.obs.OnDispatchFailure(q, nil, err)
+			}
+		}
+		return nil, err
+	}
+	derr := s.dispatchSelected(ctx, q, a, results)
+	if derr != nil {
+		sh.dispatchFailures.Add(1)
+		if s.obs != nil {
+			s.obs.OnDispatchFailure(q, a, derr)
+		}
+	}
+	return a, derr
 }
 
 // process runs one ticket through its consumer's shard: mediation under the
@@ -447,6 +469,40 @@ func (s *Service) dispatch(ctx context.Context, q model.Query, workers []Executo
 		return nil
 	}
 	return &DispatchError{Query: q, Accepted: accepted, Failed: failed, Err: ctx.Err()}
+}
+
+// dispatchSelected is dispatch for the synchronous non-collecting path: it
+// resolves executors straight from the allocation's selection (no
+// intermediate worker slice) and tracks the accepted/failed partition in
+// stack buffers, copying into a DispatchError only when a worker actually
+// refuses — full delivery allocates nothing.
+func (s *Service) dispatchSelected(ctx context.Context, q model.Query, a *model.Allocation, results chan<- Result) error {
+	var acceptedArr, failedArr [16]model.ProviderID
+	accepted := acceptedArr[:0]
+	failed := failedArr[:0]
+	for _, pid := range a.Selected {
+		w, ok := s.dir.Provider(pid).(Executor)
+		if !ok {
+			// Not dispatchable (never registered as a worker, or departed
+			// since mediation): delivery is out of band, same as dispatch's
+			// selectedWorkers filtering.
+			continue
+		}
+		if w.accept(ctx, q, results, nil) {
+			accepted = append(accepted, pid)
+		} else {
+			failed = append(failed, pid)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return &DispatchError{
+		Query:    q,
+		Accepted: append([]model.ProviderID(nil), accepted...),
+		Failed:   append([]model.ProviderID(nil), failed...),
+		Err:      ctx.Err(),
+	}
 }
 
 // SubmitBatch mediates a batch of queries and dispatches the allocations,

@@ -112,23 +112,100 @@ func (e env) Intentions(ctx context.Context, q model.Query, kn []model.ProviderS
 	return set, nil
 }
 
+// intentionScratch resizes *buf to n zeroed intentions, reallocating only
+// when capacity is exceeded, and returns the (stored-back) buffer.
+func intentionScratch(buf *[]model.Intention, n int) []model.Intention {
+	b := *buf
+	if cap(b) < n {
+		b = make([]model.Intention, n)
+	} else {
+		b = b[:n]
+		clear(b)
+	}
+	*buf = b
+	return b
+}
+
 // collect gathers the consumer's and (when withPI) every candidate
 // provider's intentions for q over the batch kn. Context-aware participants
 // fan out concurrently with per-participant deadlines and imputation;
 // in-process participants are called inline in candidate order. A non-nil
 // error is returned only when ctx itself is done — individual silent
 // participants never fail the batch.
+//
+// The returned set's CI and PI vectors alias the mediator's per-shard scratch
+// (ciBuf/piBuf): they are valid until the next collect on this shard, and
+// every consumer of the set — the allocator's build loop, the backfill copy,
+// the registry's synchronous recording — copies or consumes them before that.
+//
+// The all-in-process batch (no context-aware participant anywhere — the
+// common hot path) runs closure-free: the goroutine-spawning fan-out lives in
+// collectFanout so that escape analysis keeps the set header and the
+// synchronization state off the heap here.
 func (e env) collect(ctx context.Context, q model.Query, kn []model.ProviderSnapshot, withPI bool) (alloc.IntentionSet, error) {
 	if err := ctx.Err(); err != nil {
 		return alloc.IntentionSet{}, err
 	}
-	set := alloc.IntentionSet{CI: make([]model.Intention, len(kn))}
+	if e.needsFanout(kn, withPI) {
+		return e.collectFanout(ctx, q, kn, withPI)
+	}
+	set := alloc.IntentionSet{CI: intentionScratch(&e.m.ciBuf, len(kn))}
+	if withPI {
+		set.PI = intentionScratch(&e.m.piBuf, len(kn))
+		for i, snap := range kn {
+			// A nil provider unregistered between discovery and collection
+			// (shared directory churn): zero intention, exactly as the v1
+			// pipeline scored departed providers; the backfill drops them
+			// from the allocation entirely.
+			if prov := e.m.candidateOf(snap.ID); prov != nil {
+				set.PI[i] = prov.Intention(q)
+			}
+		}
+	}
+	if e.consumer != nil {
+		for i, snap := range kn {
+			set.CI[i] = e.consumer.Intention(q, snap)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return alloc.IntentionSet{}, err
+	}
+	return set, nil
+}
+
+// needsFanout reports whether any participant of the batch is context-aware
+// (network-backed), requiring the concurrent fan-out path. The scan costs one
+// extra candidateOf lookup per provider on the synchronous path — a binary
+// search over the candidate buffer, no allocation.
+func (e env) needsFanout(kn []model.ProviderSnapshot, withPI bool) bool {
+	if _, ok := e.consumer.(ConsumerParticipant); ok {
+		return true
+	}
+	if !withPI {
+		return false
+	}
+	for _, snap := range kn {
+		if prov := e.m.candidateOf(snap.ID); prov != nil {
+			if _, ok := prov.(ProviderParticipant); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectFanout is the concurrent arm of collect: at least one participant is
+// context-aware, so the batch fans out with per-participant deadlines and
+// imputation. Heap traffic here is acceptable — this path already pays a
+// network round trip per participant.
+func (e env) collectFanout(ctx context.Context, q model.Query, kn []model.ProviderSnapshot, withPI bool) (alloc.IntentionSet, error) {
+	set := alloc.IntentionSet{CI: intentionScratch(&e.m.ciBuf, len(kn))}
 	deadline := e.m.cfg.ParticipantDeadline
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards the set's lazily-allocated provenance slices
 
 	if withPI {
-		set.PI = make([]model.Intention, len(kn))
+		set.PI = intentionScratch(&e.m.piBuf, len(kn))
 		for i, snap := range kn {
 			prov := e.m.candidateOf(snap.ID)
 			if prov == nil {
@@ -233,7 +310,12 @@ func (e env) Bids(ctx context.Context, q model.Query, kn []model.ProviderSnapsho
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	bids := make([]float64, len(kn))
+	// Per-shard scratch: every position is written below, and the economic
+	// allocator copies the bids it keeps before ranking.
+	if cap(e.m.bidBuf) < len(kn) {
+		e.m.bidBuf = make([]float64, len(kn))
+	}
+	bids := e.m.bidBuf[:len(kn)]
 	deadline := e.m.cfg.ParticipantDeadline
 	var wg sync.WaitGroup
 	for i, snap := range kn {
@@ -268,12 +350,19 @@ func (e env) Bids(ctx context.Context, q model.Query, kn []model.ProviderSnapsho
 // ProviderSatisfactions implements the batched v2 protocol (alloc.Env) from
 // the shared satisfaction registry.
 func (e env) ProviderSatisfactions(kn []model.ProviderSnapshot) []float64 {
-	out := make([]float64, len(kn))
-	for i, snap := range kn {
-		out[i] = e.m.registry.ProviderSatisfaction(snap.ID)
+	return e.AppendProviderSatisfactions(kn, make([]float64, 0, len(kn)))
+}
+
+// AppendProviderSatisfactions implements alloc.SatisfactionAppender: the
+// allocation-free variant the SbQA hot path uses, appending into the
+// allocator's own scratch column.
+func (e env) AppendProviderSatisfactions(kn []model.ProviderSnapshot, dst []float64) []float64 {
+	for _, snap := range kn {
+		dst = append(dst, e.m.registry.ProviderSatisfaction(snap.ID))
 	}
-	return out
+	return dst
 }
 
 var _ alloc.Env = env{}
 var _ alloc.ShareEnv = env{}
+var _ alloc.SatisfactionAppender = env{}

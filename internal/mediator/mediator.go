@@ -79,6 +79,23 @@ type Directory interface {
 	NumConsumers() int
 }
 
+// IndexedDirectory is the optional Directory extension for the
+// zero-allocation hot path: a directory that interns its providers (assigns
+// each registration a small dense index) lets the mediator key its per-batch
+// snapshot cache by index — a slice lookup per provider — instead of a
+// per-batch map. *directory.Directory implements it; the mediator
+// type-asserts at construction and falls back to the map cache for custom
+// directories.
+type IndexedDirectory interface {
+	Directory
+	// CandidatesIndexed is Candidates plus each candidate's interned index,
+	// position-aligned.
+	CandidatesIndexed(q model.Query, buf []Provider, idx []int32) ([]Provider, []int32)
+	// ProviderInternBound returns an exclusive upper bound on every interned
+	// provider index currently handed out.
+	ProviderInternBound() int
+}
+
 // ShareReporter is an optional Provider extension for BOINC-style resource
 // shares (see alloc.ShareBased): it reports how much capacity the provider
 // still has available for a query's consumer under its declared shares.
@@ -169,8 +186,35 @@ type Mediator struct {
 	// allocations.
 	sharedDir bool
 
-	candBuf []Provider
-	snapBuf []model.ProviderSnapshot
+	// idir is dir when it supports interned candidate indices (the
+	// slice-backed batch snapshot cache); nil otherwise.
+	idir IndexedDirectory
+
+	// Mediation scratch arena (DESIGN.md §9): per-shard buffers reused
+	// across mediations so the hot path allocates nothing. The arena is
+	// owned by the mediating goroutine — it never crosses shard boundaries —
+	// and every buffer's contents are dead once the mediation that filled it
+	// returns an allocation that owns its own copies.
+	envBox  env                      // reusable Env adapter (pointer-passed, no per-mediation boxing)
+	candBuf []Provider               // candidate discovery
+	candIdx []int32                  // candidates' interned indices (indexed batch mode)
+	snapBuf []model.ProviderSnapshot // candidate snapshots (see snapshots)
+	ciBuf   []model.Intention        // batched CI collection
+	piBuf   []model.Intention        // batched PI collection
+	bidBuf  []float64                // batched bid collection
+	perfBuf []model.Intention        // performed-intentions vector for satisfaction recording
+	bfSnaps []model.ProviderSnapshot // backfill snapshots (snapBuf is still live then)
+
+	// Batch snapshot cache (indexed mode): slot di holds the snapshot of the
+	// provider interned at di, valid iff snapGen[di] == cacheGen. Bumping
+	// cacheGen invalidates the whole cache in O(1) at each batch boundary;
+	// generation stamps also make recycled intern slots (provider churn
+	// mid-run) safe — a new registrant reusing slot di sees a stale stamp,
+	// never a stale snapshot.
+	snapCache    []model.ProviderSnapshot
+	snapGen      []uint64
+	cacheGen     uint64
+	batchIndexed bool // inside MediateBatch over an IndexedDirectory
 }
 
 // New returns a mediator running the given allocation technique.
@@ -183,13 +227,16 @@ func New(allocator alloc.Allocator, cfg Config) *Mediator {
 	if dir == nil {
 		dir = directory.New()
 	}
-	return &Mediator{
+	m := &Mediator{
 		cfg:       cfg,
 		allocator: allocator,
 		registry:  registry,
 		dir:       dir,
 		sharedDir: cfg.Directory != nil,
 	}
+	m.idir, _ = dir.(IndexedDirectory)
+	m.envBox.m = m
+	return m
 }
 
 // Allocator returns the active allocation technique.
@@ -279,6 +326,39 @@ func (m *Mediator) candidateOf(id model.ProviderID) Provider {
 	return m.dir.Provider(id)
 }
 
+// cachedSnapshot returns p's snapshot at now, served from the active batch
+// cache when possible: the interned-index slice cache in indexed batch mode
+// (resolving the index through the candidate buffer, which is sorted by ID),
+// the map cache otherwise, a fresh Snapshot call outside any batch.
+func (m *Mediator) cachedSnapshot(id model.ProviderID, p Provider, now float64, cache map[model.ProviderID]model.ProviderSnapshot) model.ProviderSnapshot {
+	if m.batchIndexed {
+		buf := m.candBuf
+		i := sort.Search(len(buf), func(k int) bool { return buf[k].ProviderID() >= id })
+		if i < len(buf) && buf[i].ProviderID() == id && i < len(m.candIdx) {
+			di := m.candIdx[i]
+			if int(di) < len(m.snapGen) && m.snapGen[di] == m.cacheGen {
+				return m.snapCache[di]
+			}
+			s := p.Snapshot(now)
+			if int(di) < len(m.snapGen) {
+				m.snapCache[di] = s
+				m.snapGen[di] = m.cacheGen
+			}
+			return s
+		}
+		return p.Snapshot(now)
+	}
+	if cache != nil {
+		if s, ok := cache[id]; ok {
+			return s
+		}
+		s := p.Snapshot(now)
+		cache[id] = s
+		return s
+	}
+	return p.Snapshot(now)
+}
+
 // ConsumerSatisfaction implements alloc.Env from the satisfaction registry.
 func (e env) ConsumerSatisfaction(c model.ConsumerID) float64 {
 	return e.m.registry.ConsumerSatisfaction(c)
@@ -324,7 +404,16 @@ func (m *Mediator) MediateBatch(ctx context.Context, now float64, qs []model.Que
 	}
 	allocs := make([]*model.Allocation, len(qs))
 	errs := make([]error, len(qs))
-	cache := make(map[model.ProviderID]model.ProviderSnapshot)
+	var cache map[model.ProviderID]model.ProviderSnapshot
+	if m.idir != nil {
+		// Interned-index cache: one generation bump invalidates the whole
+		// slice-backed cache — no per-batch map allocation.
+		m.cacheGen++
+		m.batchIndexed = true
+		defer func() { m.batchIndexed = false }()
+	} else {
+		cache = make(map[model.ProviderID]model.ProviderSnapshot)
+	}
 	for i, q := range qs {
 		allocs[i], errs[i] = m.mediate(ctx, now, q, cache)
 	}
@@ -332,10 +421,45 @@ func (m *Mediator) MediateBatch(ctx context.Context, now float64, qs []model.Que
 }
 
 // snapshots builds the candidate snapshot set for q, reusing per-provider
-// snapshots from cache when mediating a batch.
+// snapshots from the batch cache when mediating a batch (the interned-index
+// slice cache over an IndexedDirectory, the map otherwise).
+//
+// The returned slice aliases m.snapBuf — per-shard scratch that the next
+// mediation on this shard overwrites. It is valid for the duration of one
+// mediation only: the allocator receives it as the candidates argument and
+// must copy anything it keeps (alloc.Allocator documents this); no caller
+// may retain it across Mediate calls. TestSnapshotBufferReuse exercises the
+// hazard.
 func (m *Mediator) snapshots(now float64, q model.Query, cache map[model.ProviderID]model.ProviderSnapshot) []model.ProviderSnapshot {
-	m.candBuf = m.dir.Candidates(q, m.candBuf[:0])
 	m.snapBuf = m.snapBuf[:0]
+	if m.batchIndexed {
+		m.candBuf, m.candIdx = m.idir.CandidatesIndexed(q, m.candBuf[:0], m.candIdx[:0])
+		if bound := m.idir.ProviderInternBound(); bound > len(m.snapCache) {
+			// Grow to the intern high-water mark; fresh slots carry
+			// generation 0, which never matches (cacheGen starts at 1).
+			next := make([]model.ProviderSnapshot, bound)
+			copy(next, m.snapCache)
+			m.snapCache = next
+			nextGen := make([]uint64, bound)
+			copy(nextGen, m.snapGen)
+			m.snapGen = nextGen
+		}
+		for i, p := range m.candBuf {
+			di := m.candIdx[i]
+			if int(di) < len(m.snapGen) && m.snapGen[di] == m.cacheGen {
+				m.snapBuf = append(m.snapBuf, m.snapCache[di])
+				continue
+			}
+			s := p.Snapshot(now)
+			if int(di) < len(m.snapGen) {
+				m.snapCache[di] = s
+				m.snapGen[di] = m.cacheGen
+			}
+			m.snapBuf = append(m.snapBuf, s)
+		}
+		return m.snapBuf
+	}
+	m.candBuf = m.dir.Candidates(q, m.candBuf[:0])
 	for _, p := range m.candBuf {
 		if cache != nil {
 			if s, ok := cache[p.ProviderID()]; ok {
@@ -376,7 +500,10 @@ func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cach
 		return nil, m.reject(q, fmt.Errorf("mediator: query %d from unregistered consumer %d", q.ID, q.Consumer))
 	}
 
-	e := env{m: m, consumer: consumer}
+	// Reuse the mediator-owned Env adapter: passing its pointer through the
+	// alloc.Env interface avoids boxing a fresh env value per mediation.
+	m.envBox.consumer = consumer
+	e := &m.envBox
 
 	// One retry when a shared directory's churn empties the selection
 	// between candidate discovery and backfill: re-discover against the
@@ -430,13 +557,17 @@ func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cach
 		// CI-only batch round (a context-aware consumer is contacted once
 		// more, over all of P_q); imputation applies but is not reported —
 		// it feeds analysis, not the allocation.
+		// candidateCI may alias the mediator's CI scratch: the registry
+		// consumes it synchronously (no tracker retains it), and the
+		// allocation's own intention vectors are allocation-owned copies, so
+		// the overwrite is safe.
 		var candidateCI []model.Intention
 		if m.cfg.AnalyzeBest {
 			if set, cerr := e.collect(ctx, q, snaps, false); cerr == nil {
 				candidateCI = set.CI
 			}
 		}
-		m.registry.RecordAllocation(a, candidateCI)
+		m.perfBuf = m.registry.RecordAllocationInto(a, candidateCI, m.perfBuf)
 		if m.cfg.OnMediation != nil {
 			m.cfg.OnMediation(a, len(snaps))
 		}
@@ -460,7 +591,7 @@ func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cach
 // zero intentions: recording would resurrect the departed provider's
 // satisfaction tracker and skew the consumer's obtained satisfaction with a
 // phantom result.
-func (m *Mediator) backfillIntentions(ctx context.Context, e env, a *model.Allocation, now float64, cache map[model.ProviderID]model.ProviderSnapshot) {
+func (m *Mediator) backfillIntentions(ctx context.Context, e *env, a *model.Allocation, now float64, cache map[model.ProviderID]model.ProviderSnapshot) {
 	prefilled := len(a.ConsumerIntentions) == len(a.Proposed) &&
 		len(a.ProviderIntentions) == len(a.Proposed)
 	if prefilled && !m.sharedDir {
@@ -471,10 +602,12 @@ func (m *Mediator) backfillIntentions(ctx context.Context, e env, a *model.Alloc
 	}
 	// Pass 1: drop departed providers, compacting the proposal-aligned
 	// vectors, and gather the surviving providers' snapshots when the
-	// intentions still need to be collected.
+	// intentions still need to be collected. The snapshots use their own
+	// scratch (not m.snapBuf, which still holds this mediation's candidate
+	// set for the AnalyzeBest round).
 	var snaps []model.ProviderSnapshot
 	if !prefilled {
-		snaps = make([]model.ProviderSnapshot, 0, len(a.Proposed))
+		snaps = m.bfSnaps[:0]
 	}
 	kept := 0
 	for i, id := range a.Proposed {
@@ -483,14 +616,7 @@ func (m *Mediator) backfillIntentions(ctx context.Context, e env, a *model.Alloc
 			continue
 		}
 		if !prefilled {
-			snap, ok := cache[id]
-			if !ok {
-				snap = p.Snapshot(now)
-				if cache != nil {
-					cache[id] = snap
-				}
-			}
-			snaps = append(snaps, snap)
+			snaps = append(snaps, m.cachedSnapshot(id, p, now, cache))
 		}
 		a.Proposed[kept] = a.Proposed[i]
 		if prefilled {
@@ -503,6 +629,9 @@ func (m *Mediator) backfillIntentions(ctx context.Context, e env, a *model.Alloc
 		kept++
 	}
 	stale := kept < len(a.Proposed)
+	if !prefilled {
+		m.bfSnaps = snaps // retain grown capacity for the next mediation
+	}
 	a.Proposed = a.Proposed[:kept]
 	if len(a.Scores) > kept {
 		a.Scores = a.Scores[:kept]
@@ -517,16 +646,20 @@ func (m *Mediator) backfillIntentions(ctx context.Context, e env, a *model.Alloc
 		a.ConsumerIntentions = nil
 		a.ProviderIntentions = nil
 	default:
+		// The collected set aliases the mediator's CI/PI scratch; the
+		// allocation must own its vectors (they outlive this mediation), so
+		// copy into one fresh backing array with capped halves. On a canceled
+		// backfill the vectors stay zero — the mediation outcome is recorded
+		// with neutral intentions rather than lost entirely, since the
+		// allocation already happened and was dispatched to.
 		set, err := e.Intentions(ctx, a.Query, snaps)
-		if err != nil {
-			// Canceled mid-backfill: record the mediation outcome with
-			// neutral (zero) intentions rather than losing it entirely —
-			// the allocation already happened and was dispatched to.
-			set.CI = make([]model.Intention, kept)
-			set.PI = make([]model.Intention, kept)
+		ints := make([]model.Intention, 2*kept)
+		a.ConsumerIntentions = ints[:kept:kept]
+		a.ProviderIntentions = ints[kept:]
+		if err == nil {
+			copy(a.ConsumerIntentions, set.CI)
+			copy(a.ProviderIntentions, set.PI)
 		}
-		a.ConsumerIntentions = set.CI
-		a.ProviderIntentions = set.PI
 	}
 	if !stale {
 		return

@@ -114,19 +114,65 @@ func (r *Recorder) SetPolicySource(fn func() (gen uint64, specJSON []byte, ok bo
 	r.policyFn = fn
 }
 
-// run is the writer goroutine: queue → journal.
+// maxRecorderBatch caps how many queued records one writer wakeup journals
+// in a single Store.AppendBatch call — large enough to amortize the store
+// mutex across a busy engine's burst, small enough to bound flush-ack
+// latency and keep pooled records circulating.
+const maxRecorderBatch = 256
+
+// run is the writer goroutine: queue → journal. Each blocking receive is
+// followed by a non-blocking drain of whatever burst accumulated behind it,
+// so a saturated engine pays one store-mutex round trip (and at most one
+// fsync-cadence check) per burst rather than per record. Flush requests
+// found in a burst are acknowledged after the whole burst is appended and
+// synced — strictly stronger than the Drain contract, which only covers
+// records enqueued before the flush.
 func (r *Recorder) run() {
 	defer close(r.done)
-	for item := range r.ch {
+	batch := make([]*Record, 0, maxRecorderBatch)
+	var flushes []chan struct{}
+	open := true
+	for open {
+		item, ok := <-r.ch
+		if !ok {
+			break
+		}
+		batch, flushes = batch[:0], flushes[:0]
 		if item.rec != nil {
-			if err := r.store.Append(item.rec); err != nil {
-				r.appendErr.Add(1)
-			}
-			putRecord(item.rec)
+			batch = append(batch, item.rec)
 		}
 		if item.flush != nil {
+			flushes = append(flushes, item.flush)
+		}
+	drain:
+		for len(batch) < maxRecorderBatch {
+			select {
+			case next, ok := <-r.ch:
+				if !ok {
+					open = false
+					break drain
+				}
+				if next.rec != nil {
+					batch = append(batch, next.rec)
+				}
+				if next.flush != nil {
+					flushes = append(flushes, next.flush)
+				}
+			default:
+				break drain
+			}
+		}
+		if len(batch) > 0 {
+			if failed := r.store.AppendBatch(batch); failed > 0 {
+				r.appendErr.Add(uint64(failed))
+			}
+			for _, rec := range batch {
+				putRecord(rec)
+			}
+		}
+		for _, ack := range flushes {
 			_ = r.store.Sync()
-			close(item.flush)
+			close(ack)
 		}
 	}
 	if !r.abort.Load() {

@@ -255,6 +255,28 @@ func (s *Store) Restore(reg *satisfaction.Registry) (*RestoreResult, error) {
 func (s *Store) Append(rec *Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.appendLocked(rec)
+}
+
+// AppendBatch appends a burst of records under a single lock acquisition —
+// the recorder's writer goroutine drains its queue in bursts, so a busy
+// engine pays one mutex round trip per burst instead of per record. Each
+// record gets exactly the per-record accounting, sync cadence, and rotation
+// behavior of Append called in a loop; the returned count is the number of
+// records that failed.
+func (s *Store) AppendBatch(recs []*Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	failed := 0
+	for _, rec := range recs {
+		if err := s.appendLocked(rec); err != nil {
+			failed++
+		}
+	}
+	return failed
+}
+
+func (s *Store) appendLocked(rec *Record) error {
 	if s.w == nil {
 		return fmt.Errorf("persist: store not open for appends")
 	}

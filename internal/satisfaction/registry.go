@@ -301,7 +301,17 @@ func (r *Registry) recordConsumer(c model.ConsumerID, n int, performed, candidat
 // Stripe locks are taken one participant at a time, never nested, so
 // concurrent recorders cannot deadlock however their proposal sets overlap.
 func (r *Registry) RecordAllocation(a *model.Allocation, candidates []model.Intention) {
-	performed := make([]model.Intention, 0, len(a.Selected))
+	r.RecordAllocationInto(a, candidates, nil)
+}
+
+// RecordAllocationInto is RecordAllocation with a caller-provided scratch
+// buffer for the performed-intentions vector: scratch is reused when it has
+// capacity and the (possibly grown) buffer is returned for the next call.
+// The buffer's contents are consumed before the call returns — no tracker
+// retains it — so a single-threaded caller (one mediator shard) can recycle
+// one buffer across every mediation.
+func (r *Registry) RecordAllocationInto(a *model.Allocation, candidates, scratch []model.Intention) []model.Intention {
+	performed := scratch[:0]
 	for i, p := range a.Proposed {
 		isSelected := a.SelectedContains(p)
 		if isSelected && i < len(a.ConsumerIntentions) {
@@ -317,4 +327,5 @@ func (r *Registry) RecordAllocation(a *model.Allocation, candidates []model.Inte
 		candidates = a.ConsumerIntentions
 	}
 	r.recordConsumer(a.Query.Consumer, a.Query.N, performed, candidates)
+	return performed
 }

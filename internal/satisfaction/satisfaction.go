@@ -71,8 +71,16 @@ func BestQuerySatisfaction(n int, candidates []model.Intention) float64 {
 	if len(candidates) == 0 {
 		return 0
 	}
-	// Top-n by intention, via partial selection (n is tiny in practice).
-	top := make([]float64, 0, n)
+	// Top-n by intention, via partial selection (n is tiny in practice —
+	// small enough for a stack buffer on every realistic query; the heap
+	// fallback keeps correctness for pathological n).
+	var topArr [16]float64
+	var top []float64
+	if n <= len(topArr) {
+		top = topArr[:0]
+	} else {
+		top = make([]float64, 0, n)
+	}
 	for _, ci := range candidates {
 		u := ci.Unit()
 		if len(top) < n {

@@ -133,6 +133,72 @@ func (s *Scorer) Rank(cands []Candidate) []Ranked {
 	return out
 }
 
+// View is the flattened, zero-copy form of one mediation's scoring input:
+// position-aligned parallel columns over the Kn set, borrowed straight from
+// the environment's batch buffers (no per-provider Candidate structs). All
+// slices must have equal length; SatC is the consumer's δs, shared by every
+// position.
+type View struct {
+	IDs  []model.ProviderID
+	PI   []model.Intention
+	CI   []model.Intention
+	SatC float64
+	SatP []float64
+}
+
+// Len returns the number of candidates in the view.
+func (v View) Len() int { return len(v.IDs) }
+
+// ScoreInto computes ω and scr_q(p) for every position of the view into the
+// caller-provided columns (len(omega) == len(scores) == v.Len()), without
+// allocating. The math is identical to Rank's: Omega per pair, then
+// Definition 3.
+func (s *Scorer) ScoreInto(v View, omega, scores []float64) {
+	for i := range v.IDs {
+		w := s.Omega(v.SatC, v.SatP[i])
+		omega[i] = w
+		scores[i] = s.Score(v.PI[i], v.CI[i], w)
+	}
+}
+
+// FlatRanker ranks flat score columns without allocating: Rank fills order
+// with the permutation that sorts positions best-first under the same
+// comparator as Scorer.Rank (score descending, provider ID ascending,
+// stable), so the resulting order is byte-identical to ranking per-provider
+// structs. Keep one FlatRanker per allocator and reuse it; it is not safe
+// for concurrent use.
+type FlatRanker struct {
+	scores []float64
+	ids    []model.ProviderID
+	order  []int
+}
+
+// Rank fills order (len(order) == len(scores) == len(ids)) with the
+// best-first position permutation.
+func (r *FlatRanker) Rank(scores []float64, ids []model.ProviderID, order []int) {
+	for i := range order {
+		order[i] = i
+	}
+	r.scores, r.ids, r.order = scores, ids, order
+	sort.Stable(r)
+	r.scores, r.ids, r.order = nil, nil, nil
+}
+
+// Len implements sort.Interface.
+func (r *FlatRanker) Len() int { return len(r.order) }
+
+// Swap implements sort.Interface.
+func (r *FlatRanker) Swap(i, j int) { r.order[i], r.order[j] = r.order[j], r.order[i] }
+
+// Less implements sort.Interface: score descending, provider ID ascending.
+func (r *FlatRanker) Less(i, j int) bool {
+	a, b := r.order[i], r.order[j]
+	if r.scores[a] != r.scores[b] {
+		return r.scores[a] > r.scores[b]
+	}
+	return r.ids[a] < r.ids[b]
+}
+
 // String describes the scorer configuration for experiment logs.
 func (s *Scorer) String() string {
 	if s.Adaptive() {

@@ -18,6 +18,12 @@ import "math"
 // Split.
 type RNG struct {
 	s [4]uint64
+
+	// sampleSeen is SampleK's membership scratch, reused across calls so the
+	// mediation hot path draws samples without allocating. It is not part of
+	// the generator state (State/Restore ignore it) and holds no data across
+	// calls — SampleK resets exactly the entries it set before returning.
+	sampleSeen []bool
 }
 
 // splitmix64 advances a 64-bit state and returns a mixed output; used for
@@ -193,14 +199,22 @@ func (r *RNG) SampleK(n, k int, dst []int) []int {
 		r.ShuffleInts(dst)
 		return dst
 	}
-	seen := make(map[int]struct{}, k)
+	if cap(r.sampleSeen) < n {
+		r.sampleSeen = make([]bool, n)
+	}
+	seen := r.sampleSeen[:n]
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
-		if _, dup := seen[t]; dup {
+		if seen[t] {
 			t = j
 		}
-		seen[t] = struct{}{}
+		seen[t] = true
 		dst = append(dst, t)
+	}
+	// Reset only the entries this call set (they are exactly dst's values),
+	// leaving the scratch clean for the next call without an O(n) clear.
+	for _, t := range dst {
+		seen[t] = false
 	}
 	// Floyd's method yields a uniform subset but a biased order; shuffle.
 	r.ShuffleInts(dst)
