@@ -1,0 +1,613 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sbqa"
+)
+
+// testClusterNode is one in-process cluster member: a gateway plus its
+// HTTP server, wired to its peers over loopback.
+type testClusterNode struct {
+	id  string
+	g   *gateway
+	srv *httptest.Server
+	dir string // state dir; "" when the cluster runs without persistence
+}
+
+// startTestCluster boots n gateways into one cluster with fast
+// heartbeat/replication cadences. With withState each node persists to
+// its own temp dir with per-outcome fsync, so every mediation outcome is
+// in the journal before the response returns.
+func startTestCluster(t testing.TB, n int, withState bool, opts ...sbqa.EngineOption) []*testClusterNode {
+	t.Helper()
+	nodes := make([]*testClusterNode, n)
+	for i := range nodes {
+		nodes[i] = &testClusterNode{id: fmt.Sprintf("n%d", i), g: newGatewayShell()}
+		// The server can start before init: the handler resolves the
+		// engine and cluster node per request, exactly like the daemon's
+		// bind-before-restore boot.
+		nodes[i].srv = httptest.NewServer(nodes[i].g.handler())
+		t.Cleanup(nodes[i].srv.Close)
+	}
+	for i, cn := range nodes {
+		var peers []sbqa.ClusterPeer
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, sbqa.ClusterPeer{ID: other.id, Addr: other.srv.URL})
+			}
+		}
+		cs := &clusterSettings{
+			nodeID:            cn.id,
+			peers:             peers,
+			heartbeatInterval: 20 * time.Millisecond,
+			heartbeatTimeout:  250 * time.Millisecond,
+			replicateInterval: 20 * time.Millisecond,
+		}
+		o := append([]sbqa.EngineOption{}, opts...)
+		if withState {
+			cn.dir = t.TempDir()
+			cs.stateDir = cn.dir
+			o = append(o, sbqa.WithPersistence(cn.dir, sbqa.PersistSyncEvery(1)))
+		}
+		if err := cn.g.initWithCluster(cs, o...); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cn.g.close)
+	}
+	return nodes
+}
+
+// deterministicOpts pins the engine to one shard and a fixed-seed SbQA
+// allocator so two engines fed identical traffic allocate identically.
+func deterministicOpts() []sbqa.EngineOption {
+	return []sbqa.EngineOption{
+		sbqa.WithWindow(50),
+		sbqa.WithConcurrency(1),
+		sbqa.WithAllocatorFactory(func(shard int) sbqa.Allocator {
+			return sbqa.NewSbQA(sbqa.SbQAConfig{
+				KnBest: sbqa.KnBestParams{K: 4, Kn: 1},
+				Seed:   7,
+			})
+		}),
+	}
+}
+
+// registerWorkers installs the same three constant-intention workers.
+func registerWorkers(t testing.TB, baseURL string) {
+	t.Helper()
+	for id := 1; id <= 3; id++ {
+		resp := postJSON(t, baseURL+"/v1/workers", workerRequest{
+			ID: id, Capacity: 100, Intention: 0.2 * float64(id),
+		}, nil)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register worker %d: %d", id, resp.StatusCode)
+		}
+	}
+}
+
+// ownerIndex resolves which cluster node owns consumer c right now.
+func ownerIndex(t testing.TB, nodes []*testClusterNode, c int) int {
+	t.Helper()
+	owner, self, _ := nodes[0].g.node.Route(sbqa.ConsumerID(c))
+	if self {
+		return 0
+	}
+	for i, cn := range nodes {
+		if cn.id == owner.ID {
+			return i
+		}
+	}
+	t.Fatalf("consumer %d owned by unknown node %q", c, owner.ID)
+	return -1
+}
+
+// consumerOwnedBy finds a consumer ID the given node owns, searching up
+// from `from` (so distinct calls can yield distinct consumers).
+func consumerOwnedBy(t testing.TB, nodes []*testClusterNode, idx, from int) int {
+	t.Helper()
+	for c := from; c < from+10_000; c++ {
+		if ownerIndex(t, nodes, c) == idx {
+			return c
+		}
+	}
+	t.Fatalf("no consumer owned by %s in [%d,%d)", nodes[idx].id, from, from+10_000)
+	return -1
+}
+
+// waitCondition polls until cond or the deadline.
+func waitCondition(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// submitAlloc submits one query through baseURL waiting for the
+// allocation and returns the response.
+func submitAlloc(t testing.TB, baseURL string, consumer int) queryResponse {
+	return submitWait(t, baseURL, consumer, "allocation")
+}
+
+func submitWait(t testing.TB, baseURL string, consumer int, wait string) queryResponse {
+	t.Helper()
+	var qr queryResponse
+	resp := postJSON(t, baseURL+"/v1/queries", queryRequest{
+		Consumer: consumer, N: 1, Work: 0.1, Wait: wait,
+	}, &qr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit consumer %d: status %d (%+v)", consumer, resp.StatusCode, qr)
+	}
+	return qr
+}
+
+// TestClusterForwardedSubmitMatchesSingleNode drives identical traffic
+// into (a) a two-node cluster through the NON-owner gateway and (b) a
+// plain single-node gateway with the same deterministic policy, and
+// asserts the allocation sequences match: consistent-hash forwarding is
+// transparent to the allocation process.
+func TestClusterForwardedSubmitMatchesSingleNode(t *testing.T) {
+	nodes := startTestCluster(t, 2, false, deterministicOpts()...)
+	single, err := newGateway(deterministicOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.close()
+	singleSrv := httptest.NewServer(single.handler())
+	defer singleSrv.Close()
+
+	for _, cn := range nodes {
+		registerWorkers(t, cn.srv.URL)
+	}
+	registerWorkers(t, singleSrv.URL)
+
+	c := consumerOwnedBy(t, nodes, 0, 100)
+	entry := nodes[1] // never the owner: every request must forward
+	for _, url := range []string{entry.srv.URL, singleSrv.URL} {
+		resp := postJSON(t, url+"/v1/consumers", consumerRequest{ID: c, Intention: 0.9}, nil)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register consumer at %s: %d", url, resp.StatusCode)
+		}
+	}
+	// Registration forwarded to the owner: it must exist there, not here.
+	waitCondition(t, 5*time.Second, "consumer registered on owner", func() bool {
+		return nodes[0].g.eng.Stats().Consumers == 1
+	})
+	if got := entry.g.eng.Stats().Consumers; got != 0 {
+		t.Fatalf("non-owner registered the consumer locally (consumers=%d)", got)
+	}
+
+	// wait:"results" serializes fully: each query executes to completion
+	// before the next mediates, so worker utilization — which feeds the
+	// allocator's view of providers — is identical at every step in both
+	// deployments.
+	for i := 0; i < 8; i++ {
+		clu := submitWait(t, entry.srv.URL, c, "results")
+		ref := submitWait(t, singleSrv.URL, c, "results")
+		if fmt.Sprint(clu.Selected) != fmt.Sprint(ref.Selected) {
+			t.Fatalf("submission %d: cluster selected %v, single node %v", i, clu.Selected, ref.Selected)
+		}
+	}
+	// The queries mediated on the owner; the entry node only forwarded.
+	if m := nodes[0].g.eng.Stats().QueriesSubmitted; m != 8 {
+		t.Fatalf("owner mediated %d queries, want 8", m)
+	}
+	if m := entry.g.eng.Stats().QueriesSubmitted; m != 0 {
+		t.Fatalf("non-owner mediated %d queries, want 0", m)
+	}
+	if fq := entry.g.cmx.fwdQueries.Load(); fq != 8 {
+		t.Fatalf("forwarded-query counter = %d, want 8", fq)
+	}
+	if fc := entry.g.cmx.fwdConsumers.Load(); fc != 1 {
+		t.Fatalf("forwarded-consumer counter = %d, want 1", fc)
+	}
+}
+
+// TestClusterForwardedHopAnswersNotOwner: a request carrying the
+// forwarded-hop header that lands on a non-owner must answer a typed 503
+// not_owner instead of forwarding again (loop prevention).
+func TestClusterForwardedHopAnswersNotOwner(t *testing.T) {
+	nodes := startTestCluster(t, 2, false, deterministicOpts()...)
+	c := consumerOwnedBy(t, nodes, 0, 0)
+	entry := nodes[1]
+
+	body, _ := json.Marshal(queryRequest{Consumer: c, N: 1, Wait: "allocation"})
+	req, err := http.NewRequest(http.MethodPost, entry.srv.URL+"/v1/queries", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(sbqa.ClusterForwardedFromHeader, "n0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var out struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+		Owner string `json:"owner"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != "not_owner" || out.Owner != "n0" || out.Error == "" {
+		t.Fatalf("typed error = %+v, want code not_owner owner n0", out)
+	}
+}
+
+// TestClusterForwardAnswersPeerDown: when the owner is unreachable the
+// non-owner must answer a typed 503 peer_down promptly, not hang.
+func TestClusterForwardAnswersPeerDown(t *testing.T) {
+	// A fake peer that is healthy at boot, then vanishes. The huge
+	// heartbeat interval freezes membership after the first probe round,
+	// so the peer stays Alive on the ring while its socket is dead —
+	// exactly the window between a crash and its detection.
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	g := newGatewayShell()
+	srv := httptest.NewServer(g.handler())
+	defer srv.Close()
+	cs := &clusterSettings{
+		nodeID:            "a",
+		peers:             []sbqa.ClusterPeer{{ID: "b", Addr: fake.URL}},
+		heartbeatInterval: time.Hour,
+		heartbeatTimeout:  time.Second,
+	}
+	if err := g.initWithCluster(cs, deterministicOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	defer g.close()
+	fake.Close() // crash the owner
+
+	c := 0
+	for ; ; c++ {
+		if _, self, _ := g.node.Route(sbqa.ConsumerID(c)); !self {
+			break
+		}
+	}
+	var out struct {
+		Code string `json:"code"`
+	}
+	start := time.Now()
+	resp := postJSON(t, srv.URL+"/v1/queries", queryRequest{Consumer: c, N: 1, Wait: "allocation"}, &out)
+	if resp.StatusCode != http.StatusServiceUnavailable || out.Code != "peer_down" {
+		t.Fatalf("status %d code %q, want 503 peer_down", resp.StatusCode, out.Code)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("peer_down answer took %v, want prompt failure", d)
+	}
+}
+
+// TestClusterForwardPropagatesClientDeadline: a forwarded request must
+// carry the client's deadline to the outbound call — a hung owner ends
+// the forward when the client's context expires, long before
+// forwardTimeout.
+func TestClusterForwardPropagatesClientDeadline(t *testing.T) {
+	release := make(chan struct{})
+	// A stub owner that accepts the forward and then sits on it until
+	// the request context dies.
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == sbqa.ClusterHealthzPath {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer stub.Close()
+	defer close(release) // LIFO: unblock the handler before stub.Close waits on it
+
+	g := newGatewayShell()
+	cs := &clusterSettings{
+		nodeID:            "a",
+		peers:             []sbqa.ClusterPeer{{ID: "b", Addr: stub.URL}},
+		heartbeatInterval: time.Hour,
+		heartbeatTimeout:  time.Second,
+	}
+	if err := g.initWithCluster(cs, deterministicOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	defer g.close()
+
+	c := 0
+	for ; ; c++ {
+		if _, self, _ := g.node.Route(sbqa.ConsumerID(c)); !self {
+			break
+		}
+	}
+	body, _ := json.Marshal(queryRequest{Consumer: c, N: 1, Wait: "allocation"})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/queries", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	g.handleSubmit(rec, req)
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("forward held the handler %v past the client deadline", elapsed)
+	}
+	var out struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusServiceUnavailable || out.Code != "peer_down" {
+		t.Fatalf("status %d code %q, want 503 peer_down", rec.Code, out.Code)
+	}
+}
+
+// TestClusterStatusAndMetrics exercises the /v1/cluster surface and the
+// sbqa_cluster_* metric families after real forwarded traffic.
+func TestClusterStatusAndMetrics(t *testing.T) {
+	nodes := startTestCluster(t, 2, false, deterministicOpts()...)
+	for _, cn := range nodes {
+		registerWorkers(t, cn.srv.URL)
+	}
+	c := consumerOwnedBy(t, nodes, 0, 0)
+	entry := nodes[1]
+	postJSON(t, entry.srv.URL+"/v1/consumers", consumerRequest{ID: c, Intention: 0.8}, nil)
+	submitAlloc(t, entry.srv.URL, c)
+
+	var st sbqa.ClusterStatus
+	resp, err := http.Get(entry.srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Self.ID != "n1" || len(st.Nodes) != 2 || len(st.Peers) != 1 {
+		t.Fatalf("cluster status = %+v", st)
+	}
+	waitCondition(t, 5*time.Second, "peer alive in status", func() bool {
+		r, err := http.Get(entry.srv.URL + "/v1/cluster")
+		if err != nil {
+			return false
+		}
+		defer r.Body.Close()
+		var s sbqa.ClusterStatus
+		if json.NewDecoder(r.Body).Decode(&s) != nil {
+			return false
+		}
+		return len(s.Peers) == 1 && s.Peers[0].Health == "alive"
+	})
+
+	mresp, err := http.Get(entry.srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`sbqa_cluster_nodes 2`,
+		`sbqa_cluster_live_nodes 2`,
+		`sbqa_cluster_peer_health{peer="n0",state="alive"} 1`,
+		`sbqa_cluster_forwarded_total{kind="query"} 1`,
+		`sbqa_cluster_forwarded_total{kind="consumer"} 1`,
+		`sbqa_cluster_forward_seconds_count 2`,
+		`sbqa_cluster_not_owner_total 0`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestGatewayWithoutClusterUnchanged: a gateway built without cluster
+// settings has no node, no guard, no /v1/cluster, and no sbqa_cluster_*
+// metric families — the single-node daemon is byte-identical to before.
+func TestGatewayWithoutClusterUnchanged(t *testing.T) {
+	gw, err := newGateway(deterministicOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+	if gw.node != nil {
+		t.Fatal("single-node gateway constructed a cluster node")
+	}
+	srv := httptest.NewServer(gw.handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/cluster without cluster mode = %d, want 404", resp.StatusCode)
+	}
+	mresp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, _ := io.ReadAll(mresp.Body)
+	if strings.Contains(string(text), "sbqa_cluster_") {
+		t.Fatal("single-node metrics expose cluster families")
+	}
+}
+
+// TestClusterEndToEndFailover is the acceptance test: a three-node
+// cluster with durable state serves forwarded traffic, ships WAL
+// segments to ring followers (byte-identical to the owner's journal),
+// and on an owner's death the follower serves the rebalanced consumers
+// with their satisfaction memory intact — only the unsynced tail could
+// be lost, and with a drained replication lag that tail is empty.
+func TestClusterEndToEndFailover(t *testing.T) {
+	nodes := startTestCluster(t, 3, true, deterministicOpts()...)
+	for _, cn := range nodes {
+		registerWorkers(t, cn.srv.URL)
+	}
+
+	// One consumer owned by each node, all registered and driven through
+	// node 2 — registration and submission forward transparently.
+	consumers := make([]int, 3)
+	for i := range nodes {
+		consumers[i] = consumerOwnedBy(t, nodes, i, 1000*i)
+		resp := postJSON(t, nodes[2].srv.URL+"/v1/consumers",
+			consumerRequest{ID: consumers[i], Intention: 0.7}, nil)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register consumer %d: %d", consumers[i], resp.StatusCode)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		for i, c := range consumers {
+			qr := submitAlloc(t, nodes[(i+round)%3].srv.URL, c)
+			if len(qr.Selected) == 0 {
+				t.Fatalf("consumer %d round %d: no allocation (%+v)", c, round, qr)
+			}
+		}
+	}
+
+	victim := 0
+	victimConsumer := consumers[0]
+	// The victim's satisfaction memory for its consumer, as ground truth.
+	wantSat := nodes[victim].g.eng.Registry().ConsumerSatisfaction(sbqa.ConsumerID(victimConsumer))
+
+	// Quiesce: wait until every follower of the victim reports zero lag —
+	// all sealed segments shipped and the active tail rotated out.
+	waitCondition(t, 15*time.Second, "replication lag drained", func() bool {
+		st := nodes[victim].g.node.Status()
+		saw := false
+		for _, p := range st.Peers {
+			if !p.Follower {
+				continue
+			}
+			saw = true
+			if p.LagSegments != 0 || p.LagBytes != 0 || p.Shipped == 0 {
+				return false
+			}
+		}
+		return saw
+	})
+
+	// Byte-level check: every sealed segment in the victim's state dir
+	// must exist, bit-identical, in each follower's replica dir.
+	segs, err := filepath.Glob(filepath.Join(nodes[victim].dir, "wal-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("victim sealed segments: %v (err %v)", segs, err)
+	}
+	active := "" // the newest segment is the active tail, not yet shipped
+	for _, s := range segs {
+		if active == "" || s > active {
+			active = s
+		}
+	}
+	followers := 0
+	for i, cn := range nodes {
+		if i == victim {
+			continue
+		}
+		replicaDir := filepath.Join(cn.dir, "replica", nodes[victim].id)
+		if _, err := os.Stat(replicaDir); err != nil {
+			continue // not a ring follower of the victim
+		}
+		followers++
+		for _, seg := range segs {
+			if seg == active {
+				continue
+			}
+			want, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(replicaDir, filepath.Base(seg)))
+			if err != nil {
+				t.Fatalf("follower %s missing shipped segment %s: %v", cn.id, filepath.Base(seg), err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("follower %s: segment %s differs from origin", cn.id, filepath.Base(seg))
+			}
+		}
+	}
+	if followers == 0 {
+		t.Fatal("victim has no followers holding replicas")
+	}
+
+	// Kill the victim (its HTTP server vanishes mid-cluster, like a
+	// crashed process) and wait for a survivor to mark it down.
+	nodes[victim].srv.Close()
+	waitCondition(t, 15*time.Second, "survivors mark victim down", func() bool {
+		for i, cn := range nodes {
+			if i == victim {
+				continue
+			}
+			for _, n := range cn.g.node.Status().Live {
+				if n == nodes[victim].id {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// The victim's consumer now routes to a survivor, with its memory
+	// restored from the replicated WAL.
+	newOwner := ownerIndex(t, nodes[1:], victimConsumer) + 1
+	got := nodes[newOwner].g.eng.Registry().ConsumerSatisfaction(sbqa.ConsumerID(victimConsumer))
+	if got != wantSat {
+		t.Fatalf("restored satisfaction = %v, want %v (victim's value)", got, wantSat)
+	}
+
+	// And the survivor serves it: re-register (participants are runtime
+	// objects) through the OTHER survivor so the hop still forwards.
+	other := 1
+	if other == newOwner {
+		other = 2
+	}
+	resp := postJSON(t, nodes[other].srv.URL+"/v1/consumers",
+		consumerRequest{ID: victimConsumer, Intention: 0.7}, nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-register after failover: %d", resp.StatusCode)
+	}
+	qr := submitAlloc(t, nodes[other].srv.URL, victimConsumer)
+	if len(qr.Selected) == 0 {
+		t.Fatalf("post-failover allocation empty: %+v", qr)
+	}
+}
+
+// TestClusterEventsRoutedSubscription: an SSE subscription with
+// ?consumer=N made at a non-owner is proxied to the owner, so the
+// subscriber sees the owner's events for that consumer.
+func TestClusterEventsRoutedSubscription(t *testing.T) {
+	nodes := startTestCluster(t, 2, false, deterministicOpts()...)
+	for _, cn := range nodes {
+		registerWorkers(t, cn.srv.URL)
+	}
+	c := consumerOwnedBy(t, nodes, 0, 0)
+	entry := nodes[1]
+	postJSON(t, entry.srv.URL+"/v1/consumers", consumerRequest{ID: c, Intention: 0.8}, nil)
+
+	events, closeSSE := openSSE(t, entry.srv.URL+"/v1/events?consumer="+fmt.Sprint(c))
+	defer closeSSE()
+	submitAlloc(t, entry.srv.URL, c)
+	awaitEvent(t, events, "allocation", func(data string) bool {
+		return strings.Contains(data, fmt.Sprintf(`"consumer":%d`, c))
+	})
+}

@@ -117,6 +117,16 @@ type policyChangeEvent struct {
 	Time       float64 `json:"time"`
 }
 
+// peerChangeEvent reports a cluster peer's health transition on the
+// stream (cluster mode only).
+type peerChangeEvent struct {
+	Node  string `json:"node"`
+	Addr  string `json:"addr,omitempty"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Error string `json:"error,omitempty"`
+}
+
 // observer adapts the hub to the engine's Observer interface.
 func (h *hub) observer() sbqa.Observer {
 	return sbqa.ObserverFuncs{
@@ -173,6 +183,15 @@ func (h *hub) observer() sbqa.Observer {
 				Name:       pc.Name,
 				Kind:       pc.Kind,
 				Time:       pc.Time,
+			})
+		},
+		PeerChange: func(pc sbqa.PeerChange) {
+			h.publish("peer_change", peerChangeEvent{
+				Node:  pc.Node,
+				Addr:  pc.Addr,
+				From:  pc.From,
+				To:    pc.To,
+				Error: pc.Err,
 			})
 		},
 		SatisfactionSnapshot: func(snap sbqa.SatisfactionSnapshot) {

@@ -24,11 +24,26 @@
 //	                          format (scrape this, not the JSON)
 //	GET    /v1/events         server-sent events: allocation, rejection,
 //	                          dispatch_failure, registered, departed,
-//	                          result, satisfaction, imputation, policy_change
+//	                          result, satisfaction, imputation, policy_change,
+//	                          peer_change; ?consumer=N routes the subscription
+//	                          to the consumer's owning node in cluster mode
 //	GET    /v1/healthz        liveness: 200 as soon as HTTP serves, even
 //	                          mid-restore
 //	GET    /v1/readyz         readiness: 503 until the -state-dir restore and
 //	                          journal replay complete, then 200 + restore summary
+//	GET    /v1/cluster        cluster mode: ring membership, peer health, and
+//	                          replication positions as seen by this node
+//
+// With -node-id and -peers the daemon joins a static mediation cluster: a
+// consistent-hash ring over consumer IDs assigns each consumer an owning
+// node, requests landing on a non-owner are transparently forwarded
+// (internal endpoints POST /v1/internal/forward[/consumers]), and with
+// -state-dir each node ships its sealed satisfaction WAL segments to its
+// ring followers (POST /v1/internal/segments) so a node failure loses at
+// most the unsynced journal tail. A request whose owner is down answers a
+// typed 503 {"code":"peer_down"}; a forwarded request that lands on a
+// node that still disagrees about ownership answers {"code":"not_owner"}
+// rather than risking a forwarding loop.
 //
 // Remote participants answer intention webhooks under the per-participant
 // deadline (-participant-deadline); a webhook that misses it is imputed from
@@ -93,8 +108,36 @@ func main() {
 			"directory for durable adaptation state (satisfaction memory, policy generation, sampling streams); restored on boot, flushed on SIGTERM; empty disables persistence")
 		stateSyncEvery = flag.Int("state-sync-every", 0,
 			"journal fsync cadence with -state-dir: one fsync per N mediation outcomes (1 = every outcome, the crash-loss bound; 0 = library default 64)")
+		nodeID = flag.String("node-id", "",
+			"this node's cluster identity; empty runs the classic single-node daemon")
+		peersFlag = flag.String("peers", "",
+			"remote cluster members as comma-separated id=baseURL pairs (e.g. b=http://10.0.0.2:8080); requires -node-id")
+		heartbeatInterval = flag.Duration("heartbeat-interval", time.Second,
+			"cluster peer probe cadence")
+		heartbeatTimeout = flag.Duration("heartbeat-timeout", 0,
+			"per-probe timeout (0 = half the heartbeat interval)")
+		replicateInterval = flag.Duration("replicate-interval", 500*time.Millisecond,
+			"WAL segment shipping cadence to ring followers (needs -state-dir)")
 	)
 	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("sbqad: -peers: %v", err)
+	}
+	if len(peers) > 0 && *nodeID == "" {
+		log.Fatal("sbqad: -peers requires -node-id")
+	}
+	var cs *clusterSettings
+	if *nodeID != "" {
+		cs = &clusterSettings{
+			nodeID:            *nodeID,
+			peers:             peers,
+			heartbeatInterval: *heartbeatInterval,
+			heartbeatTimeout:  *heartbeatTimeout,
+			replicateInterval: *replicateInterval,
+		}
+	}
 
 	// The daemon always runs a declarative policy: the tuning flags build
 	// the default SbQA spec, -policy replaces it wholesale. Either way the
@@ -155,11 +198,14 @@ func main() {
 			popts = append(popts, sbqa.PersistSyncEvery(*stateSyncEvery))
 		}
 		opts = append(opts, sbqa.WithPersistence(*stateDir, popts...))
+		if cs != nil {
+			cs.stateDir = *stateDir
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, opts...); err != nil {
+	if err := run(ctx, *addr, cs, opts...); err != nil {
 		log.Fatalf("sbqad: %v", err)
 	}
 }
@@ -169,13 +215,13 @@ func main() {
 const shutdownGrace = 10 * time.Second
 
 // run serves the gateway on addr until ctx is done, then shuts down
-// gracefully (see serve).
-func run(ctx context.Context, addr string, opts ...sbqa.EngineOption) error {
+// gracefully (see serve). cs is nil outside cluster mode.
+func run(ctx context.Context, addr string, cs *clusterSettings, opts ...sbqa.EngineOption) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	return serve(ctx, ln, opts...)
+	return serveWithCluster(ctx, ln, cs, opts...)
 }
 
 // serve runs the gateway on ln until ctx is done, then shuts down
@@ -190,6 +236,15 @@ func run(ctx context.Context, addr string, opts ...sbqa.EngineOption) error {
 // /v1/readyz (plus every engine-backed endpoint) answers 503 until the
 // restore completes.
 func serve(ctx context.Context, ln net.Listener, opts ...sbqa.EngineOption) error {
+	return serveWithCluster(ctx, ln, nil, opts...)
+}
+
+// serveWithCluster is serve plus cluster membership: with a non-nil cs
+// the gateway builds and starts a cluster node (ring, heartbeats, WAL
+// replication, submit guard) between engine construction and the ready
+// flip. With cs == nil the daemon is byte-for-byte the single-node
+// gateway — no node is constructed, no guard installed.
+func serveWithCluster(ctx context.Context, ln net.Listener, cs *clusterSettings, opts ...sbqa.EngineOption) error {
 	gw := newGatewayShell()
 	defer gw.close()
 
@@ -197,7 +252,7 @@ func serve(ctx context.Context, ln net.Listener, opts ...sbqa.EngineOption) erro
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Printf("sbqad: listening on %s\n", ln.Addr())
-	if err := gw.init(opts...); err != nil {
+	if err := gw.initWithCluster(cs, opts...); err != nil {
 		srv.Close()
 		<-serveErr
 		return err

@@ -15,7 +15,7 @@ import (
 )
 
 // postJSON posts v to url and decodes the JSON response into out.
-func postJSON(t *testing.T, url string, v any, out any) *http.Response {
+func postJSON(t testing.TB, url string, v any, out any) *http.Response {
 	t.Helper()
 	body, err := json.Marshal(v)
 	if err != nil {

@@ -143,6 +143,55 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		m.sample("sbqa_persist_restore_torn_tail", b2f(ps.Restore.TornTail))
 	}
 
+	if g.node != nil {
+		g.writeClusterMetrics(m)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(m.b.String()))
+}
+
+// writeClusterMetrics appends the sbqa_cluster_* families: peer health as
+// a one-hot state gauge, the gateway's forwarding counters and latency,
+// and per-follower replication lag.
+func (g *gateway) writeClusterMetrics(m *metricsWriter) {
+	st := g.node.Status()
+
+	m.header("sbqa_cluster_nodes", "Nodes in the configured (full) ring.", "gauge")
+	m.sample("sbqa_cluster_nodes", float64(len(st.Nodes)))
+	m.header("sbqa_cluster_live_nodes", "Nodes in the live routing ring (Down peers excluded).", "gauge")
+	m.sample("sbqa_cluster_live_nodes", float64(len(st.Live)))
+
+	m.header("sbqa_cluster_peer_health", "Peer health as seen by this node: 1 for the current state, 0 otherwise.", "gauge")
+	for _, p := range st.Peers {
+		for _, state := range []string{"alive", "suspect", "down"} {
+			m.sample("sbqa_cluster_peer_health", b2f(p.Health == state), "peer", p.ID, "state", state)
+		}
+	}
+
+	m.header("sbqa_cluster_forwarded_total", "Requests forwarded to their owning node.", "counter")
+	m.sample("sbqa_cluster_forwarded_total", float64(g.cmx.fwdQueries.Load()), "kind", "query")
+	m.sample("sbqa_cluster_forwarded_total", float64(g.cmx.fwdConsumers.Load()), "kind", "consumer")
+	m.header("sbqa_cluster_forward_errors_total", "Forwards that failed in transport.", "counter")
+	m.sample("sbqa_cluster_forward_errors_total", float64(g.cmx.fwdErrors.Load()))
+	m.header("sbqa_cluster_forward_seconds_sum", "Total round-trip time of completed forwards.", "counter")
+	m.sample("sbqa_cluster_forward_seconds_sum", float64(g.cmx.fwdLatencyMicro.Load())/1e6)
+	m.header("sbqa_cluster_forward_seconds_count", "Completed forwards with a latency observation.", "counter")
+	m.sample("sbqa_cluster_forward_seconds_count", float64(g.cmx.fwdCompleted.Load()))
+	m.header("sbqa_cluster_not_owner_total", "Forwarded hops refused because this node does not own the consumer.", "counter")
+	m.sample("sbqa_cluster_not_owner_total", float64(g.cmx.notOwner.Load()))
+	m.header("sbqa_cluster_peer_down_total", "Requests refused because the owning peer is down.", "counter")
+	m.sample("sbqa_cluster_peer_down_total", float64(g.cmx.peerDown.Load()))
+
+	m.header("sbqa_cluster_replication_lag_segments", "Sealed WAL segments not yet shipped to a follower.", "gauge")
+	m.header("sbqa_cluster_replication_lag_bytes", "Bytes of WAL (sealed backlog plus active tail) a follower is behind.", "gauge")
+	m.header("sbqa_cluster_shipped_segments_total", "WAL segments shipped to a follower.", "counter")
+	for _, p := range st.Peers {
+		if !p.Follower {
+			continue
+		}
+		m.sample("sbqa_cluster_replication_lag_segments", float64(p.LagSegments), "peer", p.ID)
+		m.sample("sbqa_cluster_replication_lag_bytes", float64(p.LagBytes), "peer", p.ID)
+		m.sample("sbqa_cluster_shipped_segments_total", float64(p.Shipped), "peer", p.ID)
+	}
 }

@@ -32,6 +32,15 @@ type gateway struct {
 	eng   *sbqa.Engine
 	hub   *hub
 
+	// node is non-nil in cluster mode (-node-id): it owns the consistent-
+	// hash ring, peer health, and WAL replication. cmx counts the
+	// gateway's forwarding traffic; forwardClient carries forwarded
+	// requests (no client-level timeout — each forward is bounded by the
+	// inbound request's context capped at forwardTimeout).
+	node          *sbqa.ClusterNode
+	cmx           clusterMetrics
+	forwardClient *http.Client
+
 	// webhookClient performs the remote participants' intention calls. The
 	// engine's per-participant deadline bounds each call through its
 	// context; the client's own timeout is the hard upper bound that keeps
@@ -74,6 +83,7 @@ func newGatewayShell() *gateway {
 	return &gateway{
 		hub:           newHub(),
 		webhookClient: &http.Client{Timeout: webhookClientTimeout},
+		forwardClient: &http.Client{},
 		shuttingDown:  make(chan struct{}),
 		workers:       make(map[sbqa.ProviderID]managedWorker),
 	}
@@ -83,11 +93,26 @@ func newGatewayShell() *gateway {
 // WithPersistence — with the gateway's event hub installed as the engine
 // observer, then marks the gateway ready.
 func (g *gateway) init(opts ...sbqa.EngineOption) error {
+	return g.initWithCluster(nil, opts...)
+}
+
+// initWithCluster is init plus cluster membership: the node (ring,
+// heartbeats, replication, submit guard) is built and started before the
+// ready flip, so no unguarded submission can slip through the window
+// between engine construction and guard installation.
+func (g *gateway) initWithCluster(cs *clusterSettings, opts ...sbqa.EngineOption) error {
 	eng, err := sbqa.NewEngine(append(opts, sbqa.WithObserver(g.hub.observer()))...)
 	if err != nil {
 		return err
 	}
 	g.eng = eng
+	if cs != nil {
+		if err := g.initCluster(cs); err != nil {
+			eng.Close()
+			g.eng = nil
+			return err
+		}
+	}
 	g.ready.Store(true)
 	return nil
 }
@@ -140,6 +165,11 @@ func (g *gateway) beginShutdown() {
 // final snapshot — this is the daemon's flush-on-SIGTERM path.
 func (g *gateway) close() {
 	g.beginShutdown()
+	if g.node != nil {
+		// Stop heartbeats and WAL shipping before the engine seals its
+		// journal on the way down.
+		g.node.Close()
+	}
 	if g.eng != nil {
 		g.eng.Close()
 	}
@@ -165,6 +195,11 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("GET /v1/events", g.handleEvents)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", g.handleReadyz)
+	mux.HandleFunc("GET /v1/cluster", g.handleCluster)
+	mux.HandleFunc("GET "+sbqa.ClusterSegmentsPath, g.handleSegmentsGet)
+	mux.HandleFunc("POST "+sbqa.ClusterSegmentsPath, g.handleSegmentsPost)
+	mux.HandleFunc("POST "+sbqa.ClusterForwardPath, g.handleSubmit)
+	mux.HandleFunc("POST "+sbqa.ClusterForwardConsumersPath, g.handleRegisterConsumer)
 	return mux
 }
 
@@ -231,6 +266,9 @@ func (g *gateway) handleRegisterConsumer(w http.ResponseWriter, r *http.Request)
 	}
 	var req consumerRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if !g.routeOrForward(w, r, req.ID, sbqa.ClusterForwardConsumersPath, &g.cmx.fwdConsumers, req) {
 		return
 	}
 	if req.IntentionURL != "" {
@@ -369,6 +407,9 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var req queryRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if !g.routeOrForward(w, r, req.Consumer, sbqa.ClusterForwardPath, &g.cmx.fwdQueries, req) {
 		return
 	}
 	if req.N < 1 {
@@ -594,7 +635,34 @@ func (g *gateway) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleEvents streams the engine's event feed as server-sent events.
+// In cluster mode a ?consumer=N parameter routes the subscription: when
+// another node owns that consumer, the stream is proxied from the owner
+// so clients can subscribe anywhere and still see their events.
 func (g *gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if c := r.URL.Query().Get("consumer"); c != "" && g.node != nil {
+		id, err := strconv.Atoi(c)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad consumer: %w", err))
+			return
+		}
+		owner, self, rerr := g.node.Route(sbqa.ConsumerID(id))
+		if !self {
+			if r.Header.Get(sbqa.ClusterForwardedFromHeader) != "" {
+				g.cmx.notOwner.Add(1)
+				writeRoutedError(w, "not_owner", owner,
+					fmt.Errorf("consumer %d is owned by node %s", id, owner.ID))
+				return
+			}
+			if rerr != nil {
+				g.cmx.peerDown.Add(1)
+				writeRoutedError(w, "peer_down", owner,
+					fmt.Errorf("consumer %d is owned by node %s, which is down", id, owner.ID))
+				return
+			}
+			g.proxySSE(w, r, owner, c)
+			return
+		}
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))

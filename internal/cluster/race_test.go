@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sbqa/internal/model"
+)
+
+// TestRaceMembershipChurnUnderRoutingLoad hammers the read side of the
+// node — routing, the submit guard, ring reads, and status snapshots —
+// while a flapping peer drives constant health transitions, ring
+// rebuilds, and failover replays. Run under -race this proves the live
+// ring swap and the membership bookkeeping are coherent.
+func TestRaceMembershipChurnUnderRoutingLoad(t *testing.T) {
+	var flaky atomic.Bool
+	flaky.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc(HealthzPath, func(w http.ResponseWriter, r *http.Request) {
+		if !flaky.Load() {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(200)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cfg := fastConfig(Peer{ID: "a"}, Peer{ID: "b", Addr: srv.URL})
+	cfg.HeartbeatInterval = 2 * time.Millisecond
+	cfg.SuspectAfter = 1
+	cfg.DownAfter = 2
+	cfg.StateDir = t.TempDir()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // flapper
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				flaky.Store(i%2 == 0)
+			}
+		}
+	}()
+	guard := n.SubmitGuard()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := model.ConsumerID(i % 257)
+				owner, self, rerr := n.Route(c)
+				if !self && owner.ID != "b" && rerr == nil {
+					t.Errorf("Route(%d) returned foreign owner %+v", c, owner)
+					return
+				}
+				_ = guard(model.Query{Consumer: c})
+				if ring := n.LiveRing(); ring.Len() < 1 || !ring.Contains("a") {
+					t.Errorf("live ring lost self: %v", ring.Nodes())
+					return
+				}
+				if g == 0 && i%64 == 0 {
+					_ = n.Status()
+				}
+			}
+		}(g)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	n.Close()
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"testing"
+
+	"sbqa/internal/model"
+)
+
+// TestRingGoldenVectors pins the keyspace. These values were computed
+// once from the hand-rolled FNV-1a + Murmur3-finalizer pipeline and
+// must never change: a drift would make upgraded and non-upgraded
+// nodes disagree on consumer ownership mid-rollout, and would
+// invalidate every follower's "is this record mine now" replay filter.
+func TestRingGoldenVectors(t *testing.T) {
+	r := NewRing([]string{"alpha", "bravo", "charlie"}, 64)
+	golden := []struct {
+		consumer model.ConsumerID
+		hash     uint64
+		owner    string
+	}{
+		{0, 0x7bd3144f29c0cc9e, "bravo"},
+		{1, 0xd4ad0eb39c50357, "charlie"},
+		{2, 0xf6034fee4c3ffc73, "bravo"},
+		{3, 0xbdcbd7f23c4957ad, "alpha"},
+		{4, 0xbff35ced892c636f, "alpha"},
+		{5, 0x426743b6503cd797, "charlie"},
+		{6, 0xc01824b73c5a9ec1, "alpha"},
+		{7, 0xc2e5519bedb9721, "charlie"},
+		{17, 0x3cb87736a9f0a77d, "bravo"},
+		{42, 0x641dede4f0973e8c, "charlie"},
+		{100, 0x82d23d2988ef915e, "charlie"},
+		{1000, 0x95e25c5a5b765d21, "bravo"},
+		{65535, 0x4896917cc0fe81d9, "charlie"},
+		{-1, 0x6a92c0228678c02e, "charlie"},
+		{-9, 0x86ec8e03e4e294a5, "alpha"},
+	}
+	for _, g := range golden {
+		if h := KeyHash(g.consumer); h != g.hash {
+			t.Errorf("KeyHash(%d) = %#x, want %#x", g.consumer, h, g.hash)
+		}
+		if o := r.Owner(g.consumer); o != g.owner {
+			t.Errorf("Owner(%d) = %q, want %q", g.consumer, o, g.owner)
+		}
+	}
+}
+
+// TestRingOrderIndependent: node list order and duplicates never change
+// ownership — every process builds the ring from its own flag order.
+func TestRingOrderIndependent(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3", "n4"}, 32)
+	b := NewRing([]string{"n4", "n2", "n1", "n3", "n2", ""}, 32)
+	for c := model.ConsumerID(-50); c < 500; c++ {
+		if a.Owner(c) != b.Owner(c) {
+			t.Fatalf("consumer %d: %q vs %q under reordered nodes", c, a.Owner(c), b.Owner(c))
+		}
+	}
+	if got := b.Len(); got != 4 {
+		t.Fatalf("Len = %d after dedup, want 4", got)
+	}
+}
+
+// TestRingSpread: virtual nodes keep ownership shares roughly even —
+// no node may own more than twice its fair share over a large keyset.
+func TestRingSpread(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(nodes, DefaultVNodes)
+	counts := make(map[string]int)
+	const keys = 10000
+	for c := 0; c < keys; c++ {
+		counts[r.Owner(model.ConsumerID(c))]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Errorf("node %s owns nothing", n)
+		}
+		if counts[n] > 2*fair {
+			t.Errorf("node %s owns %d of %d keys, > 2x fair share %d", n, counts[n], keys, fair)
+		}
+	}
+}
+
+// TestRingRemovalOnlyMovesDepartedKeys: dropping one node must not
+// reshuffle consumers whose owner survives — that stability is the
+// whole point of consistent hashing, and failover correctness depends
+// on it (only the dead node's consumers replay from replicas).
+func TestRingRemovalOnlyMovesDepartedKeys(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c"}, DefaultVNodes)
+	shrunk := NewRing([]string{"a", "c"}, DefaultVNodes)
+	moved := 0
+	for c := model.ConsumerID(0); c < 3000; c++ {
+		was, is := full.Owner(c), shrunk.Owner(c)
+		if was != "b" {
+			if is != was {
+				t.Fatalf("consumer %d moved %q -> %q though %q survived", c, was, is, was)
+			}
+			continue
+		}
+		moved++
+		if is != "a" && is != "c" {
+			t.Fatalf("consumer %d orphaned: owner %q", c, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no consumers owned by the removed node — test vacuous")
+	}
+}
+
+// TestRingFollowers: followers are the distinct ring successors — the
+// nodes that inherit keyspace, and so the WAL shipping targets.
+func TestRingFollowers(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, DefaultVNodes)
+	// With 64 vnodes each, every node's successor set is the other two.
+	for _, n := range []string{"a", "b", "c"} {
+		f := r.Followers(n)
+		if len(f) != 2 {
+			t.Fatalf("Followers(%s) = %v, want both other nodes", n, f)
+		}
+	}
+	if f := NewRing([]string{"solo"}, 8).Followers("solo"); f != nil {
+		t.Fatalf("solo ring followers = %v, want none", f)
+	}
+	if f := r.Followers("ghost"); f != nil {
+		t.Fatalf("absent node followers = %v, want none", f)
+	}
+	// Every follower must actually inherit keys: removing the node
+	// reassigns each of its consumers to one of its followers.
+	followers := map[string]bool{}
+	for _, f := range r.Followers("b") {
+		followers[f] = true
+	}
+	shrunk := NewRing([]string{"a", "c"}, DefaultVNodes)
+	for c := model.ConsumerID(0); c < 2000; c++ {
+		if r.Owner(c) == "b" && !followers[shrunk.Owner(c)] {
+			t.Fatalf("consumer %d reassigned to %q, not a follower of b", c, shrunk.Owner(c))
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing, quietly.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if o := r.Owner(1); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	if r.Contains("x") || r.Len() != 0 {
+		t.Fatal("empty ring claims membership")
+	}
+}
+
+// FuzzRingOwner: for any consumer ID and any non-empty live subset of a
+// fixed peer set, ownership resolves to exactly one node, that node is
+// a member of the subset, and the answer is identical when the ring is
+// rebuilt from a reversed node list.
+func FuzzRingOwner(f *testing.F) {
+	f.Add(int64(0), uint8(0b11111))
+	f.Add(int64(-1), uint8(0b00001))
+	f.Add(int64(1<<62), uint8(0b10101))
+	f.Add(int64(42), uint8(0b00110))
+	all := []string{"node-a", "node-b", "node-c", "node-d", "node-e"}
+	f.Fuzz(func(t *testing.T, key int64, mask uint8) {
+		var live []string
+		for i, n := range all {
+			if mask&(1<<i) != 0 {
+				live = append(live, n)
+			}
+		}
+		c := model.ConsumerID(key)
+		if len(live) == 0 {
+			if o := NewRing(live, 16).Owner(c); o != "" {
+				t.Fatalf("empty subset owner = %q", o)
+			}
+			return
+		}
+		r := NewRing(live, 16)
+		owner := r.Owner(c)
+		if !r.Contains(owner) {
+			t.Fatalf("owner %q of consumer %d not in live set %v", owner, c, live)
+		}
+		reversed := make([]string, len(live))
+		for i, n := range live {
+			reversed[len(live)-1-i] = n
+		}
+		if o2 := NewRing(reversed, 16).Owner(c); o2 != owner {
+			t.Fatalf("consumer %d: owner %q vs %q under reversed construction", c, owner, o2)
+		}
+	})
+}

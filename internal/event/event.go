@@ -99,6 +99,29 @@ type PolicyChange struct {
 	Time float64
 }
 
+// PeerChange reports a cluster peer's health transition, emitted by the
+// membership layer's heartbeat state machine (internal/cluster): a peer
+// moved between "alive", "suspect", and "down". Ring recomputation and
+// failover replay key off the transitions to and from "down"; "suspect" is
+// advisory (the peer missed heartbeats but still owns its ranges). The
+// states are carried as plain strings so this package stays at the bottom
+// of the import graph, the same way PolicyChange carries its policy kind.
+type PeerChange struct {
+	// Node is the peer's cluster node ID.
+	Node string
+
+	// Addr is the peer's base URL.
+	Addr string
+
+	// From and To are the health states of the transition: one of
+	// "alive", "suspect", "down".
+	From string
+	To   string
+
+	// Err is the last heartbeat error for degradations ("" on recovery).
+	Err string
+}
+
 // SatisfactionSnapshot is a periodic sample of every tracked participant's
 // long-run satisfaction δs (Definitions 1-2 of the paper), emitted by the
 // engine's snapshot ticker. The maps are owned by the receiver.
@@ -165,6 +188,12 @@ type Observer interface {
 	// the engine's Reconfigure). Emitted on the reconfiguring goroutine
 	// after the new generation is published to every shard.
 	OnPolicyChange(pc PolicyChange)
+
+	// OnPeerChange observes a cluster peer's health transition (see
+	// internal/cluster). Emitted on the heartbeat goroutine after the
+	// membership state machine records the transition and recomputes the
+	// live ring; never emitted by a single-node engine.
+	OnPeerChange(pc PeerChange)
 }
 
 // Nop is an Observer that ignores every event. Embed it to implement only
@@ -201,6 +230,9 @@ func (Nop) OnSatisfactionSnapshot(SatisfactionSnapshot) {}
 // OnPolicyChange implements Observer.
 func (Nop) OnPolicyChange(PolicyChange) {}
 
+// OnPeerChange implements Observer.
+func (Nop) OnPeerChange(PeerChange) {}
+
 // Funcs adapts free functions to Observer; nil fields ignore their event.
 // The zero Funcs is a valid no-op observer.
 type Funcs struct {
@@ -214,6 +246,7 @@ type Funcs struct {
 	IntentionImputed     func(im Imputation)
 	SatisfactionSnapshot func(snap SatisfactionSnapshot)
 	PolicyChange         func(pc PolicyChange)
+	PeerChange           func(pc PeerChange)
 }
 
 var _ Observer = Funcs{}
@@ -285,6 +318,13 @@ func (f Funcs) OnSatisfactionSnapshot(snap SatisfactionSnapshot) {
 func (f Funcs) OnPolicyChange(pc PolicyChange) {
 	if f.PolicyChange != nil {
 		f.PolicyChange(pc)
+	}
+}
+
+// OnPeerChange implements Observer.
+func (f Funcs) OnPeerChange(pc PeerChange) {
+	if f.PeerChange != nil {
+		f.PeerChange(pc)
 	}
 }
 
@@ -369,5 +409,12 @@ func (m multi) OnSatisfactionSnapshot(snap SatisfactionSnapshot) {
 func (m multi) OnPolicyChange(pc PolicyChange) {
 	for _, o := range m {
 		o.OnPolicyChange(pc)
+	}
+}
+
+// OnPeerChange implements Observer.
+func (m multi) OnPeerChange(pc PeerChange) {
+	for _, o := range m {
+		o.OnPeerChange(pc)
 	}
 }

@@ -10,7 +10,7 @@ import (
 // recorder counts events per kind.
 type recorder struct {
 	Nop
-	allocs, rejects, dispatch, preg, pdep, creg, cdep, snaps, policies int
+	allocs, rejects, dispatch, preg, pdep, creg, cdep, snaps, policies, peers int
 }
 
 func (r *recorder) OnAllocation(*model.Allocation, int)                     { r.allocs++ }
@@ -22,6 +22,7 @@ func (r *recorder) OnConsumerRegistered(model.ConsumerID)                   { r.
 func (r *recorder) OnConsumerDeparted(model.ConsumerID)                     { r.cdep++ }
 func (r *recorder) OnSatisfactionSnapshot(SatisfactionSnapshot)             { r.snaps++ }
 func (r *recorder) OnPolicyChange(PolicyChange)                             { r.policies++ }
+func (r *recorder) OnPeerChange(PeerChange)                                 { r.peers++ }
 
 func emitAll(o Observer) {
 	o.OnAllocation(&model.Allocation{}, 3)
@@ -33,6 +34,7 @@ func emitAll(o Observer) {
 	o.OnConsumerDeparted(2)
 	o.OnSatisfactionSnapshot(SatisfactionSnapshot{Time: 1})
 	o.OnPolicyChange(PolicyChange{Generation: 1, Kind: "sbqa", Time: 1})
+	o.OnPeerChange(PeerChange{Node: "b", From: "alive", To: "suspect"})
 }
 
 func TestNopIsObserver(t *testing.T) {
@@ -55,7 +57,7 @@ func TestMultiFansOut(t *testing.T) {
 	emitAll(m)
 	for _, r := range []*recorder{a, b} {
 		if r.allocs != 1 || r.rejects != 1 || r.dispatch != 1 ||
-			r.preg != 1 || r.pdep != 1 || r.creg != 1 || r.cdep != 1 || r.snaps != 1 || r.policies != 1 {
+			r.preg != 1 || r.pdep != 1 || r.creg != 1 || r.cdep != 1 || r.snaps != 1 || r.policies != 1 || r.peers != 1 {
 			t.Errorf("recorder missed events: %+v", r)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sbqa/internal/alloc"
@@ -157,6 +158,10 @@ type Engine struct {
 
 	mu     sync.RWMutex // guards closed vs in-flight enqueues
 	closed bool
+
+	// guard, when set (SetSubmitGuard), vets every submission before it
+	// reaches a shard queue — the cluster layer's ownership check.
+	guard atomic.Pointer[func(model.Query) error]
 
 	stopSnap chan struct{}
 	wg       sync.WaitGroup
@@ -370,8 +375,36 @@ func (e *Engine) Submit(ctx context.Context, q model.Query, opts ...QueryOption)
 	q.ID = model.QueryID(e.svc.nextID.Add(1))
 	q.IssuedAt = e.svc.nowFn()
 	t := newTicket(q, so.results, !so.fireAndForget)
+	if err := e.guardSubmit(q); err != nil {
+		t.finish(nil, err, nil, 0)
+		return t
+	}
 	e.enqueue(ctx, e.svc.shardIndex(q.Consumer), engineItem{ctx: ctx, tickets: []*Ticket{t}})
 	return t
+}
+
+// SetSubmitGuard installs (or, with nil, removes) a submission guard: a
+// function consulted for every Submit/SubmitBatch query before it reaches a
+// shard queue. A non-nil error fails the ticket immediately with that error
+// and the query is never mediated. The cluster layer uses this as its
+// ownership check — a query for a consumer this node does not own fails
+// typed instead of silently building satisfaction state the ring assigns to
+// another node. The guard must be fast and safe for concurrent use; without
+// one (the default) submissions behave exactly as before.
+func (e *Engine) SetSubmitGuard(fn func(model.Query) error) {
+	if fn == nil {
+		e.guard.Store(nil)
+		return
+	}
+	e.guard.Store(&fn)
+}
+
+// guardSubmit applies the installed submission guard, if any.
+func (e *Engine) guardSubmit(q model.Query) error {
+	if g := e.guard.Load(); g != nil {
+		return (*g)(q)
+	}
+	return nil
 }
 
 // SubmitBatch assigns IDs in input order, stamps the whole batch with one
@@ -395,6 +428,11 @@ func (e *Engine) SubmitBatch(ctx context.Context, queries []model.Query, opts ..
 		q.IssuedAt = now
 		t := newTicket(q, so.results, !so.fireAndForget)
 		tickets[i] = t
+		if err := e.guardSubmit(q); err != nil {
+			// The guard rejects per query: the rest of the batch proceeds.
+			t.finish(nil, err, nil, 0)
+			continue
+		}
 		idx := e.svc.shardIndex(q.Consumer)
 		groups[idx] = append(groups[idx], t)
 	}
@@ -487,6 +525,18 @@ func (e *Engine) Reconfigure(ctx context.Context, spec policy.Spec) error {
 // Tuner returns the engine's autonomic policy tuner, or nil when the
 // engine was built without WithTuner.
 func (e *Engine) Tuner() *policy.Tuner { return e.tuner }
+
+// PersistStore returns the engine's durability store — nil unless the
+// engine was built WithPersistence. The cluster replicator streams sealed
+// journal segments from it (SealedSegmentSeqs / OpenSealedSegment) and
+// drives its shipping cadence with RotateIfDirty; everything else should
+// keep treating persistence as an engine-internal concern.
+func (e *Engine) PersistStore() *persist.Store {
+	if e.pst == nil {
+		return nil
+	}
+	return e.pst.store
+}
 
 // Shards returns the number of mediator shards.
 func (e *Engine) Shards() int { return e.svc.Shards() }

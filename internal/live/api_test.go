@@ -427,6 +427,54 @@ func TestAwaitContextExpiry(t *testing.T) {
 	}
 }
 
+// TestSubmitGuardVetsSubmissions: an installed guard fails tickets with its
+// own error before any shard sees the query, per-query in batches, and a nil
+// guard restores normal behavior. This is the cluster layer's ownership hook.
+func TestSubmitGuardVetsSubmissions(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	ctx := context.Background()
+	errNotOwner := errors.New("consumer owned elsewhere")
+	eng.SetSubmitGuard(func(q model.Query) error {
+		if q.Consumer == 1 {
+			return errNotOwner
+		}
+		return nil
+	})
+
+	if _, err := eng.Submit(ctx, model.Query{Consumer: 1, N: 1, Work: 0.1}).Allocation(); !errors.Is(err, errNotOwner) {
+		t.Fatalf("guarded submit err = %v, want the guard's error", err)
+	}
+	if _, err := eng.Submit(ctx, model.Query{Consumer: 0, N: 1, Work: 0.1}).Allocation(); err != nil {
+		t.Fatalf("unguarded consumer rejected: %v", err)
+	}
+
+	// Batch: only the guarded consumer's tickets fail; the rest mediate.
+	tickets := eng.SubmitBatch(ctx, []model.Query{
+		{Consumer: 0, N: 1, Work: 0.1},
+		{Consumer: 1, N: 1, Work: 0.1},
+		{Consumer: 2, N: 1, Work: 0.1},
+	})
+	if _, err := tickets[0].Allocation(); err != nil {
+		t.Errorf("batch[0] err = %v, want nil", err)
+	}
+	if _, err := tickets[1].Allocation(); !errors.Is(err, errNotOwner) {
+		t.Errorf("batch[1] err = %v, want the guard's error", err)
+	}
+	if _, err := tickets[2].Allocation(); err != nil {
+		t.Errorf("batch[2] err = %v, want nil", err)
+	}
+
+	// The guard rejected before mediation: no shard counted the query.
+	if got := eng.Stats().Mediations(); got != 3 {
+		t.Errorf("Mediations = %d, want 3 (guarded queries never mediate)", got)
+	}
+
+	eng.SetSubmitGuard(nil)
+	if _, err := eng.Submit(ctx, model.Query{Consumer: 1, N: 1, Work: 0.1}).Allocation(); err != nil {
+		t.Fatalf("after removing guard: %v", err)
+	}
+}
+
 // TestBlockingWrapperMatchesTicketPath: the blocking Service.Submit and the
 // awaited ticket produce identical allocations under identical inputs.
 func TestBlockingWrapperMatchesTicketPath(t *testing.T) {

@@ -36,6 +36,10 @@ var journalMagic = [8]byte{'S', 'B', 'Q', 'A', 'W', 'A', 'L', '1'}
 // journalVersion is the current segment format version.
 const journalVersion = 1
 
+// segmentHeaderBytes is the size of the fixed segment header (magic +
+// version + seq); a segment at exactly this size holds no records.
+const segmentHeaderBytes = int64(len(journalMagic) + 2 + 8)
+
 // maxRecordPayload bounds one journal record's payload; outcome records for
 // even enormous proposal sets stay far below it.
 const maxRecordPayload = 1 << 26
@@ -250,7 +254,7 @@ func createSegment(path string, seq uint64) (*segmentWriter, error) {
 		f.Close()
 		return nil, c.err
 	}
-	w.bytes = int64(len(journalMagic) + 2 + 8)
+	w.bytes = segmentHeaderBytes
 	return w, nil
 }
 

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -339,6 +340,78 @@ func (s *Store) SealedSegments() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sealed)
+}
+
+// SealedSegmentSeqs returns the sequence numbers of the sealed segments
+// currently on disk, sorted ascending. The cluster replicator ships these
+// to follower nodes; a seq may disappear between this call and
+// OpenSealedSegment when compaction prunes it.
+func (s *Store) SealedSegmentSeqs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.sealed...)
+}
+
+// OpenSealedSegment opens one sealed segment for streaming (shipping to a
+// replication follower) and returns its size. The caller must close the
+// reader. Returns an error when seq is not a sealed segment on disk —
+// including when compaction pruned it between SealedSegmentSeqs and this
+// call, which the replicator treats as "superseded, skip".
+func (s *Store) OpenSealedSegment(seq uint64) (io.ReadCloser, int64, error) {
+	s.mu.Lock()
+	sealed := false
+	for _, have := range s.sealed {
+		if have == seq {
+			sealed = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !sealed {
+		return nil, 0, fmt.Errorf("persist: segment %d is not sealed", seq)
+	}
+	f, err := os.Open(segmentPath(s.dir, seq))
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, fi.Size(), nil
+}
+
+// ActiveSegmentBytes reports how many payload bytes (beyond the segment
+// header) sit in the active segment — the journal tail that has not been
+// sealed, and therefore cannot have been shipped to a replication follower
+// yet. Zero for a freshly rotated (or closed) store.
+func (s *Store) ActiveSegmentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return 0
+	}
+	return s.w.bytes - segmentHeaderBytes
+}
+
+// RotateIfDirty seals the active segment when it holds at least one record,
+// opening a fresh one, and reports whether it rotated. The cluster
+// replicator calls this on its shipping cadence so the journal tail becomes
+// sealed — and thus shippable — on a bounded clock rather than only at the
+// SegmentBytes threshold. A clean (header-only) active segment is left
+// alone, so an idle node does not accrete empty segment files. Returns
+// false with no error on a closed store (shutdown races are not failures).
+func (s *Store) RotateIfDirty() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil || s.w.bytes <= segmentHeaderBytes {
+		return false, nil
+	}
+	if err := s.rotateLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // RotateForSnapshot seals the active segment and returns the new active

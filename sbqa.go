@@ -42,6 +42,7 @@ import (
 	"sbqa/internal/adwords"
 	"sbqa/internal/alloc"
 	"sbqa/internal/boinc"
+	"sbqa/internal/cluster"
 	"sbqa/internal/core"
 	"sbqa/internal/directory"
 	"sbqa/internal/event"
@@ -440,6 +441,9 @@ type (
 	// Imputation reports one silent participant whose intention was
 	// imputed from registry state during batched collection.
 	Imputation = event.Imputation
+	// PeerChange reports one cluster peer's health transition
+	// (alive/suspect/down) as seen by the local node.
+	PeerChange = event.PeerChange
 )
 
 // MultiObserver fans events out to several observers in order.
@@ -700,6 +704,77 @@ func PersistCompactAfterSegments(n int) PersistOption { return persist.CompactAf
 // PersistCompactInterval sets the cadence of the background compaction
 // check (default 30s).
 func PersistCompactInterval(d time.Duration) PersistOption { return persist.CompactInterval(d) }
+
+// ---------------------------------------------------------------------------
+// Cluster: multi-node mediation with consistent-hash routing and WAL-shipped
+// satisfaction replication
+// ---------------------------------------------------------------------------
+
+// Cluster types. N sbqad daemons (or embeddings) form a mediation cluster
+// from a static peer list: a consistent-hash ring over consumer IDs decides
+// which node owns each consumer, heartbeats track peer health and shrink
+// the routing ring when a node dies, and the journal replicator ships
+// sealed WAL segments to ring followers so a dead node's consumers arrive
+// at their new owner with satisfaction memory intact. There is no leader
+// and no consensus; see DESIGN.md §10.
+type (
+	// ClusterPeer identifies one cluster member (node ID + base URL).
+	ClusterPeer = cluster.Peer
+	// ClusterConfig assembles a cluster node (self, peers, heartbeat and
+	// replication cadence, durability hookup).
+	ClusterConfig = cluster.Config
+	// ClusterNode is one member's view of the cluster: rings, peer
+	// health, replication, failover replay.
+	ClusterNode = cluster.Node
+	// ClusterRing is the immutable consistent-hash ring itself.
+	ClusterRing = cluster.Ring
+	// ClusterStatus is the /v1/cluster control-surface payload.
+	ClusterStatus = cluster.Status
+	// ClusterPeerStatus is one peer's health and replication position.
+	ClusterPeerStatus = cluster.PeerStatus
+	// ClusterSegmentSource is the journal slice the replicator consumes;
+	// Engine.PersistStore satisfies it.
+	ClusterSegmentSource = cluster.SegmentSource
+)
+
+// Intra-cluster HTTP contract: the paths a clustered daemon mounts and
+// probes, and the loop-prevention header on forwarded requests.
+const (
+	// ClusterHealthzPath is probed by peers' heartbeats.
+	ClusterHealthzPath = cluster.HealthzPath
+	// ClusterSegmentsPath serves WAL replication (GET inventory, POST one
+	// raw segment).
+	ClusterSegmentsPath = cluster.SegmentsPath
+	// ClusterForwardPath accepts query submissions forwarded from a
+	// non-owner gateway; ClusterForwardConsumersPath the same for
+	// consumer registration.
+	ClusterForwardPath          = cluster.ForwardPath
+	ClusterForwardConsumersPath = cluster.ForwardConsumersPath
+	// ClusterForwardedFromHeader carries the sender's node ID on a
+	// forwarded request: one hop only, a receiver that still disagrees
+	// about ownership answers a typed error instead of re-forwarding.
+	ClusterForwardedFromHeader = cluster.ForwardedFromHeader
+)
+
+// Typed cluster routing failures (match with errors.Is).
+var (
+	// ErrClusterNotOwner: the consumer belongs to another node; the
+	// gateway forwards rather than serving locally.
+	ErrClusterNotOwner = cluster.ErrNotOwner
+	// ErrClusterPeerDown: the consumer's owner is known-dead and not yet
+	// re-absorbed.
+	ErrClusterPeerDown = cluster.ErrPeerDown
+)
+
+// NewClusterNode validates cfg and builds an inert cluster node; call its
+// Start to launch the heartbeat and replication loops and Close to stop
+// them. A node with no peers is valid and routes everything locally.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.New(cfg) }
+
+// NewClusterRing builds a standalone consistent-hash ring (vnodes virtual
+// points per node; <= 0 selects the default). Ownership is stable across
+// processes, Go versions, and node-list orderings.
+func NewClusterRing(nodes []string, vnodes int) *ClusterRing { return cluster.NewRing(nodes, vnodes) }
 
 // ---------------------------------------------------------------------------
 // Topic-based interests and the AdWords world (§I motivation)
