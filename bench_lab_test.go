@@ -1,0 +1,54 @@
+// Benchmark for the workload lab: one op runs a complete small lab
+// scenario — world construction, the full virtual-clock event stream, and
+// report finalization — against the real mediation engine. It gates the
+// lab's end-to-end throughput in CI (BENCH_core.json) and reports the
+// simulated mediation rate so a slowdown in either the generators or the
+// engine hot path is visible as both ns/op and mediations/sec.
+package sbqa
+
+import (
+	"testing"
+)
+
+func benchLabScenario() LabScenario {
+	return LabScenario{
+		Name:     "bench-lab-throughput",
+		Seed:     17,
+		Duration: 30,
+		Window:   8,
+		Policy:   PolicySpec{Kind: PolicySbQA, K: 8, Kn: 3, Seed: 17},
+		Workload: LabWorkload{
+			QueryTimeout: 20,
+			Classes: []LabClassSpec{
+				{
+					Name: "steady", Consumers: 6, Providers: 40,
+					Arrival: LabArrivalSpec{Kind: "poisson", Rate: 10},
+					Cost:    LabCostSpec{Kind: "exp", Mean: 2},
+				},
+				{
+					Name: "bursty", Consumers: 4, Providers: 30,
+					Arrival: LabArrivalSpec{Kind: "mmpp2", Rate: 2, DwellA: 10, RateB: 15, DwellB: 4},
+					Cost:    LabCostSpec{Kind: "pareto", Xm: 0.5, Alpha: 2.2},
+				},
+			},
+			Adversaries: LabAdversarySpec{FreeRiders: 0.1},
+		},
+	}
+}
+
+func BenchmarkLabMediationThroughput(b *testing.B) {
+	var mediated int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunLabScenario(benchLabScenario())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mediated += r.Mediated
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(mediated)/s, "mediations/sec")
+	}
+}

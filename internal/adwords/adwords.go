@@ -19,6 +19,7 @@ import (
 	"sbqa/internal/sim"
 	"sbqa/internal/stats"
 	"sbqa/internal/topics"
+	"sbqa/internal/workload"
 )
 
 // Advertiser is a provider bidding for ad placements. Its intention toward
@@ -288,7 +289,7 @@ func (w *World) Run(onWin OnWin) int {
 	placements := 0
 	var arrive func()
 	arrive = func() {
-		gap := w.rng.ExpFloat64() / w.cfg.QueryRate
+		gap := workload.Poisson{Rate: w.cfg.QueryRate}.Next(w.engine.Now(), w.rng)
 		w.engine.Schedule(gap, func() {
 			w.nextQID++
 			q := model.Query{

@@ -326,12 +326,14 @@ func (w *World) Run() metrics.Result {
 	return w.col.Summarize(w.med.Allocator().Name(), w.cfg.Duration, 0.25)
 }
 
-// scheduleArrival books the project's next query issue.
+// scheduleArrival books the project's next query issue via the shared
+// workload.Poisson process (same draw sequence as the historical inline
+// expression; pinned by TestPoissonMatchesHistoricalInlineDraw).
 func (w *World) scheduleArrival(p *Project) {
 	if !p.online || p.arrivalRate <= 0 {
 		return
 	}
-	gap := p.arrival.ExpFloat64() / p.arrivalRate
+	gap := workload.Poisson{Rate: p.arrivalRate}.Next(w.engine.Now(), p.arrival)
 	w.engine.Schedule(gap, func() {
 		if !p.online {
 			return

@@ -1,0 +1,349 @@
+// Package lab is the deterministic workload laboratory: it drives the REAL
+// mediation pipeline — live.Service over mediator, allocators, the
+// satisfaction registry, and policy hot-swap — under the internal/sim
+// virtual clock, at populations up to millions of simulated participants.
+//
+// The lab has three layers:
+//
+//  1. a composable workload generator (this file): seeded arrival processes
+//     (Poisson, bursty MMPP, diurnal) from internal/workload, heavy-tailed
+//     query cost, flash crowds, provider churn storms, and adversarial
+//     populations (free-riders, over-claimers, colluders) promoted from the
+//     seed code in internal/experiments and internal/boinc;
+//  2. a scenario runner (run.go, world.go) executing a Scenario —
+//     workload × policy.Spec × duration × seed — and emitting a typed
+//     Report (report.go) with stable serialization;
+//  3. a falsifiable-hypothesis harness (hypothesis.go) consumed by the
+//     top-level hypotheses/ package and the cmd/sbqalab CLI.
+//
+// # Determinism contract
+//
+// Run is a pure function of its Scenario: the same scenario (same seed
+// included) yields a byte-identical Report.Encode() on every execution.
+// Everything stochastic draws from split streams of one stats.RNG rooted at
+// Scenario.Seed; the engine runs single-shard (Concurrency = 1, proven
+// byte-identical to a serialized mediator); participants are plain
+// (goroutine-free) implementations; no wall-clock time is read anywhere.
+// CI reruns every registered hypothesis and compares report hashes.
+package lab
+
+import (
+	"fmt"
+	"math"
+
+	"sbqa/internal/policy"
+	"sbqa/internal/stats"
+	"sbqa/internal/workload"
+)
+
+// Scenario is one reproducible experiment: a workload pitted against an
+// allocation policy for a simulated duration under a seed. Scenarios are
+// plain data (JSON-able) so hypotheses can state them declaratively and
+// reports can echo them.
+type Scenario struct {
+	// Name labels the scenario in reports and findings tables.
+	Name string `json:"name"`
+
+	// Seed roots every random stream of the run (workload draws, churn
+	// picks, adversary assignment). The policy's sampling streams come
+	// from Policy.Seed, so the same workload can be replayed against
+	// differently-seeded policies and vice versa.
+	Seed uint64 `json:"seed"`
+
+	// Duration is the simulated horizon in seconds.
+	Duration float64 `json:"duration"`
+
+	// SampleEvery is the trajectory sampling interval in simulated
+	// seconds. 0 means Duration/20.
+	SampleEvery float64 `json:"sample_every,omitempty"`
+
+	// Window is the satisfaction memory length k. 0 means 8 (small: at
+	// million-participant scale the registry's per-participant buffers
+	// dominate memory).
+	Window int `json:"window,omitempty"`
+
+	// Policy is the allocation policy under test (generation 0).
+	Policy policy.Spec `json:"policy"`
+
+	// Swaps hot-swap the policy mid-run through live.Service.Reconfigure
+	// — the real generation-publication path, adopted at the next
+	// mediation boundary.
+	Swaps []PolicySwitch `json:"swaps,omitempty"`
+
+	// Workload describes the traffic and the population.
+	Workload Workload `json:"workload"`
+}
+
+// PolicySwitch schedules a hot policy swap at a simulated time.
+type PolicySwitch struct {
+	At   float64     `json:"at"`
+	Spec policy.Spec `json:"spec"`
+}
+
+// Workload declares the traffic mix and population for a scenario.
+type Workload struct {
+	// Classes partition the population: each class has its own consumers,
+	// specialist providers, arrival process, and cost distribution.
+	// Query class c is served only by class c's providers (plus nothing
+	// else — the lab uses no universal providers), which keeps candidate
+	// discovery class-local and lets worlds scale to millions of
+	// participants.
+	Classes []ClassSpec `json:"classes"`
+
+	// Adversaries assigns misbehaving provider populations by fraction.
+	Adversaries AdversarySpec `json:"adversaries,omitempty"`
+
+	// Churn takes providers offline and back over the run.
+	Churn ChurnSpec `json:"churn,omitempty"`
+
+	// Flash superimposes flash crowds on class arrival streams.
+	Flash []FlashSpec `json:"flash,omitempty"`
+
+	// QueryTimeout is the simulated deadline after which an unanswered
+	// allocation counts as failed (free-riders burn exactly this). 0
+	// means 60.
+	QueryTimeout float64 `json:"query_timeout,omitempty"`
+}
+
+// ClassSpec declares one query class: its consumers, its specialist
+// providers, and its traffic.
+type ClassSpec struct {
+	// Name labels the class in reports ("checkout", "search", ...).
+	Name string `json:"name"`
+
+	// Consumers and Providers size the class population.
+	Consumers int `json:"consumers"`
+	Providers int `json:"providers"`
+
+	// Arrival is the class's aggregate arrival process; issued queries
+	// rotate round-robin over the class's consumers.
+	Arrival ArrivalSpec `json:"arrival"`
+
+	// Cost draws per-query service demand (work units).
+	Cost CostSpec `json:"cost"`
+
+	// Replication is model.Query.N. 0 means 1.
+	Replication int `json:"replication,omitempty"`
+
+	// DelayTarget is the response time (simulated seconds) consumers of
+	// this class consider good; it anchors reputation quality. 0 means 10.
+	DelayTarget float64 `json:"delay_target,omitempty"`
+
+	// CapacityLo/Hi bound the uniform capacity draw (work units/second)
+	// for the class's providers. Both 0 means [0.5, 1.5).
+	CapacityLo float64 `json:"capacity_lo,omitempty"`
+	CapacityHi float64 `json:"capacity_hi,omitempty"`
+}
+
+// AdversarySpec assigns misbehaving provider fractions, drawn
+// deterministically per provider from the scenario seed. Fractions must sum
+// to <= 1; the remainder is honest.
+//
+// These promote the seed behaviors from internal/experiments (malicious
+// volunteers) and internal/boinc into first-class, policy-independent
+// generators:
+//
+//   - free-riders accept everything (maximal intention, idle-looking
+//     snapshots) and never execute — every allocation they win times out;
+//   - over-claimers advertise ~8× their true capacity (and correspondingly
+//     understated utilization), the bait for capacity-led allocators, but
+//     execute at a quarter of an honest provider's speed;
+//   - colluders run a cartel: maximal intention for queries from cartel
+//     consumers (every 5th consumer), strong refusal for everyone else —
+//     capturing capacity for the ring while starving outsiders.
+type AdversarySpec struct {
+	FreeRiders   float64 `json:"free_riders,omitempty"`
+	OverClaimers float64 `json:"over_claimers,omitempty"`
+	Colluders    float64 `json:"colluders,omitempty"`
+}
+
+// ChurnSpec drives provider availability.
+type ChurnSpec struct {
+	// LeaveRate is the background rate (departures/second) at which
+	// random online providers go offline.
+	LeaveRate float64 `json:"leave_rate,omitempty"`
+
+	// RejoinAfter is the offline dwell before a departed provider
+	// re-registers. 0 means 30.
+	RejoinAfter float64 `json:"rejoin_after,omitempty"`
+
+	// Storm, when set, takes Fraction of all providers offline at At and
+	// brings them back at At+Duration — the churn-storm shape.
+	Storm *StormSpec `json:"storm,omitempty"`
+}
+
+// StormSpec is a mass-departure event.
+type StormSpec struct {
+	At       float64 `json:"at"`
+	Duration float64 `json:"duration"`
+	Fraction float64 `json:"fraction"`
+}
+
+// FlashSpec multiplies a class's arrival rate by Factor inside
+// [At, At+Duration) — a flash crowd. Empty Class applies to every class.
+type FlashSpec struct {
+	Class    string  `json:"class,omitempty"`
+	At       float64 `json:"at"`
+	Duration float64 `json:"duration"`
+	Factor   float64 `json:"factor"`
+}
+
+// ArrivalSpec declares an arrival process as data; Build turns it into a
+// workload.Arrivals. Kinds: "poisson" (Rate), "mmpp2" (Rate/DwellA +
+// RateB/DwellB), "diurnal" (Rate as mean, Period, Amplitude).
+type ArrivalSpec struct {
+	Kind      string  `json:"kind"`
+	Rate      float64 `json:"rate"`
+	RateB     float64 `json:"rate_b,omitempty"`
+	DwellA    float64 `json:"dwell_a,omitempty"`
+	DwellB    float64 `json:"dwell_b,omitempty"`
+	Period    float64 `json:"period,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+}
+
+// Build materializes the declared process. Each call returns a fresh
+// instance (MMPP2 carries phase state), so every class gets its own.
+func (a ArrivalSpec) Build() (workload.Arrivals, error) {
+	switch a.Kind {
+	case "", "poisson":
+		if a.Rate <= 0 {
+			return nil, fmt.Errorf("lab: poisson arrival needs rate > 0, got %g", a.Rate)
+		}
+		return workload.Poisson{Rate: a.Rate}, nil
+	case "mmpp2":
+		return workload.NewMMPP2(a.Rate, a.DwellA, a.RateB, a.DwellB)
+	case "diurnal":
+		if a.Rate <= 0 || a.Period <= 0 {
+			return nil, fmt.Errorf("lab: diurnal arrival needs rate and period > 0, got %g/%g", a.Rate, a.Period)
+		}
+		return workload.Diurnal{Mean: a.Rate, Period: a.Period, Amplitude: a.Amplitude}, nil
+	default:
+		return nil, fmt.Errorf("lab: unknown arrival kind %q", a.Kind)
+	}
+}
+
+// CostSpec declares a per-query service-demand distribution. Kinds:
+// "exp" (Mean), "pareto" (Xm, Alpha — the heavy tail), "const" (Mean).
+type CostSpec struct {
+	Kind  string  `json:"kind"`
+	Mean  float64 `json:"mean,omitempty"`
+	Xm    float64 `json:"xm,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Build materializes the declared distribution.
+func (c CostSpec) Build() (stats.Dist, error) {
+	switch c.Kind {
+	case "", "exp":
+		mean := c.Mean
+		if mean <= 0 {
+			mean = 1
+		}
+		return stats.Exponential{Rate: 1 / mean}, nil
+	case "pareto":
+		if c.Xm <= 0 || c.Alpha <= 1 {
+			return nil, fmt.Errorf("lab: pareto cost needs xm > 0 and alpha > 1 (finite mean), got xm=%g alpha=%g", c.Xm, c.Alpha)
+		}
+		return stats.Pareto{Xm: c.Xm, Alpha: c.Alpha}, nil
+	case "const":
+		if c.Mean <= 0 {
+			return nil, fmt.Errorf("lab: const cost needs mean > 0, got %g", c.Mean)
+		}
+		return stats.Constant{V: c.Mean}, nil
+	default:
+		return nil, fmt.Errorf("lab: unknown cost kind %q", c.Kind)
+	}
+}
+
+// normalized fills defaults and validates; it returns a copy.
+func (sc Scenario) normalized() (Scenario, error) {
+	if sc.Name == "" {
+		return sc, fmt.Errorf("lab: scenario needs a name")
+	}
+	if sc.Duration <= 0 || math.IsNaN(sc.Duration) {
+		return sc, fmt.Errorf("lab: scenario %q needs duration > 0, got %g", sc.Name, sc.Duration)
+	}
+	if sc.SampleEvery <= 0 {
+		sc.SampleEvery = sc.Duration / 20
+	}
+	if sc.Window <= 0 {
+		sc.Window = 8
+	}
+	if len(sc.Workload.Classes) == 0 {
+		return sc, fmt.Errorf("lab: scenario %q needs at least one class", sc.Name)
+	}
+	if sc.Workload.QueryTimeout <= 0 {
+		sc.Workload.QueryTimeout = 60
+	}
+	adv := sc.Workload.Adversaries
+	if adv.FreeRiders < 0 || adv.OverClaimers < 0 || adv.Colluders < 0 ||
+		adv.FreeRiders+adv.OverClaimers+adv.Colluders > 1 {
+		return sc, fmt.Errorf("lab: scenario %q adversary fractions invalid: %+v", sc.Name, adv)
+	}
+	if sc.Workload.Churn.RejoinAfter <= 0 {
+		sc.Workload.Churn.RejoinAfter = 30
+	}
+	if st := sc.Workload.Churn.Storm; st != nil && (st.Fraction <= 0 || st.Fraction > 1 || st.Duration <= 0) {
+		return sc, fmt.Errorf("lab: scenario %q storm invalid: %+v", sc.Name, *st)
+	}
+	names := map[string]bool{}
+	for i := range sc.Workload.Classes {
+		cl := &sc.Workload.Classes[i]
+		if cl.Name == "" {
+			cl.Name = fmt.Sprintf("class-%d", i)
+		}
+		if names[cl.Name] {
+			return sc, fmt.Errorf("lab: scenario %q has duplicate class %q", sc.Name, cl.Name)
+		}
+		names[cl.Name] = true
+		if cl.Consumers < 1 || cl.Providers < 1 {
+			return sc, fmt.Errorf("lab: class %q needs >= 1 consumer and provider", cl.Name)
+		}
+		if cl.Replication < 1 {
+			cl.Replication = 1
+		}
+		if cl.DelayTarget <= 0 {
+			cl.DelayTarget = 10
+		}
+		if cl.CapacityLo == 0 && cl.CapacityHi == 0 {
+			cl.CapacityLo, cl.CapacityHi = 0.5, 1.5
+		}
+		if cl.CapacityLo <= 0 || cl.CapacityHi < cl.CapacityLo {
+			return sc, fmt.Errorf("lab: class %q capacity bounds invalid: [%g, %g)", cl.Name, cl.CapacityLo, cl.CapacityHi)
+		}
+		if _, err := cl.Arrival.Build(); err != nil {
+			return sc, fmt.Errorf("class %q: %w", cl.Name, err)
+		}
+		if _, err := cl.Cost.Build(); err != nil {
+			return sc, fmt.Errorf("class %q: %w", cl.Name, err)
+		}
+	}
+	for _, f := range sc.Workload.Flash {
+		if f.Factor <= 0 || f.Duration <= 0 {
+			return sc, fmt.Errorf("lab: scenario %q flash invalid: %+v", sc.Name, f)
+		}
+		if f.Class != "" && !names[f.Class] {
+			return sc, fmt.Errorf("lab: flash references unknown class %q", f.Class)
+		}
+	}
+	sc.Policy = sc.Policy.Normalized()
+	if err := sc.Policy.Validate(); err != nil {
+		return sc, fmt.Errorf("lab: scenario %q policy: %w", sc.Name, err)
+	}
+	for i, sw := range sc.Swaps {
+		sc.Swaps[i].Spec = sw.Spec.Normalized()
+		if err := sc.Swaps[i].Spec.Validate(); err != nil {
+			return sc, fmt.Errorf("lab: scenario %q swap %d: %w", sc.Name, i, err)
+		}
+	}
+	return sc, nil
+}
+
+// Participants returns the scenario's total population size.
+func (sc Scenario) Participants() int {
+	n := 0
+	for _, cl := range sc.Workload.Classes {
+		n += cl.Consumers + cl.Providers
+	}
+	return n
+}

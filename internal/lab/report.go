@@ -1,0 +1,159 @@
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"sbqa/internal/policy"
+)
+
+// Report is the typed outcome of one scenario run. It is pure data with a
+// stable serialization: Encode marshals with sorted struct order and no
+// timestamps, wall-clock readings, or map-order dependence, so the same
+// Scenario always produces byte-identical bytes (and Hash). Every number in
+// it is derived from the virtual clock and the engine's own state.
+type Report struct {
+	// Scenario echoes the normalized scenario that produced this report.
+	Scenario Scenario `json:"scenario"`
+
+	// Population totals.
+	Participants int `json:"participants"`
+	Providers    int `json:"providers"`
+	Consumers    int `json:"consumers"`
+
+	// Query totals. Issued counts arrivals handed to the engine; Mediated
+	// the successful allocations; Rejected the mediation errors (e.g. no
+	// candidates during a churn trough); Completed / Failed / InFlight the
+	// execution outcomes inside the horizon (failed = timed out on a
+	// free-rider; in-flight = still executing when the horizon closed).
+	Issued   int `json:"issued"`
+	Mediated int `json:"mediated"`
+	Rejected int `json:"rejected"`
+
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	InFlight  int `json:"in_flight"`
+
+	// Response-time summary over completed executions (simulated seconds).
+	MeanResponse float64 `json:"mean_response"`
+	P99Response  float64 `json:"p99_response"`
+
+	// End-state satisfaction means over the whole population.
+	ConsumerSatisfaction float64 `json:"consumer_satisfaction"`
+	ConsumerAdequation   float64 `json:"consumer_adequation"`
+	ProviderSatisfaction float64 `json:"provider_satisfaction"`
+
+	// Allocation shares by provider behavior (fractions of all
+	// provider-allocations; zero population ⇒ zero share).
+	Shares BehaviorShares `json:"shares"`
+
+	// GiniUtilization is the Gini coefficient of per-provider busy-time
+	// utilization — 0 is perfectly even use of the fleet.
+	GiniUtilization float64 `json:"gini_utilization"`
+
+	// Starved counts providers that finished the run online with zero
+	// lifetime allocations; StarvedFrac normalizes by the fleet size.
+	Starved     int     `json:"starved"`
+	StarvedFrac float64 `json:"starved_frac"`
+
+	// Trajectory samples global state every Scenario.SampleEvery; queue
+	// gauges scan a deterministic stride of at most 4096 providers (the
+	// full fleet when it is small).
+	Trajectory []TrajectoryPoint `json:"trajectory"`
+
+	// Classes reports per-class outcomes, in scenario class order.
+	// Per-class δs/δa trajectories are included when the scenario has at
+	// most 32 classes (beyond that they would dominate the report; the
+	// aggregate trajectory is always present).
+	Classes []ClassReport `json:"classes"`
+
+	// Swaps records every policy hot-swap applied, in order.
+	Swaps []AppliedSwap `json:"swaps,omitempty"`
+}
+
+// BehaviorShares are allocation fractions by provider behavior.
+type BehaviorShares struct {
+	Honest      float64 `json:"honest"`
+	FreeRider   float64 `json:"free_rider"`
+	OverClaimer float64 `json:"over_claimer"`
+	Colluder    float64 `json:"colluder"`
+}
+
+// TrajectoryPoint is one global sample.
+type TrajectoryPoint struct {
+	T float64 `json:"t"`
+
+	// Mean consumer δs / δa and provider δs at T (consumers fully
+	// enumerated; providers strided at scale, see Report.Trajectory).
+	ConsumerDS float64 `json:"consumer_ds"`
+	ConsumerDA float64 `json:"consumer_da"`
+	ProviderDS float64 `json:"provider_ds"`
+
+	// Queue depth over the sampled providers.
+	QueueMean float64 `json:"queue_mean"`
+	QueueMax  int     `json:"queue_max"`
+
+	// Online providers (the churn signal) and cumulative issued queries.
+	Online int `json:"online"`
+	Issued int `json:"issued"`
+}
+
+// ClassReport is one class's outcome.
+type ClassReport struct {
+	Name string `json:"name"`
+
+	Issued    int `json:"issued"`
+	Mediated  int `json:"mediated"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+
+	MeanResponse float64 `json:"mean_response"`
+	P99Response  float64 `json:"p99_response"`
+
+	// End-state satisfaction means over the class's consumers.
+	ConsumerDS float64 `json:"consumer_ds"`
+	ConsumerDA float64 `json:"consumer_da"`
+
+	// Shares are allocation fractions by behavior within the class.
+	Shares BehaviorShares `json:"shares"`
+
+	// Starved providers of this class (zero allocations, online at end).
+	Starved int `json:"starved"`
+
+	// Trajectory is the class's δs/δa over time (small scenarios only;
+	// see Report.Classes).
+	Trajectory []ClassPoint `json:"trajectory,omitempty"`
+}
+
+// ClassPoint is one per-class trajectory sample.
+type ClassPoint struct {
+	T  float64 `json:"t"`
+	DS float64 `json:"ds"`
+	DA float64 `json:"da"`
+}
+
+// AppliedSwap records one policy hot-swap the run applied.
+type AppliedSwap struct {
+	At         float64     `json:"at"`
+	Kind       policy.Kind `json:"kind"`
+	Generation uint64      `json:"generation"`
+}
+
+// Encode returns the report's canonical byte serialization (indented JSON;
+// struct fields marshal in declaration order, which Go guarantees stable).
+func (r *Report) Encode() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Hash returns the SHA-256 of Encode as a hex string — the determinism
+// check's currency: same scenario ⇒ same hash.
+func (r *Report) Hash() (string, error) {
+	b, err := r.Encode()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

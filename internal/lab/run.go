@@ -1,0 +1,479 @@
+package lab
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"sbqa/internal/live"
+	"sbqa/internal/model"
+	"sbqa/internal/sim"
+	"sbqa/internal/stats"
+	"sbqa/internal/workload"
+)
+
+// world wires a normalized scenario to a real live.Service under the sim
+// virtual clock. Everything runs on the engine's single event loop.
+type world struct {
+	sc   Scenario
+	seed uint64
+
+	eng *sim.Engine
+	svc *live.Service
+
+	// Split RNG streams, one per stochastic concern, so adding draws to
+	// one cannot shift another (the same discipline workload.Generate
+	// uses).
+	arrRNG   *stats.RNG
+	costRNG  *stats.RNG
+	churnRNG *stats.RNG
+
+	caps      [][]int // shared single-class capability slices
+	classes   []*classState
+	providers []*labProvider // all, in registration order
+	byID      map[model.ProviderID]*labProvider
+
+	timeout float64
+	inFlat  int // executions still pending at horizon close
+
+	report *Report
+}
+
+// Run executes the scenario and returns its report. It is deterministic:
+// the same scenario yields a byte-identical Report.Encode().
+func Run(sc Scenario) (*Report, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	w, err := build(sc)
+	if err != nil {
+		return nil, err
+	}
+	w.start()
+	w.eng.Run(sc.Duration)
+	return w.finish()
+}
+
+func build(sc Scenario) (*world, error) {
+	eng := sim.NewEngine()
+	spec := sc.Policy
+	svc, err := live.NewServiceWithConfig(live.Config{
+		Window:      sc.Window,
+		Concurrency: 1, // proven byte-identical to a serialized mediator
+		Policy:      &spec,
+		NowFn:       eng.Now,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lab: building engine: %w", err)
+	}
+	root := stats.NewRNG(sc.Seed)
+	w := &world{
+		sc:       sc,
+		seed:     sc.Seed,
+		eng:      eng,
+		svc:      svc,
+		arrRNG:   root.Split(),
+		costRNG:  root.Split(),
+		churnRNG: root.Split(),
+		byID:     make(map[model.ProviderID]*labProvider),
+		timeout:  sc.Workload.QueryTimeout,
+		report:   &Report{Scenario: sc},
+	}
+	w.caps = make([][]int, len(sc.Workload.Classes))
+	for i := range w.caps {
+		w.caps[i] = []int{i}
+	}
+
+	adv := sc.Workload.Adversaries
+	capRNG := root.Split()
+	var nextPID model.ProviderID
+	var nextCID model.ConsumerID
+	for ci, spec := range sc.Workload.Classes {
+		arr, err := spec.Arrival.Build()
+		if err != nil {
+			return nil, err
+		}
+		// Flash crowds targeting this class (or all classes) stack
+		// multiplicatively on the base process.
+		for _, f := range sc.Workload.Flash {
+			if f.Class == "" || f.Class == spec.Name {
+				arr = workload.Modulated{Base: arr, Factor: workload.FlashFactor(f.At, f.Duration, f.Factor)}
+			}
+		}
+		cost, err := spec.Cost.Build()
+		if err != nil {
+			return nil, err
+		}
+		cs := &classState{idx: ci, spec: spec, arrival: arr, cost: cost}
+
+		for i := 0; i < spec.Consumers; i++ {
+			c := &labConsumer{w: w, id: nextCID, class: ci, rep: make(map[model.ProviderID]float64)}
+			nextCID++
+			cs.consumers = append(cs.consumers, c)
+			svc.RegisterConsumer(c)
+		}
+		for i := 0; i < spec.Providers; i++ {
+			p := &labProvider{
+				w:        w,
+				id:       nextPID,
+				class:    ci,
+				capacity: capRNG.Range(spec.CapacityLo, spec.CapacityHi),
+				online:   true,
+			}
+			nextPID++
+			// Behavior assignment: a per-provider hash draw against the
+			// cumulative adversary fractions, independent of class sizes.
+			u := unit(mix64(sc.Seed^0x7E7E, uint64(p.id), 0))
+			switch {
+			case u < adv.FreeRiders:
+				p.behavior = freeRider
+			case u < adv.FreeRiders+adv.OverClaimers:
+				p.behavior = overClaimer
+				p.capacity *= overClaimSlowdown // truly slow, advertises fast
+			case u < adv.FreeRiders+adv.OverClaimers+adv.Colluders:
+				p.behavior = colluder
+			}
+			cs.providers = append(cs.providers, p)
+			w.providers = append(w.providers, p)
+			w.byID[p.id] = p
+			svc.RegisterProvider(p)
+		}
+		w.classes = append(w.classes, cs)
+	}
+	return w, nil
+}
+
+// start books the initial event population: arrivals per class, churn,
+// storms, policy swaps, and trajectory sampling.
+func (w *world) start() {
+	for _, cs := range w.classes {
+		w.scheduleArrival(cs)
+	}
+	ch := w.sc.Workload.Churn
+	if ch.LeaveRate > 0 {
+		w.scheduleChurn()
+	}
+	if st := ch.Storm; st != nil {
+		w.eng.ScheduleAt(st.At, func() { w.storm(st, true) })
+		w.eng.ScheduleAt(st.At+st.Duration, func() { w.storm(st, false) })
+	}
+	for _, sw := range w.sc.Swaps {
+		sw := sw
+		w.eng.ScheduleAt(sw.At, func() {
+			if err := w.svc.Reconfigure(context.Background(), sw.Spec); err == nil {
+				w.report.Swaps = append(w.report.Swaps, AppliedSwap{
+					At:         w.eng.Now(),
+					Kind:       sw.Spec.Kind,
+					Generation: w.svc.PolicyGeneration(),
+				})
+			}
+		})
+	}
+	w.scheduleSample()
+}
+
+// scheduleArrival books the class's next query issue from its arrival
+// process; issued queries rotate round-robin over the class's consumers.
+func (w *world) scheduleArrival(cs *classState) {
+	gap := cs.arrival.Next(w.eng.Now(), w.arrRNG)
+	if math.IsInf(gap, 1) {
+		return
+	}
+	w.eng.Schedule(gap, func() {
+		w.issue(cs)
+		w.scheduleArrival(cs)
+	})
+}
+
+func (w *world) issue(cs *classState) {
+	c := cs.consumers[cs.cursor%len(cs.consumers)]
+	cs.cursor++
+	work := cs.cost.Sample(w.costRNG)
+	if work <= 0 {
+		work = cs.cost.Mean()
+	}
+	q := model.Query{
+		Consumer: c.id,
+		Class:    cs.idx,
+		N:        cs.spec.Replication,
+		Work:     work,
+	}
+	cs.issued++
+	w.report.Issued++
+	a, err := w.svc.Mediate(context.Background(), q)
+	if err != nil {
+		cs.rejected++
+		w.report.Rejected++
+		return
+	}
+	cs.mediated++
+	w.report.Mediated++
+	for _, pid := range a.Selected {
+		if p, ok := w.byID[pid]; ok {
+			w.execute(cs, c, p, a.Query)
+		}
+	}
+}
+
+// execute simulates one selected provider performing the query: honest
+// providers run it FIFO at their true capacity; free-riders sit on it until
+// the workload's timeout. Exactly one completion event is scheduled either
+// way, keeping the event count linear in allocations.
+func (w *world) execute(cs *classState, c *labConsumer, p *labProvider, q model.Query) {
+	p.allocs++
+	cs.allocsByBehavior[p.behavior]++
+	p.pending++
+	w.inFlat++
+	now := w.eng.Now()
+
+	if p.behavior == freeRider {
+		w.eng.Schedule(w.timeout, func() {
+			p.pending--
+			w.inFlat--
+			cs.failed++
+			w.report.Failed++
+			c.observe(p.id, 0)
+		})
+		return
+	}
+
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	service := q.Work / p.capacity
+	done := start + service
+	p.busyUntil = done
+	p.busyTime += service
+	w.eng.ScheduleAt(done, func() {
+		p.pending--
+		w.inFlat--
+		rt := w.eng.Now() - q.IssuedAt
+		cs.completed++
+		w.report.Completed++
+		cs.respTimes = append(cs.respTimes, rt)
+		c.observe(p.id, cs.quality(rt))
+	})
+}
+
+// scheduleChurn books the next background departure: a random online
+// provider leaves and rejoins after the configured dwell.
+func (w *world) scheduleChurn() {
+	gap := workload.Poisson{Rate: w.sc.Workload.Churn.LeaveRate}.Next(w.eng.Now(), w.churnRNG)
+	w.eng.Schedule(gap, func() {
+		// Deterministic victim pick; offline picks are simply skipped
+		// (the draw still advances the stream identically).
+		p := w.providers[w.churnRNG.Intn(len(w.providers))]
+		if p.online {
+			w.depart(p)
+			w.eng.Schedule(w.sc.Workload.Churn.RejoinAfter, func() { w.rejoin(p) })
+		}
+		w.scheduleChurn()
+	})
+}
+
+// storm toggles a deterministic hash-selected fraction of the fleet.
+func (w *world) storm(st *StormSpec, leave bool) {
+	for _, p := range w.providers {
+		if unit(mix64(w.seed^0xD00D, uint64(p.id), 1)) >= st.Fraction {
+			continue
+		}
+		if leave {
+			if p.online {
+				w.depart(p)
+			}
+		} else if !p.online {
+			w.rejoin(p)
+		}
+	}
+}
+
+func (w *world) depart(p *labProvider) {
+	p.online = false
+	w.svc.UnregisterWorker(p.id)
+}
+
+func (w *world) rejoin(p *labProvider) {
+	if p.online {
+		return
+	}
+	p.online = true
+	w.svc.RegisterProvider(p)
+}
+
+// scheduleSample books the recurring trajectory sample.
+func (w *world) scheduleSample() {
+	w.eng.Schedule(w.sc.SampleEvery, func() {
+		w.sample()
+		if w.eng.Now() < w.sc.Duration {
+			w.scheduleSample()
+		}
+	})
+}
+
+// sample records one global trajectory point (and per-class points when the
+// scenario is small enough to afford them).
+func (w *world) sample() {
+	t := w.eng.Now()
+	perClass := len(w.classes) <= 32
+
+	var dsSum, daSum float64
+	var consumers int
+	for _, cs := range w.classes {
+		var cds, cda float64
+		for _, c := range cs.consumers {
+			cds += w.svc.ConsumerSatisfaction(c.id)
+			cda += w.svc.Registry().ConsumerAdequation(c.id)
+		}
+		dsSum += cds
+		daSum += cda
+		consumers += len(cs.consumers)
+		if perClass {
+			n := float64(len(cs.consumers))
+			cs.trajectory = append(cs.trajectory, ClassPoint{T: t, DS: cds / n, DA: cda / n})
+		}
+	}
+
+	stride := strideOver(len(w.providers), 4096)
+	var pds, queueSum float64
+	var sampled, queueMax, online int
+	for i := 0; i < len(w.providers); i += stride {
+		p := w.providers[i]
+		pds += w.svc.ProviderSatisfaction(p.id)
+		queueSum += float64(p.pending)
+		if p.pending > queueMax {
+			queueMax = p.pending
+		}
+		sampled++
+	}
+	for _, p := range w.providers {
+		if p.online {
+			online++
+		}
+	}
+
+	w.report.Trajectory = append(w.report.Trajectory, TrajectoryPoint{
+		T:          t,
+		ConsumerDS: dsSum / float64(consumers),
+		ConsumerDA: daSum / float64(consumers),
+		ProviderDS: pds / float64(sampled),
+		QueueMean:  queueSum / float64(sampled),
+		QueueMax:   queueMax,
+		Online:     online,
+		Issued:     w.report.Issued,
+	})
+}
+
+// finish assembles the report after the horizon closes.
+func (w *world) finish() (*Report, error) {
+	r := w.report
+	r.Providers = len(w.providers)
+	for _, cs := range w.classes {
+		r.Consumers += len(cs.consumers)
+	}
+	r.Participants = r.Providers + r.Consumers
+	r.InFlight = w.inFlat
+
+	var allRT []float64
+	var totalAllocs [4]int
+	var dsSum, daSum float64
+	for _, cs := range w.classes {
+		cr := ClassReport{
+			Name:      cs.spec.Name,
+			Issued:    cs.issued,
+			Mediated:  cs.mediated,
+			Rejected:  cs.rejected,
+			Completed: cs.completed,
+			Failed:    cs.failed,
+		}
+		sort.Float64s(cs.respTimes)
+		if len(cs.respTimes) > 0 {
+			var sum float64
+			for _, rt := range cs.respTimes {
+				sum += rt
+			}
+			cr.MeanResponse = sum / float64(len(cs.respTimes))
+			cr.P99Response = percentile(cs.respTimes, 0.99)
+		}
+		var cds, cda float64
+		for _, c := range cs.consumers {
+			cds += w.svc.ConsumerSatisfaction(c.id)
+			cda += w.svc.Registry().ConsumerAdequation(c.id)
+		}
+		cr.ConsumerDS = cds / float64(len(cs.consumers))
+		cr.ConsumerDA = cda / float64(len(cs.consumers))
+		dsSum += cds
+		daSum += cda
+
+		var classAllocs int
+		for _, n := range cs.allocsByBehavior {
+			classAllocs += n
+		}
+		cr.Shares = shares(cs.allocsByBehavior, classAllocs)
+		for b, n := range cs.allocsByBehavior {
+			totalAllocs[b] += n
+		}
+		for _, p := range cs.providers {
+			if p.online && p.allocs == 0 {
+				cr.Starved++
+			}
+		}
+		cr.Trajectory = cs.trajectory
+		r.Starved += cr.Starved
+		r.Classes = append(r.Classes, cr)
+		allRT = append(allRT, cs.respTimes...)
+	}
+	r.ConsumerSatisfaction = dsSum / float64(r.Consumers)
+	r.ConsumerAdequation = daSum / float64(r.Consumers)
+	r.StarvedFrac = float64(r.Starved) / float64(r.Providers)
+
+	var total int
+	for _, n := range totalAllocs {
+		total += n
+	}
+	r.Shares = shares(totalAllocs, total)
+
+	sort.Float64s(allRT)
+	if len(allRT) > 0 {
+		var sum float64
+		for _, rt := range allRT {
+			sum += rt
+		}
+		r.MeanResponse = sum / float64(len(allRT))
+		r.P99Response = percentile(allRT, 0.99)
+	}
+
+	// Provider-side end state: mean δs over a stride (full fleet when
+	// small) and the utilization Gini over the whole fleet.
+	stride := strideOver(len(w.providers), 4096)
+	var pds float64
+	var sampled int
+	for i := 0; i < len(w.providers); i += stride {
+		pds += w.svc.ProviderSatisfaction(w.providers[i].id)
+		sampled++
+	}
+	r.ProviderSatisfaction = pds / float64(sampled)
+
+	utils := make([]float64, len(w.providers))
+	for i, p := range w.providers {
+		utils[i] = p.busyTime / w.sc.Duration
+	}
+	r.GiniUtilization = stats.Gini(utils)
+	return r, nil
+}
+
+// shares converts behavior counts into fractions.
+func shares(counts [4]int, total int) BehaviorShares {
+	if total == 0 {
+		return BehaviorShares{}
+	}
+	f := func(b behavior) float64 { return float64(counts[b]) / float64(total) }
+	return BehaviorShares{
+		Honest:      f(honest),
+		FreeRider:   f(freeRider),
+		OverClaimer: f(overClaimer),
+		Colluder:    f(colluder),
+	}
+}

@@ -378,6 +378,30 @@ func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Resu
 	return a, derr
 }
 
+// Mediate runs the full mediation pipeline for q on its consumer's shard —
+// ID assignment, policy-generation adoption at the boundary, candidate
+// discovery, intention collection, allocation, and satisfaction recording —
+// but does NOT dispatch to workers. It is the embedding hook for
+// deterministic harnesses (internal/lab) that drive the real engine under a
+// virtual clock (Config.NowFn) and simulate execution themselves: with
+// Concurrency = 1 a sequence of Mediate calls is byte-identical to driving
+// a serialized mediator directly, and Reconfigure is adopted exactly at the
+// next Mediate boundary.
+//
+// Unlike Submit, mediation errors are returned raw (ErrNoCandidates,
+// ErrStaleSelection, ...), not wrapped in dispatch errors, and no dispatch
+// counters or events fire — the caller owns execution.
+func (s *Service) Mediate(ctx context.Context, q model.Query) (*model.Allocation, error) {
+	q.ID = model.QueryID(s.nextID.Add(1))
+	q.IssuedAt = s.nowFn()
+	sh := s.shardFor(q.Consumer)
+	sh.mu.Lock()
+	sh.applyPolicy() // adopt a reconfigured policy at the mediation boundary
+	a, err := sh.med.Mediate(ctx, q.IssuedAt, q)
+	sh.mu.Unlock()
+	return a, err
+}
+
 // process runs one ticket through its consumer's shard: mediation under the
 // shard lock, then dispatch and ticket completion outside it. The ticket's
 // submission context bounds the mediation itself — cancellation aborts an

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin the determinism contract documented in the package
+// comment: (time, schedule-sequence) total order, stable FIFO among
+// simultaneous events, and Cancel as a lazy mark that cannot perturb the
+// survivors' relative order.
+
+// TestSimultaneousFIFOSurvivesCancelInterleavings books many events at one
+// instant with cancels interleaved between (and after) the schedules, and
+// checks the survivors fire in exact schedule order.
+func TestSimultaneousFIFOSurvivesCancelInterleavings(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	events := make([]*Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(5, func() { fired = append(fired, i) })
+		// Interleave: cancel the previous even-indexed event right after
+		// booking the next one.
+		if i > 0 && (i-1)%2 == 0 {
+			events[i-1].Cancel()
+		}
+	}
+	// And a couple of late cancels after everything is queued.
+	events[n-1].Cancel()
+	events[1].Cancel()
+
+	e.RunAll()
+
+	var want []int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 || i == 1 || i == n-1 { // canceled
+			continue
+		}
+		want = append(want, i)
+	}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired order %v, want %v", fired, want)
+	}
+}
+
+// TestCancelSameInstantBeforeFire cancels a same-time event from inside an
+// earlier simultaneous event: the cancel must win, because the earlier
+// sequence fires first and the victim is still queued.
+func TestCancelSameInstantBeforeFire(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	var victim *Event
+	e.Schedule(1, func() {
+		fired = append(fired, "killer")
+		victim.Cancel()
+	})
+	victim = e.Schedule(1, func() { fired = append(fired, "victim") })
+	e.Schedule(1, func() { fired = append(fired, "bystander") })
+	e.RunAll()
+	if want := []string{"killer", "bystander"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// TestRescheduleGetsFreshSequence verifies that cancelling and re-booking
+// at the same instant moves the event to the back of that instant's FIFO.
+func TestRescheduleGetsFreshSequence(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	a := e.Schedule(2, func() { fired = append(fired, "a-original") })
+	e.Schedule(2, func() { fired = append(fired, "b") })
+	a.Cancel()
+	e.Schedule(2, func() { fired = append(fired, "a-rebooked") })
+	e.RunAll()
+	if want := []string{"b", "a-rebooked"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// TestScheduleAtClampFIFO: past-time schedules clamp to "now" and must
+// still fire after already-queued events at the current instant.
+func TestScheduleAtClampFIFO(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	e.Schedule(3, func() {
+		fired = append(fired, "first")
+		// Clamped to now (=3): fires after "second", which was booked for
+		// t=3 earlier and therefore holds an older sequence.
+		e.ScheduleAt(1, func() { fired = append(fired, "clamped") })
+	})
+	e.Schedule(3, func() { fired = append(fired, "second") })
+	e.RunAll()
+	if want := []string{"first", "second", "clamped"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// refEvent backs the brute-force reference model used by the fuzzer.
+type refEvent struct {
+	at       float64
+	seq      int
+	id       int
+	canceled bool
+}
+
+// refModel is an O(n²) but obviously-correct executive: fire the lowest
+// (at, seq) live event, one at a time.
+type refModel struct {
+	now    float64
+	seq    int
+	events []*refEvent
+}
+
+func (m *refModel) schedule(delay float64, id int) *refEvent {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &refEvent{at: m.now + delay, seq: m.seq, id: id}
+	m.seq++
+	m.events = append(m.events, ev)
+	return ev
+}
+
+func (m *refModel) step() (int, bool) {
+	var best *refEvent
+	for _, ev := range m.events {
+		if ev.canceled {
+			continue
+		}
+		if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+			best = ev
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	best.canceled = true // consumed
+	m.now = best.at
+	return best.id, true
+}
+
+// FuzzEventOrder drives the heap-backed engine and the reference model
+// through the same randomized Schedule/Cancel/Step interleaving (with
+// coarsely quantized times to force heavy ties) and requires identical
+// fire sequences — fuzzing the heap's (time, seq) invariant.
+func FuzzEventOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 7})
+	f.Add([]byte{10, 10, 10, 240, 0, 250, 250, 250})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			t.Skip("bounded op budget")
+		}
+		eng := NewEngine()
+		ref := &refModel{}
+		var engEvents []*Event
+		var refEvents []*refEvent
+		var engFired, refFired []int
+		nextID := 0
+		for _, op := range ops {
+			switch {
+			case op < 240:
+				// Schedule with one of 8 quantized delays — ties everywhere.
+				delay := float64(op%8) * 0.5
+				id := nextID
+				nextID++
+				engEvents = append(engEvents, eng.Schedule(delay, func() { engFired = append(engFired, id) }))
+				refEvents = append(refEvents, ref.schedule(delay, id))
+			case op < 250:
+				// Cancel a pseudo-random live event (same pick on both sides).
+				if len(engEvents) == 0 {
+					continue
+				}
+				i := int(op) % len(engEvents)
+				engEvents[i].Cancel()
+				refEvents[i].canceled = true
+			default:
+				// Step both.
+				engRan := eng.Step()
+				refID, refRan := ref.step()
+				if engRan != refRan {
+					t.Fatalf("step divergence: engine ran=%v, reference ran=%v", engRan, refRan)
+				}
+				if refRan {
+					refFired = append(refFired, refID)
+				}
+				if eng.Now() != ref.now {
+					t.Fatalf("clock divergence: engine %v, reference %v", eng.Now(), ref.now)
+				}
+			}
+		}
+		// Drain both completely.
+		for eng.Step() {
+		}
+		for {
+			id, ok := ref.step()
+			if !ok {
+				break
+			}
+			refFired = append(refFired, id)
+		}
+		if !reflect.DeepEqual(engFired, refFired) {
+			t.Fatalf("fire order diverged:\nengine:    %v\nreference: %v", engFired, refFired)
+		}
+	})
+}

@@ -7,6 +7,22 @@
 // The kernel is single-threaded by design: experiments need bit-for-bit
 // reproducibility under a seed, which free-running goroutines cannot give.
 // The goroutine-based embedding lives in internal/live.
+//
+// # Determinism contract
+//
+// Events are totally ordered by (time, schedule sequence): among events
+// booked for the same simulated instant, the one scheduled first fires
+// first (stable FIFO), regardless of heap re-balancing or any Cancel calls
+// interleaved with the schedules. The sequence number is assigned when
+// Schedule/ScheduleAt is called, never reused, and never reassigned:
+// cancelling an event is a lazy mark (the entry stays queued until popped
+// and is then skipped), so it cannot perturb the relative order of the
+// survivors, and re-scheduling a replacement draws a fresh, later sequence
+// — it fires after every same-time event that was already booked. Pending
+// counts lazily-cancelled entries until the clock passes them. This
+// contract is what lets the workload lab promise byte-identical reports
+// for one seed; order_test.go pins it and FuzzEventOrder hunts for
+// interleavings that break it.
 package sim
 
 import (

@@ -49,6 +49,7 @@ import (
 	"sbqa/internal/experiments"
 	"sbqa/internal/intention"
 	"sbqa/internal/knbest"
+	"sbqa/internal/lab"
 	"sbqa/internal/live"
 	"sbqa/internal/mediator"
 	"sbqa/internal/metrics"
@@ -810,6 +811,57 @@ func NewTopicInterests(base TopicVector) *TopicInterests { return topics.NewInte
 func NewAdWorld(a Allocator, cfg AdWorldConfig) (*AdWorld, error) {
 	return adwords.NewWorld(a, cfg)
 }
+
+// ---------------------------------------------------------------------------
+// Workload lab (deterministic traffic simulator + hypothesis harness)
+// ---------------------------------------------------------------------------
+
+// Workload-lab types: composable synthetic worlds (classes, adversaries,
+// churn, flash crowds) run against the real engine under the virtual
+// clock, reported deterministically (same seed ⇒ byte-identical Encode).
+type (
+	// LabScenario is one reproducible experiment: workload × policy ×
+	// duration × seed.
+	LabScenario = lab.Scenario
+	// LabWorkload composes classes, adversaries, churn and flash crowds.
+	LabWorkload = lab.Workload
+	// LabClassSpec sizes one query class and its population.
+	LabClassSpec = lab.ClassSpec
+	// LabArrivalSpec declares a class's arrival process.
+	LabArrivalSpec = lab.ArrivalSpec
+	// LabCostSpec declares a class's query-cost distribution.
+	LabCostSpec = lab.CostSpec
+	// LabAdversarySpec sets the adversarial population fractions.
+	LabAdversarySpec = lab.AdversarySpec
+	// LabReport is the typed, deterministically serializable outcome.
+	LabReport = lab.Report
+	// LabHypothesis is a falsifiable claim judged from scenario reports.
+	LabHypothesis = lab.Hypothesis
+	// LabOutcome is a judged verdict with its quantitative detail.
+	LabOutcome = lab.Outcome
+	// LabScale selects full (findings) or short (CI smoke) scenario sizes.
+	LabScale = lab.Scale
+)
+
+// Lab scales.
+const (
+	LabFull  = lab.Full
+	LabShort = lab.Short
+)
+
+// RunLabScenario executes one scenario against the real mediation engine
+// under the virtual clock and returns its report.
+func RunLabScenario(sc LabScenario) (*LabReport, error) { return lab.Run(sc) }
+
+// RegisterLabHypothesis adds a hypothesis to the global catalog.
+func RegisterLabHypothesis(h LabHypothesis) { lab.Register(h) }
+
+// LabHypotheses returns the registered catalog sorted by ID.
+func LabHypotheses() []LabHypothesis { return lab.Registered() }
+
+// RenderLabFindings evaluates the whole catalog at the given scale and
+// renders the deterministic findings document (see hypotheses/FINDINGS.md).
+func RenderLabFindings(scale LabScale) (string, error) { return lab.RenderFindings(scale) }
 
 // RunAllScenarios executes Scenarios 1-7 in order.
 func RunAllScenarios(opt ExperimentOptions) ([]*ScenarioResult, error) {

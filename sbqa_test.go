@@ -148,3 +148,39 @@ func TestPublicErrNoCandidates(t *testing.T) {
 		t.Error("want ErrNoCandidates")
 	}
 }
+
+func TestPublicLabScenario(t *testing.T) {
+	// The lab through the facade: a tiny world, run twice, byte-identical.
+	sc := LabScenario{
+		Name:     "facade-smoke",
+		Seed:     9,
+		Duration: 40,
+		Policy:   PolicySpec{Kind: PolicySbQA, K: 6, Kn: 2, Seed: 9},
+		Workload: LabWorkload{
+			Classes: []LabClassSpec{{
+				Name: "only", Consumers: 3, Providers: 12,
+				Arrival: LabArrivalSpec{Kind: "poisson", Rate: 3},
+				Cost:    LabCostSpec{Kind: "exp", Mean: 1.5},
+			}},
+		},
+	}
+	r1, err := RunLabScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunLabScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Issued == 0 || r1.Completed == 0 {
+		t.Fatalf("empty run: %+v", r1)
+	}
+	h1, _ := r1.Hash()
+	h2, _ := r2.Hash()
+	if h1 == "" || h1 != h2 {
+		t.Fatalf("lab determinism broken through facade: %q vs %q", h1, h2)
+	}
+	if LabFull.String() != "full" || LabShort.String() != "short" {
+		t.Fatalf("scale strings: %q/%q", LabFull, LabShort)
+	}
+}
