@@ -12,6 +12,7 @@ package sbqa
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -594,6 +595,90 @@ func BenchmarkMediateEndToEnd(b *testing.B) {
 		if _, err := svc.Submit(ctx, q, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubmitUnderOverload measures the submit path the way a flash
+// crowd exercises it: one shard, GOMAXPROCS×4 submitters rotating through
+// the three built-in QoS classes, with the batch and background queues
+// bounded shallow enough that the class scheduler sheds under the offered
+// load. Shed submissions are the point — they exercise admission, the
+// typed *ShedError, and the shed event alongside successful mediations, so
+// this bench gates the overload path's latency, not just the happy path.
+// Its allocs/op depends on the shed/allocate mix, so it is excluded from
+// the exact allocation gate (see .github/workflows/ci.yml).
+func BenchmarkSubmitUnderOverload(b *testing.B) {
+	const providers = 200
+	eng, err := NewEngine(
+		WithWindow(100),
+		WithConcurrency(1),
+		WithQoS(QoSSpec{
+			Classes: []QoSClassSpec{
+				{Name: QoSInteractive, Weight: 8, Priority: true},
+				{Name: QoSBatch, Weight: 2, MaxQueueDepth: 3},
+				{Name: QoSBackground, Weight: 1, MaxQueueDepth: 2},
+			},
+			DefaultClass: QoSInteractive,
+		}),
+		WithAllocatorFactory(func(shard int) Allocator {
+			cfg := core.DefaultConfig()
+			cfg.Seed = uint64(shard) + 1
+			return core.MustNew(cfg)
+		}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < providers; i++ {
+		eng.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(float64(i%9)/9 - 0.3)})
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	consumers := maxProcs * 4
+	for c := 0; c < consumers; c++ {
+		c := c
+		eng.RegisterConsumer(LiveFuncConsumer{ID: ConsumerID(c), Fn: func(q Query, snap ProviderSnapshot) Intention {
+			return Intention(float64((int(snap.ID)+c)%7)/7 - 0.2)
+		}})
+	}
+	// Each op is a burst: every goroutine floods the shard with burstSize
+	// tickets across the three classes before awaiting any of them, so the
+	// bounded queues overflow within the burst and the scheduler sheds.
+	const burstSize = 12
+	classes := []string{QoSInteractive, QoSBatch, QoSBackground}
+	var allocated, shed atomic.Int64
+	var nextConsumer atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := ConsumerID(nextConsumer.Add(1) - 1)
+		q := Query{Consumer: c, N: 2, Work: 10}
+		tickets := make([]*Ticket, 0, burstSize)
+		i := 0
+		for pb.Next() {
+			tickets = tickets[:0]
+			for j := 0; j < burstSize; j++ {
+				tickets = append(tickets, eng.Submit(context.Background(), q, WithQoSClass(classes[i%len(classes)])))
+				i++
+			}
+			for _, tk := range tickets {
+				if _, err := tk.Allocation(); err != nil {
+					if !errors.Is(err, ErrShed) {
+						b.Error(err)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				allocated.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	total := allocated.Load() + shed.Load()
+	if total > 0 {
+		b.ReportMetric(float64(burstSize), "queries/op")
+		b.ReportMetric(float64(shed.Load())/float64(total), "shed-frac")
 	}
 }
 

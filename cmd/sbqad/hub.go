@@ -109,6 +109,17 @@ type imputationEvent struct {
 	Imputed  float64 `json:"imputed"`
 }
 
+// shedEvent reports one query rejected by admission control (deadline
+// infeasible, class queue full, or brownout) on the stream.
+type shedEvent struct {
+	QueryID         int64   `json:"query_id"`
+	Consumer        int     `json:"consumer"`
+	Class           string  `json:"class"`
+	Reason          string  `json:"reason"`
+	QueueDepth      int     `json:"queue_depth"`
+	EstimatedWaitMS float64 `json:"estimated_wait_ms"`
+}
+
 // policyChangeEvent reports an accepted policy generation on the stream.
 type policyChangeEvent struct {
 	Generation uint64  `json:"generation"`
@@ -175,6 +186,16 @@ func (h *hub) observer() sbqa.Observer {
 				Timeout:  im.Timeout(),
 				Error:    errMsg,
 				Imputed:  float64(im.Imputed),
+			})
+		},
+		Shed: func(s sbqa.ShedEvent) {
+			h.publish("shed", shedEvent{
+				QueryID:         int64(s.Query.ID),
+				Consumer:        int(s.Query.Consumer),
+				Class:           s.Class,
+				Reason:          s.Reason,
+				QueueDepth:      s.QueueDepth,
+				EstimatedWaitMS: s.EstimatedWait * 1000,
 			})
 		},
 		PolicyChange: func(pc sbqa.PolicyChange) {

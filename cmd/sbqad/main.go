@@ -10,7 +10,10 @@
 //	                          intention, classes, intention_url}; with
 //	                          intention_url PI_q comes from the webhook
 //	DELETE /v1/workers/{id}   stop and unregister a worker
-//	POST   /v1/queries        submit {consumer, class, n, work, wait:none|allocation|results}
+//	POST   /v1/queries        submit {consumer, class, n, work, wait:none|allocation|results,
+//	                          qos, deadline_ms}; qos names a service class,
+//	                          deadline_ms sheds infeasible queries with 503;
+//	                          token-bucket over-limit answers 429 + Retry-After
 //	GET    /v1/policy         the running allocation policy + per-shard
 //	                          generation adoption
 //	PUT    /v1/policy         hot-reconfigure the engine to a new policy spec;
@@ -25,8 +28,9 @@
 //	GET    /v1/events         server-sent events: allocation, rejection,
 //	                          dispatch_failure, registered, departed,
 //	                          result, satisfaction, imputation, policy_change,
-//	                          peer_change; ?consumer=N routes the subscription
-//	                          to the consumer's owning node in cluster mode
+//	                          peer_change, shed; ?consumer=N routes the
+//	                          subscription to the consumer's owning node in
+//	                          cluster mode
 //	GET    /v1/healthz        liveness: 200 as soon as HTTP serves, even
 //	                          mid-restore
 //	GET    /v1/readyz         readiness: 503 until the -state-dir restore and
@@ -118,6 +122,14 @@ func main() {
 			"per-probe timeout (0 = half the heartbeat interval)")
 		replicateInterval = flag.Duration("replicate-interval", 500*time.Millisecond,
 			"WAL segment shipping cadence to ring followers (needs -state-dir)")
+		qosEnabled = flag.Bool("qos", false,
+			"enable the default QoS classes (interactive/batch/background) with weighted-fair scheduling and deadline-aware load shedding; a policy qos block overrides")
+		qosConsumerRate = flag.Float64("qos-consumer-rate", 0,
+			"per-consumer token-bucket admission rate at the gateway in queries/sec (0 = unlimited; implies -qos); over-limit submissions answer 429 + Retry-After")
+		qosConsumerBurst = flag.Float64("qos-consumer-burst", 0,
+			"per-consumer admission burst (0 = rate-derived default)")
+		qosMaxDepth = flag.Int("qos-max-depth", 0,
+			"per-class queue bound with -qos: past it submissions shed with a 503 instead of blocking (0 = blocking backpressure at -queue-depth)")
 	)
 	flag.Parse()
 
@@ -159,6 +171,21 @@ func main() {
 			log.Fatalf("sbqad: -policy: %v", err)
 		}
 	}
+	// The -qos flags build the default class ladder when the policy carries
+	// no qos block of its own (a -policy file's block wins; so does any
+	// later PUT /v1/policy with one).
+	if spec.QoS == nil && (*qosEnabled || *qosConsumerRate > 0) {
+		qs := sbqa.DefaultQoSSpec()
+		qs.ConsumerRate = *qosConsumerRate
+		qs.ConsumerBurst = *qosConsumerBurst
+		if *qosMaxDepth > 0 {
+			for i := range qs.Classes {
+				qs.Classes[i].MaxQueueDepth = *qosMaxDepth
+			}
+		}
+		spec.QoS = &qs
+	}
+
 	spec = spec.Normalized()
 	if err := spec.Validate(); err != nil {
 		log.Fatalf("sbqad: -policy: %v", err)

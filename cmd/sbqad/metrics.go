@@ -103,10 +103,24 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, sh := range st.Shards {
 		m.sample("sbqa_shard_queue_depth", float64(sh.QueueDepth), "shard", strconv.Itoa(i))
 	}
+	m.header("sbqa_shard_queue_high_water", "Deepest submission queue backlog observed per shard.", "gauge")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_shard_queue_high_water", float64(sh.QueueHighWater), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_queue_enqueued_total", "Queries accepted into the submission queue per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_queue_enqueued_total", float64(sh.QueueEnqueued), "shard", strconv.Itoa(i))
+	}
+	m.header("sbqa_queue_dequeued_total", "Queries handed to mediation from the submission queue per shard.", "counter")
+	for i, sh := range st.Shards {
+		m.sample("sbqa_queue_dequeued_total", float64(sh.QueueDequeued), "shard", strconv.Itoa(i))
+	}
 	m.header("sbqa_shard_mean_candidates", "Mean candidate-set size per successful mediation.", "gauge")
 	for i, sh := range st.Shards {
 		m.sample("sbqa_shard_mean_candidates", sh.MeanCandidates, "shard", strconv.Itoa(i))
 	}
+
+	g.writeQoSMetrics(m, eng)
 
 	m.header("sbqa_worker_queue_depth", "Tasks queued per registered worker.", "gauge")
 	workerIDs := make([]int, 0, len(st.WorkerQueueDepths))
@@ -149,6 +163,40 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(m.b.String()))
+}
+
+// writeQoSMetrics appends the overload-survival families: sheds by class
+// and reason (summed across shards — the class is the operational unit, the
+// shard an implementation detail), gateway admission rejections, and the
+// current brownout level.
+func (g *gateway) writeQoSMetrics(m *metricsWriter, eng *sbqa.Engine) {
+	type key struct{ class, reason string }
+	shed := make(map[key]uint64)
+	for _, qs := range eng.QoSStats() {
+		for _, cs := range qs.Classes {
+			for reason, n := range cs.Shed {
+				shed[key{cs.Name, reason}] += n
+			}
+		}
+	}
+	keys := make([]key, 0, len(shed))
+	for k := range shed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].class != keys[j].class {
+			return keys[i].class < keys[j].class
+		}
+		return keys[i].reason < keys[j].reason
+	})
+	m.header("sbqa_shed_total", "Queries shed by admission control, by class and reason.", "counter")
+	for _, k := range keys {
+		m.sample("sbqa_shed_total", float64(shed[k]), "class", k.class, "reason", k.reason)
+	}
+	m.header("sbqa_admission_rejected_total", "Submissions refused by the gateway token buckets (HTTP 429).", "counter")
+	m.sample("sbqa_admission_rejected_total", float64(g.admissionRejected.Load()))
+	m.header("sbqa_brownout_level", "Current brownout shed-widening level (0 = none).", "gauge")
+	m.sample("sbqa_brownout_level", float64(eng.Brownout()))
 }
 
 // writeClusterMetrics appends the sbqa_cluster_* families: peer health as

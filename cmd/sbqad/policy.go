@@ -75,6 +75,15 @@ func (g *gateway) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The engine reconfigured its schedulers from the spec's qos block (or
+	// restored its construction-time QoS when the spec carries none);
+	// mirror the resulting spec into the gateway's admission limiter so
+	// token buckets and class queues always enforce the same generation.
+	if qs := eng.QoSSpec(); hasAdmissionRates(qs) {
+		g.applyQoS(&qs)
+	} else {
+		g.applyQoS(nil)
+	}
 	writeJSON(w, http.StatusOK, map[string]uint64{"generation": gen})
 }
 

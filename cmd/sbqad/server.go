@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"mime"
 	"net/http"
 	"strconv"
@@ -62,6 +63,16 @@ type gateway struct {
 	// serializes internally, but the counter read would otherwise race
 	// with a concurrent PUT).
 	policyMu sync.Mutex
+
+	// limiter is the QoS admission filter applied before Submit: per-
+	// consumer and per-class token buckets. Nil admits everything. Swapped
+	// wholesale by -qos flags at boot and by PUT /v1/policy when the spec
+	// carries a qos block, so admission reconfigures live with the
+	// scheduler.
+	limiter atomic.Pointer[sbqa.QoSLimiter]
+	// admissionRejected accumulates 429s across limiter swaps (each
+	// limiter's own counter dies with it).
+	admissionRejected atomic.Uint64
 }
 
 // webhookClientTimeout is the transport-level ceiling on one intention
@@ -106,6 +117,13 @@ func (g *gateway) initWithCluster(cs *clusterSettings, opts ...sbqa.EngineOption
 		return err
 	}
 	g.eng = eng
+	// Derive the admission limiter from the QoS spec the engine actually
+	// runs (WithQoS or the boot policy's qos block) — one source of truth
+	// for token buckets and class queues. Specs without admission rates
+	// leave the hot path limiter-free.
+	if qs := eng.QoSSpec(); hasAdmissionRates(qs) {
+		g.applyQoS(&qs)
+	}
 	if cs != nil {
 		if err := g.initCluster(cs); err != nil {
 			eng.Close()
@@ -117,6 +135,19 @@ func (g *gateway) initWithCluster(cs *clusterSettings, opts ...sbqa.EngineOption
 	return nil
 }
 
+// hasAdmissionRates reports whether the spec configures any token bucket.
+func hasAdmissionRates(qs sbqa.QoSSpec) bool {
+	if qs.ConsumerRate > 0 {
+		return true
+	}
+	for _, c := range qs.Classes {
+		if c.Rate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // newGateway builds a ready gateway in one step (tests and embedders that
 // do not need the not-ready window).
 func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
@@ -125,6 +156,22 @@ func newGateway(opts ...sbqa.EngineOption) (*gateway, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// applyQoS swaps the gateway's admission limiter: a spec with admission
+// rates installs fresh token buckets (momentary amnesty — refused counts
+// accumulate on the gateway, not the limiter), nil uninstalls admission
+// entirely. The limiter runs on its own monotonic clock; it only ever
+// differences times, so the origin is irrelevant.
+func (g *gateway) applyQoS(spec *sbqa.QoSSpec) {
+	if spec == nil {
+		g.limiter.Store(nil)
+		return
+	}
+	start := time.Now()
+	g.limiter.Store(sbqa.NewQoSLimiter(*spec, func() float64 {
+		return time.Since(start).Seconds()
+	}))
 }
 
 // engine returns the engine once the gateway is ready, nil before.
@@ -377,13 +424,19 @@ func (g *gateway) handleUnregisterWorker(w http.ResponseWriter, r *http.Request)
 // queryRequest submits one query. wait selects how much of the lifecycle
 // the HTTP response covers: "none" returns the ticket's query ID
 // immediately, "allocation" (the default) waits for the mediation outcome,
-// "results" waits for every per-worker result.
+// "results" waits for every per-worker result. qos names the service class
+// ("interactive", "batch", "background", or any class the running qos spec
+// declares; unknown names fold into the default class); deadline_ms bounds
+// the query's whole lifetime — a deadline the shard cannot meet sheds the
+// query immediately with a 503 instead of queueing it to fail.
 type queryRequest struct {
-	Consumer int     `json:"consumer"`
-	Class    int     `json:"class"`
-	N        int     `json:"n"`
-	Work     float64 `json:"work"`
-	Wait     string  `json:"wait"`
+	Consumer   int     `json:"consumer"`
+	Class      int     `json:"class"`
+	N          int     `json:"n"`
+	Work       float64 `json:"work"`
+	Wait       string  `json:"wait"`
+	QoS        string  `json:"qos"`
+	DeadlineMS float64 `json:"deadline_ms"`
 }
 
 type queryResponse struct {
@@ -415,11 +468,34 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.N < 1 {
 		req.N = 1
 	}
+	// Token-bucket admission runs before the engine sees the query: an
+	// over-limit consumer (or class) gets 429 + Retry-After here, costing
+	// the shard nothing.
+	if lim := g.limiter.Load(); lim != nil {
+		class, _ := lim.Resolve(req.QoS)
+		if d := lim.Allow(int64(req.Consumer), class); !d.OK {
+			g.admissionRejected.Add(1)
+			writeRetryable(w, http.StatusTooManyRequests, rejectJSON{
+				Error:        "rate_limited",
+				Scope:        d.Scope,
+				Class:        d.Class,
+				RetryAfterMS: d.RetryAfter * 1000,
+			})
+			return
+		}
+	}
 	q := sbqa.Query{
 		Consumer: sbqa.ConsumerID(req.Consumer),
 		Class:    req.Class,
 		N:        req.N,
 		Work:     req.Work,
+	}
+	var qopts []sbqa.QueryOption
+	if req.QoS != "" {
+		qopts = append(qopts, sbqa.WithQoSClass(req.QoS))
+	}
+	if req.DeadlineMS > 0 {
+		qopts = append(qopts, sbqa.WithDeadline(time.Duration(req.DeadlineMS*float64(time.Millisecond))))
 	}
 	// Submit with a detached context: once the gateway accepts a query its
 	// lifecycle must not be tied to the HTTP request — net/http cancels
@@ -427,17 +503,31 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// wait:"none" submissions fail dispatch before the shard ever picked
 	// them up. The request context still bounds how long the caller waits
 	// below.
-	t := eng.Submit(context.WithoutCancel(r.Context()), q)
+	t := eng.Submit(context.WithoutCancel(r.Context()), q, qopts...)
 	// Results reach the SSE stream whatever the caller waits for.
 	go g.publishResults(t)
 
 	resp := queryResponse{QueryID: int64(t.Query().ID)}
+	var lifeErr error
 	switch req.Wait {
 	case "none":
+		// Sheds happen at enqueue, so a shed ticket is already finished
+		// when Submit returns — answer the truth, not a hollow 202.
+		select {
+		case <-t.Done():
+			if _, err := t.Allocation(); err != nil {
+				if se, ok := sbqa.AsShedError(err); ok {
+					writeShed(w, se)
+					return
+				}
+			}
+		default:
+		}
 		writeJSON(w, http.StatusAccepted, resp)
 		return
 	case "results":
 		results, err := t.Await(r.Context())
+		lifeErr = err
 		if err != nil {
 			resp.Error = err.Error()
 		}
@@ -453,6 +543,7 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	default: // "allocation"
 		a, err := t.Allocation()
+		lifeErr = err
 		if err != nil {
 			resp.Error = err.Error()
 		}
@@ -462,9 +553,46 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusOK
 	if resp.Error != "" && resp.Selected == nil {
+		if se, ok := sbqa.AsShedError(lifeErr); ok {
+			writeShed(w, se)
+			return
+		}
 		status = http.StatusConflict
 	}
 	writeJSON(w, status, resp)
+}
+
+// rejectJSON is the structured body of a 429 (admission) or 503 (shed)
+// refusal: machine-readable cause plus a retry hint.
+type rejectJSON struct {
+	Error        string  `json:"error"`
+	Scope        string  `json:"scope,omitempty"`
+	Class        string  `json:"class,omitempty"`
+	Reason       string  `json:"reason,omitempty"`
+	QueueDepth   int     `json:"queue_depth,omitempty"`
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
+}
+
+// writeRetryable answers one refusal with a Retry-After header (whole
+// seconds, rounded up, only when the hint is finite) and the structured
+// body.
+func writeRetryable(w http.ResponseWriter, status int, body rejectJSON) {
+	if sec := body.RetryAfterMS / 1000; sec > 0 && !math.IsInf(sec, 1) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(sec))))
+	}
+	writeJSON(w, status, body)
+}
+
+// writeShed maps a load-shed ticket to 503: the refusal is the engine
+// protecting itself under overload, not a client error.
+func writeShed(w http.ResponseWriter, se *sbqa.ShedError) {
+	writeRetryable(w, http.StatusServiceUnavailable, rejectJSON{
+		Error:        "shed",
+		Class:        se.Class,
+		Reason:       se.Reason,
+		QueueDepth:   se.QueueDepth,
+		RetryAfterMS: se.EstimatedWait * 1000,
+	})
 }
 
 // publishResults forwards a ticket's completion to the event stream as one
@@ -492,6 +620,11 @@ type statsResponse struct {
 	PolicyGeneration uint64          `json:"policy_generation"`
 	EventsDropped    uint64          `json:"events_dropped"`
 	Persistence      *persistJSON    `json:"persistence,omitempty"`
+
+	// Overload-survival counters: gateway-level admission rejections
+	// (429s) and the engine's current brownout level (0 = none).
+	AdmissionRejected uint64 `json:"admission_rejected"`
+	Brownout          int    `json:"brownout"`
 }
 
 // persistJSON surfaces the durability counters (absent without -state-dir).
@@ -542,6 +675,10 @@ type shardJSON struct {
 	DispatchFailures  uint64  `json:"dispatch_failures"`
 	MeanCandidates    float64 `json:"mean_candidates"`
 	QueueDepth        int     `json:"queue_depth"`
+	QueueHighWater    int     `json:"queue_high_water"`
+	QueueEnqueued     uint64  `json:"queue_enqueued"`
+	QueueDequeued     uint64  `json:"queue_dequeued"`
+	QueueShed         uint64  `json:"queue_shed"`
 	Imputations       uint64  `json:"imputations"`
 	IntentionTimeouts uint64  `json:"intention_timeouts"`
 	PolicyGeneration  uint64  `json:"policy_generation"`
@@ -572,6 +709,9 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PolicyGeneration: st.PolicyGeneration,
 		EventsDropped:    g.hub.droppedEvents(),
 		Persistence:      newPersistJSON(st.Persistence),
+
+		AdmissionRejected: g.admissionRejected.Load(),
+		Brownout:          eng.Brownout(),
 	}
 	for i, sh := range st.Shards {
 		resp.Shards[i] = shardJSON{
@@ -580,6 +720,10 @@ func (g *gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 			DispatchFailures:  sh.DispatchFailures,
 			MeanCandidates:    sh.MeanCandidates,
 			QueueDepth:        sh.QueueDepth,
+			QueueHighWater:    sh.QueueHighWater,
+			QueueEnqueued:     sh.QueueEnqueued,
+			QueueDequeued:     sh.QueueDequeued,
+			QueueShed:         sh.QueueShed,
 			Imputations:       sh.Imputations,
 			IntentionTimeouts: sh.IntentionTimeouts,
 			PolicyGeneration:  sh.PolicyGeneration,

@@ -122,6 +122,34 @@ type PeerChange struct {
 	Err string
 }
 
+// Shed reports that the engine refused a query at its shard queue instead
+// of mediating it: the class-aware scheduler decided the query could not be
+// served in time (reason "deadline"), the class's queue bound was reached
+// (reason "queue_full"), or the brownout controller had widened shedding to
+// the query's class (reason "brownout"). The submitter always receives a
+// typed *live.ShedError for the same decision — this event is the
+// observer-side record, emitted on the shedding goroutine after the ticket
+// is failed. Class and Reason are plain strings (the qos package's
+// vocabulary) so this package stays at the bottom of the import graph.
+type Shed struct {
+	// Query is the refused query.
+	Query model.Query
+
+	// Class is the resolved QoS class the query was queued under.
+	Class string
+
+	// Reason is one of "deadline", "queue_full", "brownout".
+	Reason string
+
+	// QueueDepth is the shard's total queued-query count at decision time.
+	QueueDepth int
+
+	// EstimatedWait is the scheduler's queue-wait estimate in seconds at
+	// decision time (EWMA service time × queue depth); 0 when the shed was
+	// not deadline-driven.
+	EstimatedWait float64
+}
+
 // SatisfactionSnapshot is a periodic sample of every tracked participant's
 // long-run satisfaction δs (Definitions 1-2 of the paper), emitted by the
 // engine's snapshot ticker. The maps are owned by the receiver.
@@ -180,6 +208,13 @@ type Observer interface {
 	// completes, in candidate order (the consumer's event, if any, first).
 	OnIntentionImputed(im Imputation)
 
+	// OnShed observes a query the shard scheduler refused (deadline
+	// infeasible, class queue full, or brownout). Emitted on the shedding
+	// goroutine after the submitter's ticket is failed with the matching
+	// *live.ShedError; never emitted for gateway rate-limit rejections,
+	// which are refused before the query reaches the engine.
+	OnShed(s Shed)
+
 	// OnSatisfactionSnapshot observes a periodic satisfaction sample (see
 	// live.WithSnapshotInterval). The snapshot is owned by the receiver.
 	OnSatisfactionSnapshot(snap SatisfactionSnapshot)
@@ -224,6 +259,9 @@ func (Nop) OnConsumerDeparted(model.ConsumerID) {}
 // OnIntentionImputed implements Observer.
 func (Nop) OnIntentionImputed(Imputation) {}
 
+// OnShed implements Observer.
+func (Nop) OnShed(Shed) {}
+
 // OnSatisfactionSnapshot implements Observer.
 func (Nop) OnSatisfactionSnapshot(SatisfactionSnapshot) {}
 
@@ -244,6 +282,7 @@ type Funcs struct {
 	ConsumerRegistered   func(id model.ConsumerID)
 	ConsumerDeparted     func(id model.ConsumerID)
 	IntentionImputed     func(im Imputation)
+	Shed                 func(s Shed)
 	SatisfactionSnapshot func(snap SatisfactionSnapshot)
 	PolicyChange         func(pc PolicyChange)
 	PeerChange           func(pc PeerChange)
@@ -304,6 +343,13 @@ func (f Funcs) OnConsumerDeparted(id model.ConsumerID) {
 func (f Funcs) OnIntentionImputed(im Imputation) {
 	if f.IntentionImputed != nil {
 		f.IntentionImputed(im)
+	}
+}
+
+// OnShed implements Observer.
+func (f Funcs) OnShed(s Shed) {
+	if f.Shed != nil {
+		f.Shed(s)
 	}
 }
 
@@ -395,6 +441,13 @@ func (m multi) OnConsumerDeparted(id model.ConsumerID) {
 func (m multi) OnIntentionImputed(im Imputation) {
 	for _, o := range m {
 		o.OnIntentionImputed(im)
+	}
+}
+
+// OnShed implements Observer.
+func (m multi) OnShed(s Shed) {
+	for _, o := range m {
+		o.OnShed(s)
 	}
 }
 

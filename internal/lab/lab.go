@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"sbqa/internal/policy"
+	"sbqa/internal/qos"
 	"sbqa/internal/stats"
 	"sbqa/internal/workload"
 )
@@ -69,6 +70,19 @@ type Scenario struct {
 	// — the real generation-publication path, adopted at the next
 	// mediation boundary.
 	Swaps []PolicySwitch `json:"swaps,omitempty"`
+
+	// QoS, when set, interposes the real class-aware admission scheduler
+	// (internal/qos) between arrivals and mediation: queries queue at a
+	// single mediation station, are picked weighted-fair / EDF, and can be
+	// shed (deadline, queue_full, brownout) — every refusal is counted in
+	// the report, never silent. Must be set together with MediationRate.
+	QoS *qos.Spec `json:"qos,omitempty"`
+
+	// MediationRate is the station's throughput in mediations per
+	// simulated second — the capacity the overload is measured against.
+	// 0 keeps the historical direct path: every arrival mediates
+	// synchronously with no queue, byte-identical to pre-QoS reports.
+	MediationRate float64 `json:"mediation_rate,omitempty"`
 
 	// Workload describes the traffic and the population.
 	Workload Workload `json:"workload"`
@@ -133,6 +147,16 @@ type ClassSpec struct {
 	// for the class's providers. Both 0 means [0.5, 1.5).
 	CapacityLo float64 `json:"capacity_lo,omitempty"`
 	CapacityHi float64 `json:"capacity_hi,omitempty"`
+
+	// QoS names the service class (declared in Scenario.QoS.Classes) this
+	// workload class's queries are submitted under. Empty means the spec's
+	// default class. Only meaningful when Scenario.QoS is set.
+	QoS string `json:"qos,omitempty"`
+
+	// DeadlineS is the per-query relative deadline in simulated seconds
+	// under a QoS scenario: the scheduler sheds queries it estimates (or
+	// observes) to miss it. 0 means no deadline.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
 }
 
 // AdversarySpec assigns misbehaving provider fractions, drawn
@@ -286,7 +310,23 @@ func (sc Scenario) normalized() (Scenario, error) {
 	if st := sc.Workload.Churn.Storm; st != nil && (st.Fraction <= 0 || st.Fraction > 1 || st.Duration <= 0) {
 		return sc, fmt.Errorf("lab: scenario %q storm invalid: %+v", sc.Name, *st)
 	}
+	if (sc.QoS != nil) != (sc.MediationRate > 0) {
+		return sc, fmt.Errorf("lab: scenario %q: qos and mediation_rate must be set together", sc.Name)
+	}
+	if sc.QoS != nil {
+		if err := sc.QoS.Validate(); err != nil {
+			return sc, fmt.Errorf("lab: scenario %q: %w", sc.Name, err)
+		}
+		norm := sc.QoS.Normalized()
+		sc.QoS = &norm
+	}
 	names := map[string]bool{}
+	qosNames := map[string]bool{}
+	if sc.QoS != nil {
+		for _, c := range sc.QoS.Classes {
+			qosNames[c.Name] = true
+		}
+	}
 	for i := range sc.Workload.Classes {
 		cl := &sc.Workload.Classes[i]
 		if cl.Name == "" {
@@ -316,6 +356,15 @@ func (sc Scenario) normalized() (Scenario, error) {
 		}
 		if _, err := cl.Cost.Build(); err != nil {
 			return sc, fmt.Errorf("class %q: %w", cl.Name, err)
+		}
+		if (cl.QoS != "" || cl.DeadlineS != 0) && sc.QoS == nil {
+			return sc, fmt.Errorf("lab: class %q sets qos/deadline_s but the scenario has no qos block", cl.Name)
+		}
+		if cl.QoS != "" && len(qosNames) > 0 && !qosNames[cl.QoS] {
+			return sc, fmt.Errorf("lab: class %q references undeclared qos class %q", cl.Name, cl.QoS)
+		}
+		if cl.DeadlineS < 0 {
+			return sc, fmt.Errorf("lab: class %q deadline_s cannot be negative", cl.Name)
 		}
 	}
 	for _, f := range sc.Workload.Flash {

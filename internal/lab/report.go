@@ -35,6 +35,19 @@ type Report struct {
 	Failed    int `json:"failed"`
 	InFlight  int `json:"in_flight"`
 
+	// QoS-station ledger (Scenario.QoS runs only; omitted otherwise).
+	// Shed counts admissions the scheduler refused, by total and by reason
+	// ("deadline", "queue_full", "brownout"); Queued is the station backlog
+	// (queued + in service) when the horizon closed. Conservation holds:
+	// issued == mediated + rejected + shed + queued.
+	Shed         int            `json:"shed,omitempty"`
+	ShedByReason map[string]int `json:"shed_by_reason,omitempty"`
+	Queued       int            `json:"queued,omitempty"`
+
+	// Queue wait summary over every query the station served (seconds).
+	QueueWaitMean float64 `json:"queue_wait_mean,omitempty"`
+	QueueWaitP99  float64 `json:"queue_wait_p99,omitempty"`
+
 	// Response-time summary over completed executions (simulated seconds).
 	MeanResponse float64 `json:"mean_response"`
 	P99Response  float64 `json:"p99_response"`
@@ -108,6 +121,12 @@ type ClassReport struct {
 	Rejected  int `json:"rejected"`
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
+
+	// QoS-station ledger for this class (Scenario.QoS runs only).
+	Shed          int            `json:"shed,omitempty"`
+	ShedByReason  map[string]int `json:"shed_by_reason,omitempty"`
+	QueueWaitMean float64        `json:"queue_wait_mean,omitempty"`
+	QueueWaitP99  float64        `json:"queue_wait_p99,omitempty"`
 
 	MeanResponse float64 `json:"mean_response"`
 	P99Response  float64 `json:"p99_response"`

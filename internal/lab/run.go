@@ -8,6 +8,7 @@ import (
 
 	"sbqa/internal/live"
 	"sbqa/internal/model"
+	"sbqa/internal/qos"
 	"sbqa/internal/sim"
 	"sbqa/internal/stats"
 	"sbqa/internal/workload"
@@ -37,8 +38,30 @@ type world struct {
 	timeout float64
 	inFlat  int // executions still pending at horizon close
 
+	// Mediation station (Scenario.QoS runs only): the real class-aware
+	// scheduler fed by issue(), drained at MediationRate by a single
+	// virtual-clock server. qosIdx maps each workload class to its service
+	// class's table index, resolved once at build.
+	sched       *qos.Scheduler[stationItem]
+	qosIdx      []int
+	serviceTime float64 // 1 / MediationRate
+	stationBusy bool
+
 	report *Report
 }
+
+// stationItem is one queued submission awaiting the mediation station.
+type stationItem struct {
+	cs *classState
+	c  *labConsumer
+	q  model.Query
+}
+
+// stationDepth is the scheduler's blocking bound in the lab. The sim loop
+// is single-threaded, so a blocking Push would deadlock it — the bound is
+// set beyond any plausible backlog, making unbounded classes truly FIFO
+// while bounded ones shed exactly as configured.
+const stationDepth = 1 << 20
 
 // Run executes the scenario and returns its report. It is deterministic:
 // the same scenario yields a byte-identical Report.Encode().
@@ -142,6 +165,14 @@ func build(sc Scenario) (*world, error) {
 		}
 		w.classes = append(w.classes, cs)
 	}
+	if sc.QoS != nil {
+		w.sched = qos.NewScheduler[stationItem](*sc.QoS, stationDepth, eng.Now)
+		w.serviceTime = 1 / sc.MediationRate
+		w.qosIdx = make([]int, len(w.classes))
+		for i, cs := range w.classes {
+			w.qosIdx[i], _ = w.sched.ClassIndex(cs.spec.QoS)
+		}
+	}
 	return w, nil
 }
 
@@ -202,6 +233,33 @@ func (w *world) issue(cs *classState) {
 	}
 	cs.issued++
 	w.report.Issued++
+	if w.sched == nil {
+		w.mediate(cs, c, q)
+		return
+	}
+	var deadline float64
+	if cs.spec.DeadlineS > 0 {
+		deadline = w.eng.Now() + cs.spec.DeadlineS
+	}
+	info, err := w.sched.Push(context.Background(), w.qosIdx[cs.idx], deadline, stationItem{cs: cs, c: c, q: q})
+	if err != nil {
+		// Closed scheduler — cannot happen inside the horizon; count it as
+		// a rejection rather than lose the query from the ledger.
+		cs.rejected++
+		w.report.Rejected++
+		return
+	}
+	if info != nil {
+		w.recordShed(cs, info.Reason)
+		return
+	}
+	w.drain()
+}
+
+// mediate runs one query through the real mediation pipeline and schedules
+// the selected providers' executions — the historical direct path, and the
+// station's service body.
+func (w *world) mediate(cs *classState, c *labConsumer, q model.Query) {
 	a, err := w.svc.Mediate(context.Background(), q)
 	if err != nil {
 		cs.rejected++
@@ -215,6 +273,45 @@ func (w *world) issue(cs *classState) {
 			w.execute(cs, c, p, a.Query)
 		}
 	}
+}
+
+// drain advances the mediation station: while idle, pick the next query per
+// the scheduling discipline, serve it for serviceTime, mediate at the end
+// of the service window, repeat. Expired-deadline pops are failed on the
+// spot (counted, never mediated) and the loop continues to the next pick.
+func (w *world) drain() {
+	if w.stationBusy {
+		return
+	}
+	for {
+		it, res, ok := w.sched.TryPop()
+		if !ok {
+			return
+		}
+		if res.Shed {
+			w.recordShed(it.cs, res.Info.Reason)
+			continue
+		}
+		it.cs.queueWaits = append(it.cs.queueWaits, res.Wait)
+		w.stationBusy = true
+		w.eng.Schedule(w.serviceTime, func() {
+			w.mediate(it.cs, it.c, it.q)
+			w.sched.ObserveService(w.serviceTime)
+			w.stationBusy = false
+			w.drain()
+		})
+		return
+	}
+}
+
+// recordShed books one refused admission into the class and report ledgers.
+func (w *world) recordShed(cs *classState, reason string) {
+	cs.shed++
+	if cs.shedByReason == nil {
+		cs.shedByReason = make(map[string]int)
+	}
+	cs.shedByReason[reason]++
+	w.report.Shed++
 }
 
 // execute simulates one selected provider performing the query: honest
@@ -387,6 +484,25 @@ func (w *world) finish() (*Report, error) {
 			Rejected:  cs.rejected,
 			Completed: cs.completed,
 			Failed:    cs.failed,
+			Shed:      cs.shed,
+		}
+		if len(cs.shedByReason) > 0 {
+			cr.ShedByReason = cs.shedByReason
+			if r.ShedByReason == nil {
+				r.ShedByReason = make(map[string]int)
+			}
+			for reason, n := range cs.shedByReason {
+				r.ShedByReason[reason] += n
+			}
+		}
+		if len(cs.queueWaits) > 0 {
+			sort.Float64s(cs.queueWaits)
+			var sum float64
+			for _, qw := range cs.queueWaits {
+				sum += qw
+			}
+			cr.QueueWaitMean = sum / float64(len(cs.queueWaits))
+			cr.QueueWaitP99 = percentile(cs.queueWaits, 0.99)
 		}
 		sort.Float64s(cs.respTimes)
 		if len(cs.respTimes) > 0 {
@@ -461,6 +577,30 @@ func (w *world) finish() (*Report, error) {
 		utils[i] = p.busyTime / w.sc.Duration
 	}
 	r.GiniUtilization = stats.Gini(utils)
+
+	if w.sched != nil {
+		// Queued closes the conservation ledger: every issued query is
+		// mediated, rejected, shed, still queued at the horizon, or in
+		// service at the station when it closed.
+		st := w.sched.Stats()
+		r.Queued = st.Depth
+		if w.stationBusy {
+			r.Queued++ // the in-service query left the queue but never mediated
+		}
+		var allWaits []float64
+		for _, cs := range w.classes {
+			allWaits = append(allWaits, cs.queueWaits...) // already sorted per class
+		}
+		if len(allWaits) > 0 {
+			sort.Float64s(allWaits)
+			var sum float64
+			for _, qw := range allWaits {
+				sum += qw
+			}
+			r.QueueWaitMean = sum / float64(len(allWaits))
+			r.QueueWaitP99 = percentile(allWaits, 0.99)
+		}
+	}
 	return r, nil
 }
 

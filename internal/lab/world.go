@@ -202,6 +202,12 @@ type classState struct {
 	respTimes                                     []float64
 	allocsByBehavior                              [4]int
 
+	// QoS-station accumulators (Scenario.QoS runs only): sheds by reason
+	// and the queue wait of every query the station actually served.
+	shed         int
+	shedByReason map[string]int
+	queueWaits   []float64
+
 	trajectory []ClassPoint
 }
 

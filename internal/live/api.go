@@ -15,6 +15,7 @@ import (
 	"sbqa/internal/model"
 	"sbqa/internal/persist"
 	"sbqa/internal/policy"
+	"sbqa/internal/qos"
 	"sbqa/internal/satisfaction"
 )
 
@@ -91,10 +92,24 @@ func WithClock(now func() float64) Option { return func(c *Config) { c.NowFn = n
 func WithObserver(o event.Observer) Option { return func(c *Config) { c.Observer = o } }
 
 // WithQueueDepth bounds each shard's asynchronous submission queue (the
-// ticket path). Submissions beyond the bound block in Engine.Submit until
-// the shard drains or the submission context is done. Values below 1 mean
-// 1024.
+// ticket path). For QoS classes without an explicit MaxQueueDepth this is
+// the blocking bound: submissions beyond it block in Engine.Submit until
+// the shard drains or the submission context is done — backpressure.
+// Classes that do declare a MaxQueueDepth shed instead of blocking (see
+// WithQoS). Values below 1 mean 1024.
 func WithQueueDepth(n int) Option { return func(c *Config) { c.QueueDepth = n } }
+
+// WithQoS installs the engine's overload-survival configuration: the shard
+// queues become class-aware schedulers (weighted fair across the spec's
+// classes with a strict-priority option, earliest-deadline-first within a
+// class) and overloaded submissions shed with a typed *ShedError and an
+// event.Shed instead of blocking — deadline-infeasible queries immediately,
+// classes past their MaxQueueDepth immediately, classes browned out by the
+// tuner immediately. Without this option (and without a policy qos block)
+// the engine keeps its historical single-FIFO backpressure semantics
+// exactly. The spec is hot-swappable through Engine.Reconfigure via the
+// policy's qos block.
+func WithQoS(spec qos.Spec) Option { return func(c *Config) { c.QoS = &spec } }
 
 // WithSnapshotInterval makes the engine emit OnSatisfactionSnapshot to the
 // configured observer every interval of wall-clock time. Zero (the
@@ -119,6 +134,8 @@ func WithParticipantDeadline(d time.Duration) Option {
 type submitOptions struct {
 	results       chan<- Result
 	fireAndForget bool
+	qosClass      string
+	deadline      time.Duration
 }
 
 // QueryOption configures one submission (see Engine.Submit).
@@ -140,6 +157,25 @@ func FireAndForget() QueryOption {
 	return func(o *submitOptions) { o.fireAndForget = true }
 }
 
+// WithQoSClass queues the query under the named QoS class ("interactive",
+// "batch", "background", or any class the running qos spec declares).
+// Unknown names fold into the spec's default class; without a QoS spec the
+// single default class applies and the option is inert. Overrides a class
+// already set on the query.
+func WithQoSClass(class string) QueryOption {
+	return func(o *submitOptions) { o.qosClass = class }
+}
+
+// WithDeadline gives the query a start-of-mediation deadline d from
+// submission time: the shard scheduler serves earlier deadlines first
+// within a class and sheds the query with a typed *ShedError (reason
+// "deadline") when its estimated queue wait would overrun the deadline —
+// at admission, or at dequeue if the deadline expired while queued.
+// Non-positive d leaves any deadline already on the query in force.
+func WithDeadline(d time.Duration) QueryOption {
+	return func(o *submitOptions) { o.deadline = d }
+}
+
 // Engine is the asynchronous front end of the sharded mediation service:
 // Submit returns a *Ticket immediately and the query is mediated and
 // dispatched by the consumer's shard loop in the background, preserving
@@ -152,11 +188,16 @@ func FireAndForget() QueryOption {
 // serializes them.
 type Engine struct {
 	svc    *Service
-	queues []chan engineItem
+	scheds []*qos.Scheduler[engineItem]
 	tuner  *policy.Tuner      // nil unless built WithTuner
 	pst    *enginePersistence // nil unless built WithPersistence
 
-	mu     sync.RWMutex // guards closed vs in-flight enqueues
+	// baseQoS is the construction-time QoS spec (normalized); a policy
+	// Reconfigure whose spec carries no qos block restores it, the same way
+	// a spec with no participant deadline restores the base deadline.
+	baseQoS qos.Spec
+
+	mu     sync.RWMutex // guards closed for Close idempotence
 	closed bool
 
 	// guard, when set (SetSubmitGuard), vets every submission before it
@@ -168,7 +209,10 @@ type Engine struct {
 }
 
 // engineItem is one unit of shard-loop work: a single ticket, or a batch
-// group mediated under one lock acquisition.
+// group mediated under one lock acquisition. The scheduling attributes
+// (class, deadline) are passed alongside at enqueue time — SubmitBatch
+// groups by shard and class, and a group's deadline is its earliest
+// member's.
 type engineItem struct {
 	ctx     context.Context
 	tickets []*Ticket
@@ -289,15 +333,31 @@ func newEngine(cfg Config) (*Engine, error) {
 	if depth < 1 {
 		depth = 1024
 	}
+	// The QoS spec: WithQoS wins, then the construction policy's qos block;
+	// neither means the single default class — the pre-QoS FIFO semantics.
+	var qspec qos.Spec
+	if cfg.QoS != nil {
+		qspec = *cfg.QoS
+	} else if cfg.Policy != nil && cfg.Policy.QoS != nil {
+		qspec = *cfg.Policy.QoS
+	}
+	if err := qspec.Validate(); err != nil {
+		if pst != nil {
+			pst.rec.Close()
+			pst.store.Close()
+		}
+		return nil, err
+	}
 	e := &Engine{
 		svc:      svc,
-		queues:   make([]chan engineItem, len(svc.shards)),
+		scheds:   make([]*qos.Scheduler[engineItem], len(svc.shards)),
 		tuner:    tuner,
 		pst:      pst,
+		baseQoS:  qspec.Normalized(),
 		stopSnap: make(chan struct{}),
 	}
-	for i := range e.queues {
-		e.queues[i] = make(chan engineItem, depth)
+	for i := range e.scheds {
+		e.scheds[i] = qos.NewScheduler[engineItem](qspec, depth, svc.nowFn)
 		e.wg.Add(1)
 		go e.shardLoop(i)
 	}
@@ -323,25 +383,71 @@ func newEngine(cfg Config) (*Engine, error) {
 	}
 	if tuner != nil {
 		tuner.Bind(e)
+		tuner.BindBrownout(e)
 		tuner.Start()
 	}
 	return e, nil
 }
 
-// shardLoop drains one shard's submission queue until Close.
+// shardLoop drains one shard's scheduler until Close: pop per the class
+// discipline, fail pop-time sheds (deadline expired while queued), mediate
+// the rest, and feed the observed service time back into the scheduler's
+// EWMA — the yardstick of the next admission's deadline-feasibility check.
 func (e *Engine) shardLoop(i int) {
 	defer e.wg.Done()
 	sh := e.svc.shards[i]
-	for item := range e.queues[i] {
+	sched := e.scheds[i]
+	for {
+		item, res, ok := sched.Pop()
+		if !ok {
+			return
+		}
+		if res.Shed {
+			e.shedTickets(item.tickets, res.Info)
+			continue
+		}
+		start := e.svc.nowFn()
 		if item.batch {
 			e.svc.processGroup(item.ctx, sh, item.tickets)
 		} else {
 			e.svc.process(item.ctx, item.tickets[0])
 		}
+		if dt := e.svc.nowFn() - start; dt > 0 {
+			// A batch group is one queue item but several mediations: feed
+			// the per-query share so the admission estimate stays per-query.
+			sched.ObserveService(dt / float64(len(item.tickets)))
+		}
 	}
 }
 
-// snapshotLoop emits periodic satisfaction snapshots until Close.
+// shedTickets fails every ticket of a shed item with the typed *ShedError
+// and emits one event.Shed per query — a shed is never silent. Runs outside
+// the scheduler lock (the scheduler only decides and counts).
+func (e *Engine) shedTickets(tickets []*Ticket, info qos.ShedInfo) {
+	for _, t := range tickets {
+		t.finish(nil, &ShedError{
+			Query:         t.query,
+			Class:         info.Class,
+			Reason:        info.Reason,
+			QueueDepth:    info.QueueDepth,
+			EstimatedWait: info.EstimatedWait,
+		}, nil, 0)
+		if e.svc.obs != nil {
+			e.svc.obs.OnShed(event.Shed{
+				Query:         t.query,
+				Class:         info.Class,
+				Reason:        info.Reason,
+				QueueDepth:    info.QueueDepth,
+				EstimatedWait: info.EstimatedWait,
+			})
+		}
+	}
+}
+
+// snapshotLoop emits periodic satisfaction snapshots until Close. The same
+// tick feeds the tuner's brownout controller its queue-pressure sample —
+// the scheduler counters are the controller's Monitor phase, sampled at the
+// cadence the satisfaction loop already established.
 func (e *Engine) snapshotLoop(every time.Duration, obs event.Observer) {
 	defer e.wg.Done()
 	ticker := time.NewTicker(every)
@@ -350,6 +456,9 @@ func (e *Engine) snapshotLoop(every time.Duration, obs event.Observer) {
 		select {
 		case <-ticker.C:
 			obs.OnSatisfactionSnapshot(e.svc.satisfactionSnapshot())
+			if e.tuner != nil {
+				e.tuner.ObservePressure(e.QoSPressure())
+			}
 		case <-e.stopSnap:
 			return
 		}
@@ -364,9 +473,11 @@ func (e *Engine) snapshotLoop(every time.Duration, obs event.Observer) {
 //
 // ctx covers the whole submission: if it is done before the shard picks the
 // query up (or during dispatch), the ticket fails with the context error.
-// When the shard queue is full, Submit blocks until space frees or ctx is
-// done — backpressure, not load shedding. After Close, tickets fail with
-// ErrEngineClosed.
+// When the query's class queue is full, Submit blocks until space frees or
+// ctx is done for classes without an explicit depth bound (backpressure),
+// and fails the ticket with a *ShedError for classes that declare one (load
+// shedding — see WithQoS, WithQoSClass, WithDeadline). After Close, tickets
+// fail with ErrEngineClosed.
 func (e *Engine) Submit(ctx context.Context, q model.Query, opts ...QueryOption) *Ticket {
 	var so submitOptions
 	for _, o := range opts {
@@ -374,12 +485,18 @@ func (e *Engine) Submit(ctx context.Context, q model.Query, opts ...QueryOption)
 	}
 	q.ID = model.QueryID(e.svc.nextID.Add(1))
 	q.IssuedAt = e.svc.nowFn()
+	if so.qosClass != "" {
+		q.QoS = so.qosClass
+	}
+	if so.deadline > 0 {
+		q.Deadline = q.IssuedAt + so.deadline.Seconds()
+	}
 	t := newTicket(q, so.results, !so.fireAndForget)
 	if err := e.guardSubmit(q); err != nil {
 		t.finish(nil, err, nil, 0)
 		return t
 	}
-	e.enqueue(ctx, e.svc.shardIndex(q.Consumer), engineItem{ctx: ctx, tickets: []*Ticket{t}})
+	e.enqueue(ctx, e.svc.shardIndex(q.Consumer), q.QoS, q.Deadline, engineItem{ctx: ctx, tickets: []*Ticket{t}})
 	return t
 }
 
@@ -408,10 +525,11 @@ func (e *Engine) guardSubmit(q model.Query) error {
 }
 
 // SubmitBatch assigns IDs in input order, stamps the whole batch with one
-// arrival time, and enqueues each shard's group as a unit (mediated under a
-// single lock acquisition with amortized provider snapshots). It returns
-// the position-aligned tickets immediately; per-query options apply to
-// every ticket in the batch.
+// arrival time, and enqueues each (shard, QoS class) group as a unit
+// (mediated under a single lock acquisition with amortized provider
+// snapshots; a group schedules under its class with its earliest member's
+// deadline). It returns the position-aligned tickets immediately; per-query
+// options apply to every ticket in the batch.
 func (e *Engine) SubmitBatch(ctx context.Context, queries []model.Query, opts ...QueryOption) []*Ticket {
 	var so submitOptions
 	for _, o := range opts {
@@ -422,10 +540,21 @@ func (e *Engine) SubmitBatch(ctx context.Context, queries []model.Query, opts ..
 		return tickets
 	}
 	now := e.svc.nowFn()
-	groups := make(map[int][]*Ticket, len(e.queues))
+	type groupKey struct {
+		idx   int
+		class string
+	}
+	groups := make(map[groupKey][]*Ticket, len(e.scheds))
+	deadlines := make(map[groupKey]float64, len(e.scheds))
 	for i, q := range queries {
 		q.ID = model.QueryID(e.svc.nextID.Add(1))
 		q.IssuedAt = now
+		if so.qosClass != "" {
+			q.QoS = so.qosClass
+		}
+		if so.deadline > 0 {
+			q.Deadline = now + so.deadline.Seconds()
+		}
 		t := newTicket(q, so.results, !so.fireAndForget)
 		tickets[i] = t
 		if err := e.guardSubmit(q); err != nil {
@@ -433,31 +562,38 @@ func (e *Engine) SubmitBatch(ctx context.Context, queries []model.Query, opts ..
 			t.finish(nil, err, nil, 0)
 			continue
 		}
-		idx := e.svc.shardIndex(q.Consumer)
-		groups[idx] = append(groups[idx], t)
+		key := groupKey{idx: e.svc.shardIndex(q.Consumer), class: q.QoS}
+		groups[key] = append(groups[key], t)
+		if q.Deadline > 0 {
+			if d, ok := deadlines[key]; !ok || q.Deadline < d {
+				deadlines[key] = q.Deadline
+			}
+		}
 	}
-	for idx, group := range groups {
-		e.enqueue(ctx, idx, engineItem{ctx: ctx, tickets: group, batch: true})
+	for key, group := range groups {
+		e.enqueue(ctx, key.idx, key.class, deadlines[key], engineItem{ctx: ctx, tickets: group, batch: true})
 	}
 	return tickets
 }
 
-// enqueue hands an item to a shard loop, failing its tickets when the
-// engine is closed or ctx is done first. The read lock spans the check and
-// the send so Close cannot close the queue under an in-flight enqueue.
-func (e *Engine) enqueue(ctx context.Context, idx int, item engineItem) {
-	e.mu.RLock()
-	if e.closed {
-		e.mu.RUnlock()
-		failTickets(item.tickets, ErrEngineClosed)
-		return
-	}
-	select {
-	case e.queues[idx] <- item:
-		e.mu.RUnlock()
-	case <-ctx.Done():
-		e.mu.RUnlock()
-		failTickets(item.tickets, ctx.Err())
+// enqueue hands an item to a shard's scheduler, failing its tickets when
+// the engine is closed, ctx is done while blocked on backpressure, or the
+// scheduler sheds the item. The scheduler handles the close race internally
+// (a Push concurrent with Close fails with ErrSchedulerClosed instead of
+// panicking like a send on a closed channel would), so no lock spans the
+// call.
+func (e *Engine) enqueue(ctx context.Context, idx int, class string, deadline float64, item engineItem) {
+	sched := e.scheds[idx]
+	ci, _ := sched.ClassIndex(class) // unknown classes fold into the default
+	info, err := sched.Push(ctx, ci, deadline, item)
+	switch {
+	case err != nil:
+		if errors.Is(err, qos.ErrSchedulerClosed) {
+			err = ErrEngineClosed
+		}
+		failTickets(item.tickets, err)
+	case info != nil:
+		e.shedTickets(item.tickets, *info)
 	}
 }
 
@@ -489,8 +625,8 @@ func (e *Engine) Close() {
 	if e.pst != nil {
 		close(e.pst.stop)
 	}
-	for _, q := range e.queues {
-		close(q)
+	for _, s := range e.scheds {
+		s.Close()
 	}
 	e.wg.Wait()
 	if e.pst != nil {
@@ -518,8 +654,25 @@ func (e *Engine) PolicyGeneration() uint64 { return e.svc.PolicyGeneration() }
 // mediations are never interrupted, the hot path pays one atomic load, and
 // satisfaction memory is preserved. Concurrent with submissions and safe
 // under churn; emits event.PolicyChange and bumps Stats().PolicyGeneration.
+//
+// A spec with a qos block also reconfigures every shard scheduler live:
+// queued queries migrate to the new class table by class name (classes that
+// disappear fold into the new default) and per-class counters survive for
+// the classes that remain. A spec without one restores the construction-time
+// QoS configuration, like a spec without a participant deadline restores
+// the base deadline.
 func (e *Engine) Reconfigure(ctx context.Context, spec policy.Spec) error {
-	return e.svc.Reconfigure(ctx, spec)
+	if err := e.svc.Reconfigure(ctx, spec); err != nil {
+		return err
+	}
+	qspec := e.baseQoS
+	if spec.QoS != nil {
+		qspec = *spec.QoS
+	}
+	for _, s := range e.scheds {
+		s.Configure(qspec)
+	}
+	return nil
 }
 
 // Tuner returns the engine's autonomic policy tuner, or nil when the
@@ -575,15 +728,83 @@ func (e *Engine) ConsumerSatisfaction(id model.ConsumerID) float64 {
 }
 
 // Stats snapshots the engine's counters: the service counters plus each
-// shard's current asynchronous queue depth.
+// shard's scheduler ledger — instantaneous queue depth, lifetime high-water
+// mark, and cumulative enqueued/dequeued/shed counts.
 func (e *Engine) Stats() Stats {
 	st := e.svc.Stats()
 	for i := range st.Shards {
-		st.Shards[i].QueueDepth = len(e.queues[i])
+		qs := e.scheds[i].Stats()
+		st.Shards[i].QueueDepth = qs.Depth
+		st.Shards[i].QueueHighWater = qs.HighWater
+		st.Shards[i].QueueEnqueued = qs.Enqueued
+		st.Shards[i].QueueDequeued = qs.Dequeued
+		st.Shards[i].QueueShed = qs.Shed
 	}
 	if e.pst != nil {
 		pstStats := e.pst.rec.Stats()
 		st.Persistence = &pstStats
 	}
 	return st
+}
+
+// QoSStats snapshots every shard scheduler's per-class ledger, in shard
+// order: per-class depth, high-water, enqueued/dequeued, and shed counts by
+// reason, plus the shard's service-time EWMA and brownout level. The
+// gateway's /metrics families are built from this.
+func (e *Engine) QoSStats() []qos.Stats {
+	out := make([]qos.Stats, len(e.scheds))
+	for i, s := range e.scheds {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// QoSSpec returns the QoS configuration the engine currently runs
+// (normalized; shard 0's — Reconfigure keeps all shards in step). An engine
+// without QoS configuration returns the zero spec (single default class).
+// Gateways derive their admission limiters from this, so token buckets and
+// class queues always enforce the same spec.
+func (e *Engine) QoSSpec() qos.Spec {
+	if len(e.scheds) == 0 {
+		return qos.Spec{}
+	}
+	return e.scheds[0].Spec()
+}
+
+// QoSPressure aggregates the shard schedulers' overload signals: cumulative
+// enqueued and shed counts summed across shards, the worst per-shard p99
+// queue wait, and the total instantaneous depth — the brownout controller's
+// sensor reading.
+func (e *Engine) QoSPressure() qos.Pressure {
+	var agg qos.Pressure
+	for _, s := range e.scheds {
+		p := s.Pressure()
+		agg.Enqueued += p.Enqueued
+		agg.Shed += p.Shed
+		agg.Depth += p.Depth
+		if p.WaitP99 > agg.WaitP99 {
+			agg.WaitP99 = p.WaitP99
+		}
+	}
+	return agg
+}
+
+// SetBrownout sets every shard scheduler's shed-widening level: level L
+// immediately sheds admissions to the L most-sheddable classes (ascending
+// weight, non-priority first; the top class always admits). The tuner's
+// brownout controller drives this under sustained pressure; operators may
+// call it directly.
+func (e *Engine) SetBrownout(level int) {
+	for _, s := range e.scheds {
+		s.SetBrownout(level)
+	}
+}
+
+// Brownout returns the current shed-widening level (shard 0's — SetBrownout
+// keeps all shards in step).
+func (e *Engine) Brownout() int {
+	if len(e.scheds) == 0 {
+		return 0
+	}
+	return e.scheds[0].Brownout()
 }

@@ -14,6 +14,7 @@ import (
 	"sbqa/internal/model"
 	"sbqa/internal/persist"
 	"sbqa/internal/policy"
+	"sbqa/internal/qos"
 	"sbqa/internal/satisfaction"
 )
 
@@ -85,6 +86,13 @@ type Config struct {
 	// Engine ticket path; the blocking Service calls bypass the queues).
 	// Values below 1 mean 1024.
 	QueueDepth int
+
+	// QoS, when set (WithQoS), installs the engine's overload-survival
+	// configuration: class-aware shard scheduling and typed load shedding
+	// (see the qos package). Takes precedence over the construction
+	// policy's qos block; nil with no policy block keeps the historical
+	// single-FIFO backpressure semantics. Engine-only, like QueueDepth.
+	QoS *qos.Spec
 
 	// SnapshotInterval, when positive and Observer is set, makes the
 	// Engine emit OnSatisfactionSnapshot every interval (wall-clock).
@@ -649,6 +657,17 @@ type ShardStats struct {
 	// asynchronous queue. Always 0 through the blocking Service paths;
 	// the Engine fills it in.
 	QueueDepth int
+
+	// QueueHighWater is the deepest this shard's asynchronous queue has
+	// ever been (summed across QoS classes); QueueEnqueued and
+	// QueueDequeued are its cumulative admission/drain counters, and
+	// QueueShed counts the queries refused with a typed *ShedError
+	// (deadline infeasible, class queue full, or brownout). All filled by
+	// the Engine; always zero through the blocking Service paths.
+	QueueHighWater int
+	QueueEnqueued  uint64
+	QueueDequeued  uint64
+	QueueShed      uint64
 }
 
 // Stats is a point-in-time snapshot of the engine's counters: per-shard

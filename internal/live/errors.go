@@ -93,6 +93,60 @@ func AsDispatchError(err error) (*DispatchError, bool) {
 	return de, ok
 }
 
+// ErrShed reports that the engine refused a query at its shard queue
+// instead of mediating it: the class-aware scheduler decided the deadline
+// could not be met, the class's queue bound was reached, or the brownout
+// controller had widened shedding to the query's class. Shedding is never
+// silent — every refused query fails its ticket with a *ShedError matching
+// this sentinel and emits an event.Shed carrying the same decision.
+var ErrShed = errors.New("live: query shed by admission control")
+
+// ShedError is the typed shed failure the submitter's Ticket resolves to
+// when the shard scheduler refuses a query. It matches ErrShed with
+// errors.Is and carries the decision the observer-side event.Shed records:
+// which class refused, why, and how loaded the shard was.
+type ShedError struct {
+	// Query is the refused query, with its engine-assigned ID.
+	Query model.Query
+
+	// Class is the resolved QoS class the query was queued under.
+	Class string
+
+	// Reason is one of qos.ReasonDeadline ("deadline"),
+	// qos.ReasonQueueFull ("queue_full"), qos.ReasonBrownout ("brownout").
+	Reason string
+
+	// QueueDepth is the shard's total queued-query count at decision time.
+	QueueDepth int
+
+	// EstimatedWait is the scheduler's queue-wait estimate in seconds at
+	// decision time (EWMA mediation service time × queue depth); 0 when
+	// the shed was not deadline-driven. Gateways surface it as
+	// Retry-After.
+	EstimatedWait float64
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "live: query %d shed (%s, class %q, depth %d", e.Query.ID, e.Reason, e.Class, e.QueueDepth)
+	if e.EstimatedWait > 0 {
+		fmt.Fprintf(&b, ", est wait %.3fs", e.EstimatedWait)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Unwrap makes every ShedError match ErrShed with errors.Is.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// AsShedError unwraps err to its *ShedError, if it carries one.
+func AsShedError(err error) (*ShedError, bool) {
+	var se *ShedError
+	ok := errors.As(err, &se)
+	return se, ok
+}
+
 // dispatchErr folds the mediator's stale-selection failure into the
 // engine's typed dispatch error: every selected provider unregistering
 // before hand-off is the same transient delivery race as a worker shutting

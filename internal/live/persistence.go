@@ -241,8 +241,8 @@ func (e *Engine) closeAbrupt() {
 	if e.pst != nil {
 		close(e.pst.stop)
 	}
-	for _, q := range e.queues {
-		close(q)
+	for _, s := range e.scheds {
+		s.Close()
 	}
 	e.wg.Wait()
 	if e.pst != nil {

@@ -77,6 +77,18 @@ type Query struct {
 
 	// IssuedAt is the simulation time at which the consumer issued q.
 	IssuedAt float64
+
+	// QoS names the query's service class for admission control and shard
+	// scheduling ("interactive", "batch", "background", or any class the
+	// running qos policy declares). Empty means the policy's default
+	// class. Orthogonal to Class, which partitions by the kind of work.
+	QoS string
+
+	// Deadline is the absolute time (same axis as IssuedAt) by which the
+	// query must start mediation: the scheduler sheds it with a typed
+	// error when its estimated queue wait overruns the deadline, and
+	// serves earlier deadlines first within a class. Zero means none.
+	Deadline float64
 }
 
 // Validate reports whether the query is well formed.

@@ -25,6 +25,7 @@ import (
 	"sbqa/internal/alloc"
 	"sbqa/internal/core"
 	"sbqa/internal/knbest"
+	"sbqa/internal/qos"
 	"sbqa/internal/score"
 	"sbqa/internal/stats"
 )
@@ -138,6 +139,15 @@ type Spec struct {
 	// during batched intention collection. Zero inherits the engine's
 	// configured deadline unchanged.
 	ParticipantDeadline Duration `json:"participant_deadline,omitempty"`
+
+	// QoS carries the overload-survival configuration: service classes
+	// with weights and queue bounds for the shard schedulers, plus the
+	// gateway's token-bucket rates (see qos.Spec). Orthogonal to the
+	// allocator kind, so it is valid on every policy, baselines included.
+	// Nil restores the engine's construction-time QoS configuration on
+	// Reconfigure, the same way a zero ParticipantDeadline restores the
+	// engine's base deadline.
+	QoS *qos.Spec `json:"qos,omitempty"`
 }
 
 // DefaultSpec returns the demo default policy: SbQA with KnBest(20, 10),
@@ -169,6 +179,9 @@ func (s Spec) Validate() error {
 	}
 	if s.ParticipantDeadline < 0 {
 		return fmt.Errorf("policy: participant_deadline %v cannot be negative", s.ParticipantDeadline.Std())
+	}
+	if err := s.QoS.Validate(); err != nil {
+		return fmt.Errorf("policy: %w", err)
 	}
 	return b.validate(s)
 }

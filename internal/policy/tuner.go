@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sbqa/internal/event"
+	"sbqa/internal/qos"
 )
 
 // Reconfigurer is the control surface the Tuner drives — implemented by the
@@ -70,6 +71,19 @@ type TunerConfig struct {
 	// the mode flips to adaptive. Default 0.25.
 	OmegaStep float64
 
+	// BrownoutShedRate is the shed fraction (shed / submissions per
+	// pressure interval) above which the brownout controller counts a
+	// sample as overload pressure. Default 0.05.
+	BrownoutShedRate float64
+
+	// BrownoutWaitP99 is the queue-wait p99 (seconds) above which a
+	// pressure sample counts as overload. Default 1s.
+	BrownoutWaitP99 float64
+
+	// MinKn is the floor the brownout controller's kn-narrowing step never
+	// goes below. Default 2.
+	MinKn int
+
 	// Logf, when set, receives one line per analysis decision and action
 	// (for operator logs; never required).
 	Logf func(format string, args ...any)
@@ -104,6 +118,15 @@ func (c TunerConfig) withDefaults() TunerConfig {
 	if c.OmegaStep <= 0 {
 		c.OmegaStep = 0.25
 	}
+	if c.BrownoutShedRate <= 0 {
+		c.BrownoutShedRate = 0.05
+	}
+	if c.BrownoutWaitP99 <= 0 {
+		c.BrownoutWaitP99 = 1.0
+	}
+	if c.MinKn <= 0 {
+		c.MinKn = 2
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -123,6 +146,9 @@ type TunerStats struct {
 	Dropped uint64
 	// Actions is how many Reconfigure steps the tuner issued.
 	Actions uint64
+	// BrownoutSteps is how many brownout level changes (up or down) the
+	// pressure controller issued.
+	BrownoutSteps uint64
 }
 
 // Tuner is the autonomic policy controller. Create with NewTuner, feed it
@@ -131,23 +157,34 @@ type TunerStats struct {
 type Tuner struct {
 	cfg TunerConfig
 
-	mu     sync.Mutex
-	target Reconfigurer
+	mu          sync.Mutex
+	target      Reconfigurer
+	brownTarget BrownoutTarget // nil unless BindBrownout
 
 	snaps    chan event.SatisfactionSnapshot
+	pressure chan qos.Pressure
 	stop     chan struct{}
 	done     chan struct{}
 	once     sync.Once
 	stopOnce sync.Once
 
-	snapshots atomic.Uint64
-	dropped   atomic.Uint64
-	actions   atomic.Uint64
+	snapshots  atomic.Uint64
+	dropped    atomic.Uint64
+	actions    atomic.Uint64
+	brownSteps atomic.Uint64
 
 	// Controller state, touched only by the run goroutine.
 	starveStreak int
 	imbalStreak  int
 	lastAction   time.Time
+
+	// Brownout controller state (brownout.go), run goroutine only.
+	pressureSeeded  bool
+	lastEnqueued    uint64
+	lastShed        uint64
+	hotStreak       int
+	calmStreak      int
+	lastBrownAction time.Time
 }
 
 // NewTuner returns a tuner driving target (which may be nil and bound later
@@ -155,11 +192,12 @@ type Tuner struct {
 // The tuner is idle until Start.
 func NewTuner(target Reconfigurer, cfg TunerConfig) *Tuner {
 	return &Tuner{
-		cfg:    cfg.withDefaults(),
-		target: target,
-		snaps:  make(chan event.SatisfactionSnapshot, 16),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg.withDefaults(),
+		target:   target,
+		snaps:    make(chan event.SatisfactionSnapshot, 16),
+		pressure: make(chan qos.Pressure, 16),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -219,9 +257,10 @@ func (t *Tuner) Close() {
 // Stats snapshots the tuner's counters.
 func (t *Tuner) Stats() TunerStats {
 	return TunerStats{
-		Snapshots: t.snapshots.Load(),
-		Dropped:   t.dropped.Load(),
-		Actions:   t.actions.Load(),
+		Snapshots:     t.snapshots.Load(),
+		Dropped:       t.dropped.Load(),
+		Actions:       t.actions.Load(),
+		BrownoutSteps: t.brownSteps.Load(),
 	}
 }
 
@@ -232,6 +271,8 @@ func (t *Tuner) run() {
 		case snap := <-t.snaps:
 			t.snapshots.Add(1)
 			t.analyze(snap)
+		case p := <-t.pressure:
+			t.analyzePressure(p)
 		case <-t.stop:
 			return
 		}

@@ -56,6 +56,7 @@ import (
 	"sbqa/internal/model"
 	"sbqa/internal/persist"
 	"sbqa/internal/policy"
+	"sbqa/internal/qos"
 	"sbqa/internal/satisfaction"
 	"sbqa/internal/score"
 	"sbqa/internal/stats"
@@ -445,6 +446,9 @@ type (
 	// PeerChange reports one cluster peer's health transition
 	// (alive/suspect/down) as seen by the local node.
 	PeerChange = event.PeerChange
+	// ShedEvent reports one query rejected by admission control (deadline
+	// infeasible, class queue full, or brownout) — a shed is never silent.
+	ShedEvent = event.Shed
 )
 
 // MultiObserver fans events out to several observers in order.
@@ -464,6 +468,101 @@ var ErrEngineClosed = live.ErrEngineClosed
 
 // AsDispatchError unwraps err to its *DispatchError, if it carries one.
 func AsDispatchError(err error) (*DispatchError, bool) { return live.AsDispatchError(err) }
+
+// ---------------------------------------------------------------------------
+// QoS: admission control, class-aware scheduling, and load shedding
+// ---------------------------------------------------------------------------
+
+// Overload-survival types. A QoSSpec declares the engine's service classes
+// (weights, optional strict priority, bounded queue depth, token-bucket
+// admission rates); the shard queues become weighted-fair + earliest-
+// deadline-first schedulers, infeasible or over-limit queries shed with a
+// typed *ShedError and a ShedEvent instead of degrading everyone, and the
+// tuner's brownout controller widens shedding under sustained pressure.
+// See DESIGN.md §12.
+type (
+	// QoSSpec is the JSON-serializable overload policy: service classes
+	// plus per-consumer admission rates. Embed it in a PolicySpec's qos
+	// block to hot-swap it through Reconfigure.
+	QoSSpec = qos.Spec
+	// QoSClassSpec declares one service class (name, weight, priority,
+	// max queue depth, class-wide admission rate/burst).
+	QoSClassSpec = qos.ClassSpec
+	// QoSStats is one shard scheduler's point-in-time ledger: per-class
+	// depths, high-water marks, cumulative enqueued/dequeued/shed.
+	QoSStats = qos.Stats
+	// QoSClassStats is one class's slice of QoSStats.
+	QoSClassStats = qos.ClassStats
+	// QoSPressure is the aggregated overload signal the brownout
+	// controller consumes (cumulative enqueued/shed, queue-wait p99).
+	QoSPressure = qos.Pressure
+	// QoSLimiter is the gateway-side token-bucket admission filter
+	// (per-consumer and per-class).
+	QoSLimiter = qos.Limiter
+	// QoSDecision is one admission verdict, carrying the retry-after
+	// hint for rejected submissions.
+	QoSDecision = qos.Decision
+	// ShedError is the typed load-shedding failure a shed ticket reports:
+	// it matches ErrShed with errors.Is and carries the query, its class,
+	// the shed reason, and the queue state that triggered it.
+	ShedError = live.ShedError
+)
+
+// The built-in QoS class names (any spec may declare others).
+const (
+	// QoSInteractive is the latency-sensitive top class.
+	QoSInteractive = qos.Interactive
+	// QoSBatch is the throughput class.
+	QoSBatch = qos.Batch
+	// QoSBackground is the first class shed under pressure.
+	QoSBackground = qos.Background
+)
+
+// Shed reasons carried by ShedError and ShedEvent.
+const (
+	// ShedDeadline: the deadline cannot be met at current queue depth.
+	ShedDeadline = qos.ReasonDeadline
+	// ShedQueueFull: the class queue is at its configured bound.
+	ShedQueueFull = qos.ReasonQueueFull
+	// ShedBrownout: the brownout level currently sheds this class.
+	ShedBrownout = qos.ReasonBrownout
+	// ShedRateLimit: a gateway token bucket rejected the submission.
+	ShedRateLimit = qos.ReasonRateLimit
+)
+
+// ErrShed reports a query rejected by admission control rather than
+// mediated (match with errors.Is; unwrap details with AsShedError).
+var ErrShed = live.ErrShed
+
+// AsShedError unwraps err to its *ShedError, if it carries one.
+func AsShedError(err error) (*ShedError, bool) { return live.AsShedError(err) }
+
+// DefaultQoSSpec returns the three-class default: interactive (weight 8,
+// strict priority), batch (weight 3), background (weight 1).
+func DefaultQoSSpec() QoSSpec { return qos.DefaultSpec() }
+
+// NewQoSLimiter builds a token-bucket admission filter from spec; now is
+// the clock in seconds (pass a fake for tests). A nil limiter admits
+// everything.
+func NewQoSLimiter(spec QoSSpec, now func() float64) *QoSLimiter {
+	return qos.NewLimiter(spec, now)
+}
+
+// WithQoS installs the engine's overload-survival configuration: class-aware
+// shard scheduling (weighted fair with strict-priority classes, EDF within a
+// class) and load shedding with typed errors and events. Takes precedence
+// over the construction policy's qos block.
+func WithQoS(spec QoSSpec) EngineOption { return live.WithQoS(spec) }
+
+// WithQoSClass queues one submission under the named QoS class; unknown
+// names fold into the spec's default class.
+func WithQoSClass(class string) QueryOption { return live.WithQoSClass(class) }
+
+// WithDeadline gives one submission a completion deadline relative to
+// submission time; a query whose deadline cannot be met — estimated from the
+// shard's service-time EWMA and current queue depth — sheds immediately
+// instead of waiting to fail.
+func WithDeadline(d time.Duration) QueryOption { return live.WithDeadline(d) }
 
 // NewEngine builds the asynchronous sharded mediation engine:
 //
