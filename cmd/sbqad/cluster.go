@@ -180,9 +180,31 @@ func (g *gateway) forward(w http.ResponseWriter, r *http.Request, owner sbqa.Clu
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(sbqa.ClusterForwardedFromHeader, g.node.Self().ID)
+	// A sampled submission propagates its trace context to the owner as a
+	// W3C traceparent, so both nodes' segments share one trace ID.
+	tc, traced := traceContextFrom(r.Context())
+	if traced {
+		req.Header.Set(sbqa.TraceparentHeader, sbqa.FormatTraceparent(tc))
+	}
+	fwStart := sbqa.TraceNow()
 	start := time.Now()
 	resp, err := g.forwardClient.Do(req)
 	g.cmx.observe(time.Since(start), err == nil)
+	if traced {
+		if tr := g.engine().Tracer(); tr != nil {
+			tr.RecordSpan(tc.ID, sbqa.TraceSpan{
+				Name: sbqa.StageForward, Class: owner.ID,
+				Start: fwStart, End: sbqa.TraceNow(),
+			})
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			// This node's segment ends here; the owner records the rest of
+			// the pipeline under the same trace ID.
+			tr.Finish(tc.ID, "forwarded", errStr, nil)
+		}
+	}
 	if err != nil {
 		writeRoutedError(w, "peer_down", owner, fmt.Errorf("forwarding to node %s: %w", owner.ID, err))
 		return

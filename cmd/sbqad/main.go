@@ -37,6 +37,14 @@
 //	                          journal replay complete, then 200 + restore summary
 //	GET    /v1/cluster        cluster mode: ring membership, peer health, and
 //	                          replication positions as seen by this node
+//	GET    /v1/queries/{id}/trace  one sampled query's full trace: per-stage
+//	                          spans plus the allocation explain record
+//	                          (needs -trace-sample > 0)
+//	GET    /v1/debug/traces   the flight recorder's slow-query log
+//	                          (?min_ms= filters, ?limit= caps)
+//	GET    /v1/debug/explain/{id}  just the explain record: the ranked
+//	                          per-provider score breakdown of one mediation
+//	GET    /debug/pprof/      net/http/pprof, only with -debug-pprof
 //
 // With -node-id and -peers the daemon joins a static mediation cluster: a
 // consistent-hash ring over consumer IDs assigns each consumer an owning
@@ -130,8 +138,15 @@ func main() {
 			"per-consumer admission burst (0 = rate-derived default)")
 		qosMaxDepth = flag.Int("qos-max-depth", 0,
 			"per-class queue bound with -qos: past it submissions shed with a 503 instead of blocking (0 = blocking backpressure at -queue-depth)")
+		traceSample = flag.Float64("trace-sample", 0,
+			"fraction of queries to trace end-to-end (deterministic 1-in-N; 0 disables local sampling, forwarded sampled traces still record); traces land in the flight recorder at GET /v1/debug/traces")
+		traceBuffer = flag.Int("trace-buffer", 256,
+			"flight-recorder ring capacity in finished traces")
+		debugPprof = flag.Bool("debug-pprof", false,
+			"mount net/http/pprof under /debug/pprof/ (off by default; exposes runtime internals)")
 	)
 	flag.Parse()
+	enablePprof = *debugPprof
 
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -212,6 +227,10 @@ func main() {
 		sbqa.WithPolicy(spec),
 		sbqa.WithQueueDepth(*queue),
 		sbqa.WithSnapshotInterval(*snapshot),
+		// The recorder always exists so forwarded sampled traces record on
+		// this node even with -trace-sample 0; unsampled queries pay one
+		// branch per pipeline stage and zero allocations.
+		sbqa.WithTracing(*traceSample, *traceBuffer),
 	}
 	if deadlineFlagSet || spec.ParticipantDeadline == 0 {
 		opts = append(opts, sbqa.WithParticipantDeadline(*deadline))

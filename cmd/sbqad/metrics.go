@@ -8,12 +8,36 @@ package main
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 
 	"sbqa"
 )
+
+// buildVersion resolves the daemon's version from the embedded module build
+// info once at startup: the module version when built from a tagged module,
+// else the VCS revision, else "dev".
+var buildVersion = func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "dev"
+}()
 
 // metricsWriter accumulates one exposition document.
 type metricsWriter struct {
@@ -55,6 +79,9 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	eng := g.engine()
 	m.header("sbqa_ready", "1 once the engine is built and any persisted state is restored.", "gauge")
 	m.sample("sbqa_ready", b2f(eng != nil))
+	m.header("sbqa_build_info", "Build identity as labels; the value is always 1.", "gauge")
+	m.sample("sbqa_build_info", 1, "version", buildVersion, "go_version", runtime.Version())
+	writeRuntimeMetrics(m)
 	if eng == nil {
 		// Liveness-only document during the restore window: a scraper sees
 		// the daemon up but not ready.
@@ -157,12 +184,60 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		m.sample("sbqa_persist_restore_torn_tail", b2f(ps.Restore.TornTail))
 	}
 
+	if tr := eng.Tracer(); tr != nil {
+		writeTraceMetrics(m, tr)
+	}
+
 	if g.node != nil {
 		g.writeClusterMetrics(m)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(m.b.String()))
+}
+
+// writeRuntimeMetrics appends the Go runtime health gauges — present even
+// during the restore window, since runtime pressure is exactly what an
+// operator wants to see while a large journal replays.
+func writeRuntimeMetrics(m *metricsWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.header("sbqa_go_goroutines", "Goroutines currently running.", "gauge")
+	m.sample("sbqa_go_goroutines", float64(runtime.NumGoroutine()))
+	m.header("sbqa_go_heap_inuse_bytes", "Heap bytes in in-use spans.", "gauge")
+	m.sample("sbqa_go_heap_inuse_bytes", float64(ms.HeapInuse))
+	m.header("sbqa_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter")
+	m.sample("sbqa_go_gc_pause_seconds_total", float64(ms.PauseTotalNs)/1e9)
+}
+
+// writeTraceMetrics appends the tracing families: per-stage latency
+// histograms fed from the very span endpoints the flight recorder retains
+// (metrics and traces share one clock and cannot disagree), plus the
+// recorder's own counters.
+func writeTraceMetrics(m *metricsWriter, tr *sbqa.TraceRecorder) {
+	buckets := sbqa.TraceStageBuckets()
+	m.header("sbqa_stage_seconds", "Mediation pipeline stage latency, by stage, from sampled traces.", "histogram")
+	for _, s := range tr.StageSnapshots() {
+		for i, le := range buckets {
+			m.sample("sbqa_stage_seconds_bucket", float64(s.Buckets[i]),
+				"stage", s.Stage, "le", strconv.FormatFloat(le, 'g', -1, 64))
+		}
+		m.sample("sbqa_stage_seconds_bucket", float64(s.Count), "stage", s.Stage, "le", "+Inf")
+		m.sample("sbqa_stage_seconds_sum", s.Sum, "stage", s.Stage)
+		m.sample("sbqa_stage_seconds_count", float64(s.Count), "stage", s.Stage)
+	}
+
+	st := tr.StatsSnapshot()
+	m.header("sbqa_traces_started_total", "Traces started (sampled locally or adopted from a forward).", "counter")
+	m.sample("sbqa_traces_started_total", float64(st.Started))
+	m.header("sbqa_traces_finished_total", "Traces finished and published to the flight recorder.", "counter")
+	m.sample("sbqa_traces_finished_total", float64(st.Finished))
+	m.header("sbqa_traces_active", "Traces currently in flight.", "gauge")
+	m.sample("sbqa_traces_active", float64(st.Active))
+	m.header("sbqa_trace_spans_dropped_total", "Spans dropped past a trace's span cap.", "counter")
+	m.sample("sbqa_trace_spans_dropped_total", float64(st.SpansDropped))
+	m.header("sbqa_traces_evicted_total", "Finished traces evicted from the full flight-recorder ring.", "counter")
+	m.sample("sbqa_traces_evicted_total", float64(st.Evicted))
 }
 
 // writeQoSMetrics appends the overload-survival families: sheds by class

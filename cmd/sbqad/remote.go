@@ -46,6 +46,15 @@ func toWireQuery(q sbqa.Query) wireQuery {
 	}
 }
 
+// queryTraceparent renders a sampled query's trace context for webhook
+// propagation; empty when the query is untraced.
+func queryTraceparent(q sbqa.Query) string {
+	if !q.Trace.Sampled {
+		return ""
+	}
+	return sbqa.FormatTraceparent(q.Trace)
+}
+
 // wireSnapshot is the webhook-side view of a candidate provider.
 type wireSnapshot struct {
 	ID          int     `json:"id"`
@@ -70,7 +79,9 @@ type workerWebhookResponse struct {
 
 // postWebhookJSON POSTs req to url and decodes the response into out. The context
 // carries the per-participant deadline the engine's fan-out applies.
-func postWebhookJSON(ctx context.Context, client *http.Client, url string, req, out any) error {
+// traceparent, when non-empty, propagates the mediation's trace context so
+// participant-side handling can join the query's trace.
+func postWebhookJSON(ctx context.Context, client *http.Client, url, traceparent string, req, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
@@ -80,6 +91,9 @@ func postWebhookJSON(ctx context.Context, client *http.Client, url string, req, 
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		httpReq.Header.Set(sbqa.TraceparentHeader, traceparent)
+	}
 	resp, err := client.Do(httpReq)
 	if err != nil {
 		return err
@@ -125,7 +139,7 @@ func (rc *remoteConsumer) Intentions(ctx context.Context, q sbqa.Query, kn []sbq
 		}
 	}
 	var resp consumerWebhookResponse
-	if err := postWebhookJSON(ctx, rc.client, rc.url, req, &resp); err != nil {
+	if err := postWebhookJSON(ctx, rc.client, rc.url, queryTraceparent(q), req, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Intentions) != len(kn) {
@@ -155,7 +169,7 @@ type remoteWorker struct {
 // IntentionContext implements sbqa.ProviderParticipant over the webhook.
 func (rw *remoteWorker) IntentionContext(ctx context.Context, q sbqa.Query) (sbqa.Intention, error) {
 	var resp workerWebhookResponse
-	if err := postWebhookJSON(ctx, rw.client, rw.url, intentionWebhookRequest{Query: toWireQuery(q)}, &resp); err != nil {
+	if err := postWebhookJSON(ctx, rw.client, rw.url, queryTraceparent(q), intentionWebhookRequest{Query: toWireQuery(q)}, &resp); err != nil {
 		return 0, err
 	}
 	return sbqa.Intention(resp.Intention).Clamp(), nil

@@ -8,6 +8,7 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -234,6 +235,9 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", g.handleRegisterWorker)
 	mux.HandleFunc("DELETE /v1/workers/{id}", g.handleUnregisterWorker)
 	mux.HandleFunc("POST /v1/queries", g.handleSubmit)
+	mux.HandleFunc("GET /v1/queries/{id}/trace", g.handleQueryTrace)
+	mux.HandleFunc("GET /v1/debug/traces", g.handleDebugTraces)
+	mux.HandleFunc("GET /v1/debug/explain/{id}", g.handleDebugExplain)
 	mux.HandleFunc("GET /v1/policy", g.handleGetPolicy)
 	mux.HandleFunc("PUT /v1/policy", g.handlePutPolicy)
 	mux.HandleFunc("POST /v1/policy/preview", g.handlePolicyPreview)
@@ -247,6 +251,13 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("POST "+sbqa.ClusterSegmentsPath, g.handleSegmentsPost)
 	mux.HandleFunc("POST "+sbqa.ClusterForwardPath, g.handleSubmit)
 	mux.HandleFunc("POST "+sbqa.ClusterForwardConsumersPath, g.handleRegisterConsumer)
+	if enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -458,9 +469,26 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	admStart := sbqa.TraceNow()
 	var req queryRequest
 	if !decodeJSON(w, r, &req) {
 		return
+	}
+	// Tracing: adopt an inbound traceparent (a forwarded hop, or an
+	// upstream client carrying its own trace) or draw this node's sampling
+	// decision. A sampled context rides the request context so a cluster
+	// forward can propagate it and record the hop as a span.
+	tr := eng.Tracer()
+	var tc sbqa.TraceContext
+	if tr != nil {
+		if inbound, ok := sbqa.ParseTraceparent(r.Header.Get(sbqa.TraceparentHeader)); ok {
+			tc = tr.StartRemote(inbound)
+		} else {
+			tc, _ = tr.StartLocal()
+		}
+		if tc.Sampled {
+			r = r.WithContext(withTraceContext(r.Context(), tc))
+		}
 	}
 	if !g.routeOrForward(w, r, req.Consumer, sbqa.ClusterForwardPath, &g.cmx.fwdQueries, req) {
 		return
@@ -475,6 +503,13 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		class, _ := lim.Resolve(req.QoS)
 		if d := lim.Allow(int64(req.Consumer), class); !d.OK {
 			g.admissionRejected.Add(1)
+			if tc.Sampled {
+				tr.RecordSpan(tc.ID, sbqa.TraceSpan{
+					Name: sbqa.StageAdmission, Class: req.QoS,
+					Start: admStart, End: sbqa.TraceNow(),
+				})
+				tr.Finish(tc.ID, "rejected", "rate_limited", nil)
+			}
 			writeRetryable(w, http.StatusTooManyRequests, rejectJSON{
 				Error:        "rate_limited",
 				Scope:        d.Scope,
@@ -489,6 +524,16 @@ func (g *gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Class:    req.Class,
 		N:        req.N,
 		Work:     req.Work,
+		Trace:    tc,
+	}
+	// The admission span must land before Submit: from the moment the
+	// ticket enqueues, the asynchronous pipeline may finish the trace at
+	// any time, and spans recorded after Finish are not retained.
+	if tc.Sampled {
+		tr.RecordSpan(tc.ID, sbqa.TraceSpan{
+			Name: sbqa.StageAdmission, Class: req.QoS,
+			Start: admStart, End: sbqa.TraceNow(),
+		})
 	}
 	var qopts []sbqa.QueryOption
 	if req.QoS != "" {

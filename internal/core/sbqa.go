@@ -310,6 +310,31 @@ func (s *SbQA) Allocate(ctx context.Context, env alloc.Env, q model.Query, candi
 			a.Selected[r] = s.scr.ids[i]
 		}
 	}
+	if q.Trace.Sampled {
+		// Sampled query: capture the full ranked score breakdown — every
+		// Definition-3 input per candidate — while the scratch columns are
+		// still position-aligned. Costs heap only on sampled mediations.
+		ex := &model.Explain{
+			Allocator:  s.Name(),
+			SatC:       satC,
+			Candidates: len(candidates),
+			Entries:    make([]model.ExplainEntry, m),
+		}
+		for r, i := range s.scr.order {
+			ex.Entries[r] = model.ExplainEntry{
+				Rank:      r + 1,
+				Provider:  s.scr.ids[i],
+				CI:        set.CI[i],
+				PI:        set.PI[i],
+				SatP:      satP[i],
+				Omega:     s.scr.omega[i],
+				Score:     s.scr.scores[i],
+				CIImputed: set.CIImputed,
+				PIImputed: set.ProviderImputed(i),
+			}
+		}
+		a.Explain = ex
+	}
 	return a, nil
 }
 

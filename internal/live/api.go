@@ -17,6 +17,7 @@ import (
 	"sbqa/internal/policy"
 	"sbqa/internal/qos"
 	"sbqa/internal/satisfaction"
+	"sbqa/internal/trace"
 )
 
 // ErrEngineClosed is returned (via the ticket) for submissions made after
@@ -116,6 +117,20 @@ func WithQoS(spec qos.Spec) Option { return func(c *Config) { c.QoS = &spec } }
 // default) disables snapshots.
 func WithSnapshotInterval(d time.Duration) Option {
 	return func(c *Config) { c.SnapshotInterval = d }
+}
+
+// WithTracing enables the engine's mediation tracer: each sampled query is
+// stamped with a trace context and records one span per pipeline stage
+// (admission, queue wait, fan-out, per-participant intention calls,
+// imputation, scoring, dispatch) plus an allocation explain record, all
+// landing in a bounded in-memory ring — the flight recorder — readable
+// through Engine.Tracer. sample is the fraction of queries traced
+// (deterministic 1-in-N; 1.0 traces everything, <=0 disables); buffer is
+// the number of finished traces retained (<=0 means the default 256).
+// Unsampled queries pay one predictable branch per instrumentation site and
+// zero allocations — the mediation hot path is unchanged.
+func WithTracing(sample float64, buffer int) Option {
+	return func(c *Config) { c.Trace = &trace.Config{Sample: sample, Buffer: buffer} }
 }
 
 // WithParticipantDeadline bounds each context-aware participant call during
@@ -406,6 +421,23 @@ func (e *Engine) shardLoop(i int) {
 			e.shedTickets(item.tickets, res.Info)
 			continue
 		}
+		if tr := e.svc.tracer; tr != nil {
+			// The scheduler's own wait measurement becomes the queue span:
+			// end = dequeue, start = end minus the measured wait. Recorded
+			// before the mediation so it always precedes the trace's Finish.
+			end := trace.Now()
+			qStart := end - int64(res.Wait*1e9)
+			for _, t := range item.tickets {
+				if t.query.Trace.Sampled {
+					tr.RecordSpan(t.query.Trace.ID, trace.Span{
+						Name:  trace.StageQueue,
+						Class: res.Class,
+						Start: qStart,
+						End:   end,
+					})
+				}
+			}
+		}
 		start := e.svc.nowFn()
 		if item.batch {
 			e.svc.processGroup(item.ctx, sh, item.tickets)
@@ -441,6 +473,7 @@ func (e *Engine) shedTickets(tickets []*Ticket, info qos.ShedInfo) {
 				EstimatedWait: info.EstimatedWait,
 			})
 		}
+		e.svc.traceFinish(t.query, "shed", nil, nil)
 	}
 }
 
@@ -491,9 +524,18 @@ func (e *Engine) Submit(ctx context.Context, q model.Query, opts ...QueryOption)
 	if so.deadline > 0 {
 		q.Deadline = q.IssuedAt + so.deadline.Seconds()
 	}
+	if tr := e.svc.tracer; tr != nil {
+		if !q.Trace.Decided {
+			q.Trace, _ = tr.StartLocal()
+		}
+		if q.Trace.Sampled {
+			tr.Annotate(q.Trace.ID, q.ID, q.Consumer)
+		}
+	}
 	t := newTicket(q, so.results, !so.fireAndForget)
 	if err := e.guardSubmit(q); err != nil {
 		t.finish(nil, err, nil, 0)
+		e.svc.traceFinish(q, "rejected", err, nil)
 		return t
 	}
 	e.enqueue(ctx, e.svc.shardIndex(q.Consumer), q.QoS, q.Deadline, engineItem{ctx: ctx, tickets: []*Ticket{t}})
@@ -555,11 +597,20 @@ func (e *Engine) SubmitBatch(ctx context.Context, queries []model.Query, opts ..
 		if so.deadline > 0 {
 			q.Deadline = now + so.deadline.Seconds()
 		}
+		if tr := e.svc.tracer; tr != nil {
+			if !q.Trace.Decided {
+				q.Trace, _ = tr.StartLocal()
+			}
+			if q.Trace.Sampled {
+				tr.Annotate(q.Trace.ID, q.ID, q.Consumer)
+			}
+		}
 		t := newTicket(q, so.results, !so.fireAndForget)
 		tickets[i] = t
 		if err := e.guardSubmit(q); err != nil {
 			// The guard rejects per query: the rest of the batch proceeds.
 			t.finish(nil, err, nil, 0)
+			e.svc.traceFinish(q, "rejected", err, nil)
 			continue
 		}
 		key := groupKey{idx: e.svc.shardIndex(q.Consumer), class: q.QoS}
@@ -592,6 +643,9 @@ func (e *Engine) enqueue(ctx context.Context, idx int, class string, deadline fl
 			err = ErrEngineClosed
 		}
 		failTickets(item.tickets, err)
+		for _, t := range item.tickets {
+			e.svc.traceFinish(t.query, "rejected", err, nil)
+		}
 	case info != nil:
 		e.shedTickets(item.tickets, *info)
 	}
@@ -678,6 +732,11 @@ func (e *Engine) Reconfigure(ctx context.Context, spec policy.Spec) error {
 // Tuner returns the engine's autonomic policy tuner, or nil when the
 // engine was built without WithTuner.
 func (e *Engine) Tuner() *policy.Tuner { return e.tuner }
+
+// Tracer returns the engine's mediation tracer, or nil when the engine was
+// built without WithTracing. The gateway's trace and debug endpoints read
+// from it.
+func (e *Engine) Tracer() *trace.Recorder { return e.svc.Tracer() }
 
 // PersistStore returns the engine's durability store — nil unless the
 // engine was built WithPersistence. The cluster replicator streams sealed

@@ -16,6 +16,7 @@ import (
 	"sbqa/internal/policy"
 	"sbqa/internal/qos"
 	"sbqa/internal/satisfaction"
+	"sbqa/internal/trace"
 )
 
 // Config assembles a sharded mediation engine. The zero value is not usable
@@ -118,6 +119,13 @@ type Config struct {
 	// engine's lifecycle: restore on construction, flush on Close).
 	PersistDir  string
 	PersistOpts []persist.Option
+
+	// Trace, when set (WithTracing), builds the engine's flight recorder:
+	// sampled queries record one span per pipeline stage plus the
+	// allocation explain record, readable through Service.Tracer(). Nil
+	// disables tracing entirely — the hot path then pays one nil check
+	// per submission and nothing else.
+	Trace *trace.Config
 }
 
 // shard is one mediation lane: a single-threaded mediator behind its own
@@ -200,6 +208,9 @@ type Service struct {
 	// (WithParticipantDeadline); policies without a deadline of their own
 	// run under it (see Reconfigure).
 	baseDeadline time.Duration
+
+	// tracer is the flight recorder (WithTracing); nil disables tracing.
+	tracer *trace.Recorder
 }
 
 // NewService returns a single-shard service running the given allocation
@@ -254,6 +265,9 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 	if cfg.Observer != nil {
 		s.dir.SetObserver(cfg.Observer)
 	}
+	if cfg.Trace != nil {
+		s.tracer = trace.New(*cfg.Trace)
+	}
 	for i := range s.shards {
 		a := cfg.Allocator
 		if cfg.Policy != nil {
@@ -273,6 +287,7 @@ func NewServiceWithConfig(cfg Config) (*Service, error) {
 			Registry:            s.reg,
 			Directory:           s.dir,
 			ParticipantDeadline: cfg.ParticipantDeadline,
+			Tracer:              s.tracer,
 		})
 		s.shards[i] = sh
 	}
@@ -287,6 +302,24 @@ func (s *Service) Shards() int { return len(s.shards) }
 
 // Directory exposes the shared participant catalog.
 func (s *Service) Directory() *directory.Directory { return s.dir }
+
+// Tracer exposes the flight recorder, or nil when the engine was built
+// without WithTracing. Callers read traces and stage histograms from it;
+// gateways also use it to start trace contexts before submission.
+func (s *Service) Tracer() *trace.Recorder { return s.tracer }
+
+// traceFinish closes a sampled query's trace with the given outcome.
+// No-op for unsampled queries and untraced engines.
+func (s *Service) traceFinish(q model.Query, status string, err error, explain *model.Explain) {
+	if !q.Trace.Sampled || s.tracer == nil {
+		return
+	}
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	s.tracer.Finish(q.Trace.ID, status, errStr, explain)
+}
 
 // Registry exposes the shared lock-striped satisfaction registry.
 func (s *Service) Registry() *satisfaction.Registry { return s.reg }
@@ -361,6 +394,16 @@ func (s *Service) ConsumerSatisfaction(id model.ConsumerID) float64 {
 func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Result) (*model.Allocation, error) {
 	q.ID = model.QueryID(s.nextID.Add(1))
 	q.IssuedAt = s.nowFn()
+	if s.tracer != nil {
+		// Adopt an upstream trace context (gateway or forwarded) as-is;
+		// draw a fresh sampling decision only when no layer above has.
+		if !q.Trace.Decided {
+			q.Trace, _ = s.tracer.StartLocal()
+		}
+		if q.Trace.Sampled {
+			s.tracer.Annotate(q.Trace.ID, q.ID, q.Consumer)
+		}
+	}
 	sh := s.shardFor(q.Consumer)
 	sh.mu.Lock()
 	sh.applyPolicy() // adopt a reconfigured policy at the mediation boundary
@@ -374,9 +417,23 @@ func (s *Service) Submit(ctx context.Context, q model.Query, results chan<- Resu
 				s.obs.OnDispatchFailure(q, nil, err)
 			}
 		}
+		s.traceFinish(q, "rejected", err, nil)
 		return nil, err
 	}
+	var dStart int64
+	if q.Trace.Sampled {
+		dStart = trace.Now()
+	}
 	derr := s.dispatchSelected(ctx, q, a, results)
+	if q.Trace.Sampled && s.tracer != nil {
+		s.tracer.RecordSpan(q.Trace.ID, trace.Span{
+			Name:  trace.StageDispatch,
+			Start: dStart,
+			End:   trace.Now(),
+			Extra: int64(len(a.Selected)),
+		})
+		s.traceFinish(q, "allocated", derr, a.Explain)
+	}
 	if derr != nil {
 		sh.dispatchFailures.Add(1)
 		if s.obs != nil {
@@ -442,6 +499,7 @@ func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *mod
 			}
 		}
 		t.finish(nil, merr, nil, 0)
+		s.traceFinish(t.query, "rejected", merr, nil)
 		return
 	}
 	ch := t.userResults
@@ -453,7 +511,19 @@ func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *mod
 		t.abandonCh = make(chan model.ProviderID, len(workers))
 		ch = t.resCh
 	}
+	var dStart int64
+	if t.query.Trace.Sampled {
+		dStart = trace.Now()
+	}
 	err := s.dispatch(ctx, t.query, workers, ch, t.abandonCh)
+	if t.query.Trace.Sampled && s.tracer != nil {
+		s.tracer.RecordSpan(t.query.Trace.ID, trace.Span{
+			Name:  trace.StageDispatch,
+			Start: dStart,
+			End:   trace.Now(),
+			Extra: int64(len(workers)),
+		})
+	}
 	expected := len(workers)
 	if err != nil {
 		sh.dispatchFailures.Add(1)
@@ -468,6 +538,7 @@ func (s *Service) finishTicket(ctx context.Context, t *Ticket, sh *shard, a *mod
 		expected = 0
 	}
 	t.finish(a, err, t.resCh, expected)
+	s.traceFinish(t.query, "allocated", err, a.Explain)
 }
 
 // selectedWorkers resolves the dispatchable executors of an allocation.

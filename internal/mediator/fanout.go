@@ -9,6 +9,7 @@ import (
 	"sbqa/internal/alloc"
 	"sbqa/internal/event"
 	"sbqa/internal/model"
+	"sbqa/internal/trace"
 )
 
 // This file implements the default adapter behind the v2 batched intention
@@ -104,11 +105,39 @@ func (m *Mediator) imputedConsumerIntention(c model.ConsumerID) model.Intention 
 // every imputation to the configured observer, in candidate order (the
 // consumer's event first), on the mediating goroutine.
 func (e env) Intentions(ctx context.Context, q model.Query, kn []model.ProviderSnapshot) (alloc.IntentionSet, error) {
+	if !q.Trace.Sampled {
+		set, err := e.collect(ctx, q, kn, true)
+		if err != nil {
+			return set, err
+		}
+		e.m.emitImputations(q, kn, &set)
+		return set, nil
+	}
+	// Sampled: bracket the collection and the imputation report with their
+	// stage spans, and stash the end time so the mediator's score span can
+	// subtract the fan-out from the allocator's wall time.
+	fanStart := trace.Now()
 	set, err := e.collect(ctx, q, kn, true)
+	fanEnd := trace.Now()
+	e.m.tracer.RecordSpan(q.Trace.ID, trace.Span{
+		Name:  trace.StageFanout,
+		Start: fanStart,
+		End:   fanEnd,
+		Extra: int64(len(kn)),
+	})
 	if err != nil {
+		e.m.lastFanoutEnd = fanEnd
 		return set, err
 	}
 	e.m.emitImputations(q, kn, &set)
+	impEnd := trace.Now()
+	e.m.tracer.RecordSpan(q.Trace.ID, trace.Span{
+		Name:  trace.StageImpute,
+		Start: fanEnd,
+		End:   impEnd,
+		Extra: int64(set.ImputedCount()),
+	})
+	e.m.lastFanoutEnd = impEnd
 	return set, nil
 }
 
@@ -219,9 +248,25 @@ func (e env) collectFanout(ctx context.Context, q model.Query, kn []model.Provid
 				wg.Add(1)
 				go func(i int, id model.ProviderID, pp ProviderParticipant) {
 					defer wg.Done()
+					var pStart int64
+					if q.Trace.Sampled {
+						pStart = trace.Now()
+					}
 					v, err := callWithDeadline(ctx, deadline, func(ctx context.Context) (model.Intention, error) {
 						return pp.IntentionContext(ctx, q)
 					})
+					if q.Trace.Sampled {
+						// Recorder appends are mutex-guarded and wg.Wait
+						// below orders every append before the trace can
+						// finish.
+						e.m.tracer.RecordSpan(q.Trace.ID, trace.Span{
+							Name:  trace.StageParticipant,
+							Class: "provider",
+							Start: pStart,
+							End:   trace.Now(),
+							Extra: int64(id),
+						})
+					}
 					if err != nil {
 						v = e.m.imputedProviderIntention(id)
 						mu.Lock()
@@ -240,9 +285,22 @@ func (e env) collectFanout(ctx context.Context, q model.Query, kn []model.Provid
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var cStart int64
+			if q.Trace.Sampled {
+				cStart = trace.Now()
+			}
 			vals, err := callWithDeadline(ctx, deadline, func(ctx context.Context) ([]model.Intention, error) {
 				return cp.Intentions(ctx, q, kn)
 			})
+			if q.Trace.Sampled {
+				e.m.tracer.RecordSpan(q.Trace.ID, trace.Span{
+					Name:  trace.StageParticipant,
+					Class: "consumer",
+					Start: cStart,
+					End:   trace.Now(),
+					Extra: int64(q.Consumer),
+				})
+			}
 			if err == nil && len(vals) != len(kn) {
 				err = fmt.Errorf("mediator: consumer %d returned %d intentions for %d candidates",
 					q.Consumer, len(vals), len(kn))

@@ -37,6 +37,7 @@ import (
 	"sbqa/internal/event"
 	"sbqa/internal/model"
 	"sbqa/internal/satisfaction"
+	"sbqa/internal/trace"
 )
 
 // Consumer is the mediator-side view of a consumer. It is an alias of the
@@ -168,6 +169,12 @@ type Config struct {
 	// mediation context limits the calls. In-process participants (the
 	// synchronous directory contracts) are never subject to it.
 	ParticipantDeadline time.Duration
+
+	// Tracer, when set, receives the pipeline-stage spans (fan-out,
+	// imputation, scoring) of sampled queries — queries whose
+	// q.Trace.Sampled is true. Unsampled queries never touch it; a nil
+	// tracer records nothing even for sampled queries.
+	Tracer *trace.Recorder
 }
 
 // Mediator is the pipeline. One instance is not safe for concurrent use;
@@ -215,6 +222,15 @@ type Mediator struct {
 	snapGen      []uint64
 	cacheGen     uint64
 	batchIndexed bool // inside MediateBatch over an IndexedDirectory
+
+	// tracer is the per-query span sink for sampled queries (nil-safe).
+	tracer *trace.Recorder
+	// lastFanoutEnd stashes when the most recent intention collection of
+	// the in-flight sampled mediation ended, so the score span measures
+	// the allocator's own ranking work net of the fan-out it triggered.
+	// Reset before each Allocate; zero means the allocator never fanned
+	// out. Scratch like the buffers above: single mediating goroutine.
+	lastFanoutEnd int64
 }
 
 // New returns a mediator running the given allocation technique.
@@ -236,6 +252,7 @@ func New(allocator alloc.Allocator, cfg Config) *Mediator {
 	}
 	m.idir, _ = dir.(IndexedDirectory)
 	m.envBox.m = m
+	m.tracer = cfg.Tracer
 	return m
 }
 
@@ -527,7 +544,26 @@ func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cach
 			return nil, m.reject(q, ErrNoCandidates)
 		}
 
+		var scoreStart int64
+		if q.Trace.Sampled {
+			m.lastFanoutEnd = 0
+			scoreStart = trace.Now()
+		}
 		a, err := m.allocator.Allocate(ctx, e, q, snaps)
+		if q.Trace.Sampled {
+			// The score span is the allocator's ranking work net of any
+			// intention fan-out it triggered (which records its own span
+			// and stashes its end time).
+			if m.lastFanoutEnd > scoreStart {
+				scoreStart = m.lastFanoutEnd
+			}
+			m.tracer.RecordSpan(q.Trace.ID, trace.Span{
+				Name:  trace.StageScore,
+				Start: scoreStart,
+				End:   trace.Now(),
+				Extra: int64(len(snaps)),
+			})
+		}
 		if err != nil {
 			// Protocol failure: the context was canceled mid-fan-out or
 			// the batched collection aborted. The query was never
@@ -561,6 +597,13 @@ func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cach
 		// consumes it synchronously (no tracker retains it), and the
 		// allocation's own intention vectors are allocation-owned copies, so
 		// the overwrite is safe.
+		if q.Trace.Sampled && a.Explain == nil {
+			// Interest-blind allocators build no explain record of their
+			// own; reconstruct one from the backfilled allocation so every
+			// sampled query can answer "why these providers".
+			a.Explain = m.genericExplain(a, len(snaps))
+		}
+
 		var candidateCI []model.Intention
 		if m.cfg.AnalyzeBest {
 			if set, cerr := e.collect(ctx, q, snaps, false); cerr == nil {
@@ -576,6 +619,38 @@ func (m *Mediator) mediate(ctx context.Context, now float64, q model.Query, cach
 		}
 		return a, nil
 	}
+}
+
+// genericExplain reconstructs an explain record for allocators that do not
+// produce one themselves (every baseline): the backfilled proposal-aligned
+// intentions and scores, plus registry satisfactions. Runs only for
+// sampled queries — the one heap allocation per entry slice is the
+// sampling budget, not the hot path.
+func (m *Mediator) genericExplain(a *model.Allocation, candidates int) *model.Explain {
+	ex := &model.Explain{
+		Allocator:  fmt.Sprintf("%T", m.allocator),
+		SatC:       m.registry.ConsumerSatisfaction(a.Query.Consumer),
+		Candidates: candidates,
+		Entries:    make([]model.ExplainEntry, len(a.Proposed)),
+	}
+	for i, id := range a.Proposed {
+		en := model.ExplainEntry{
+			Rank:     i + 1,
+			Provider: id,
+			SatP:     m.registry.ProviderSatisfaction(id),
+		}
+		if i < len(a.ConsumerIntentions) {
+			en.CI = a.ConsumerIntentions[i]
+		}
+		if i < len(a.ProviderIntentions) {
+			en.PI = a.ProviderIntentions[i]
+		}
+		if i < len(a.Scores) {
+			en.Score = a.Scores[i]
+		}
+		ex.Entries[i] = en
+	}
+	return ex
 }
 
 // backfillIntentions fills any intention the allocator did not collect

@@ -89,6 +89,38 @@ type Query struct {
 	// error when its estimated queue wait overruns the deadline, and
 	// serves earlier deadlines first within a class. Zero means none.
 	Deadline float64
+
+	// Trace carries the query's tracing state (see TraceContext). The
+	// zero value — unsampled — is the hot-path default.
+	Trace TraceContext
+}
+
+// TraceID identifies one end-to-end trace: 128 bits, rendered as 32 hex
+// digits in the W3C traceparent form. The zero value means "no trace".
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the ID is the no-trace sentinel.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the 32-hex-digit W3C form.
+func (t TraceID) String() string { return fmt.Sprintf("%016x%016x", t.Hi, t.Lo) }
+
+// TraceContext is the per-query tracing state stamped onto a Query at
+// submission and propagated by value through the pipeline (and, rendered
+// as a W3C traceparent header, across cluster forwards and participant
+// webhooks). Sampled gates every instrumentation site: when false —
+// the common case — the hot path takes a single predictable branch per
+// site and allocates nothing.
+type TraceContext struct {
+	ID      TraceID
+	Span    uint64 // parent span ID for cross-process propagation
+	Sampled bool
+	// Decided records that a sampler already ran for this query (sampled or
+	// not), so a downstream layer — the engine behind a gateway that made
+	// the call — never draws a second sampling decision for it.
+	Decided bool
 }
 
 // Validate reports whether the query is well formed.
@@ -171,6 +203,51 @@ type Allocation struct {
 	// (position-aligned with Proposed); informational, may be nil for
 	// allocators that do not score (e.g. random).
 	Scores []float64
+
+	// Explain is the ranked score breakdown behind this allocation,
+	// populated only for sampled queries (q.Trace.Sampled); nil — and
+	// therefore alloc-free — otherwise.
+	Explain *Explain
+}
+
+// Explain records why an allocation came out the way it did: every ranked
+// candidate with the score components that placed it there. Built only
+// for sampled queries — one heap allocation per sampled mediation.
+type Explain struct {
+	// Allocator names the technique that produced the ranking.
+	Allocator string
+
+	// SatC is the consumer's long-run satisfaction δs(c) feeding the
+	// adaptive ω (zero for allocators that do not consult it).
+	SatC float64
+
+	// Candidates is the size of the candidate set the allocator saw
+	// before any Kn truncation.
+	Candidates int
+
+	// Entries lists every ranked candidate, best first.
+	Entries []ExplainEntry
+}
+
+// ExplainEntry is one candidate's slice of an Explain record.
+type ExplainEntry struct {
+	// Rank is the candidate's 1-based position in the ranking vector →R
+	// (1 = best; the first q.N entries were selected).
+	Rank     int
+	Provider ProviderID
+
+	// CI and PI are the intentions that entered the score; SatP the
+	// provider's satisfaction δs(p); Omega the balance the score used.
+	CI    Intention
+	PI    Intention
+	SatP  float64
+	Omega float64
+	Score float64
+
+	// CIImputed / PIImputed flag intentions imputed from registry state
+	// because the participant stayed silent.
+	CIImputed bool
+	PIImputed bool
 }
 
 // IntentionFor returns the consumer and provider intentions recorded for

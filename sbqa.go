@@ -58,6 +58,7 @@ import (
 	"sbqa/internal/policy"
 	"sbqa/internal/qos"
 	"sbqa/internal/satisfaction"
+	"sbqa/internal/trace"
 	"sbqa/internal/score"
 	"sbqa/internal/stats"
 	"sbqa/internal/topics"
@@ -979,3 +980,83 @@ func RenderScenarios(w io.Writer, results []*ScenarioResult) error {
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Tracing and explainability: per-query spans, explain records, the flight
+// recorder (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+type (
+	// TraceID is a 128-bit trace identifier (W3C trace-id).
+	TraceID = model.TraceID
+	// TraceContext is the per-query trace stamp: identity, parent span, and
+	// the sampling decision every instrumentation site gates on.
+	TraceContext = model.TraceContext
+	// TraceRecorder owns sampling, active traces, the flight-recorder ring,
+	// and the per-stage latency histograms; see Engine.Tracer.
+	TraceRecorder = trace.Recorder
+	// TraceConfig sizes a recorder (sampling rate, ring capacity, span cap).
+	TraceConfig = trace.Config
+	// TraceSpan is one timed pipeline stage of a trace.
+	TraceSpan = trace.Span
+	// TraceView is an independent copy of one trace, safe to hold after the
+	// underlying pooled record is recycled.
+	TraceView = trace.TraceView
+	// TraceSpanView is one span of a TraceView.
+	TraceSpanView = trace.SpanView
+	// TraceStats is the recorder's counter block.
+	TraceStats = trace.Stats
+	// StageSnapshot is one pipeline stage's latency histogram in cumulative
+	// Prometheus form.
+	StageSnapshot = trace.StageSnapshot
+	// Explain is the allocation explain record: the ranked per-provider
+	// score breakdown (δs inputs, ω, intentions, imputed flags) of one
+	// mediation.
+	Explain = model.Explain
+	// ExplainEntry is one ranked candidate row of an Explain.
+	ExplainEntry = model.ExplainEntry
+	// ExplainView is the wire form of an Explain.
+	ExplainView = trace.ExplainView
+)
+
+// The pipeline stage names spans carry.
+const (
+	StageAdmission   = trace.StageAdmission
+	StageQueue       = trace.StageQueue
+	StageFanout      = trace.StageFanout
+	StageParticipant = trace.StageParticipant
+	StageImpute      = trace.StageImpute
+	StageScore       = trace.StageScore
+	StageDispatch    = trace.StageDispatch
+	StageForward     = trace.StageForward
+)
+
+// TraceparentHeader is the W3C propagation header name used on cluster
+// forwards and participant webhooks.
+const TraceparentHeader = trace.Header
+
+// WithTracing enables the engine's mediation tracer: sampled queries record
+// one span per pipeline stage plus an allocation explain record into a
+// bounded in-memory ring readable through Engine.Tracer (and the daemon's
+// /v1/queries/{id}/trace and /v1/debug endpoints). sample is the traced
+// fraction (deterministic 1-in-N; 1 traces everything, <=0 disables);
+// buffer is the ring capacity in finished traces (<=0 means 256). Unsampled
+// queries pay one predictable branch per site and zero allocations.
+func WithTracing(sample float64, buffer int) EngineOption {
+	return live.WithTracing(sample, buffer)
+}
+
+// ParseTraceparent decodes a W3C traceparent header; ok is false for
+// unknown versions, malformed fields, and the all-zero trace ID.
+func ParseTraceparent(s string) (TraceContext, bool) { return trace.Parse(s) }
+
+// FormatTraceparent renders a trace context in W3C traceparent form.
+func FormatTraceparent(tc TraceContext) string { return trace.Format(tc) }
+
+// TraceNow returns nanoseconds on the process-local monotonic clock all
+// spans share.
+func TraceNow() int64 { return trace.Now() }
+
+// TraceStageBuckets returns the stage histograms' explicit upper bounds in
+// seconds (the `le` labels of sbqa_stage_seconds).
+func TraceStageBuckets() []float64 { return trace.StageBuckets[:] }

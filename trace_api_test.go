@@ -1,0 +1,206 @@
+// Tests for the tracing facade: full-pipeline span capture at sample 1.0 on
+// both submission fronts, the explain record's completeness, and the
+// zero-alloc guarantee when sampling is off (the allocgate's companion: the
+// CI bench gate catches allocs/op drift, this test pins the cause to
+// tracing specifically by diffing a traced-at-zero engine against an
+// untraced one on the identical hot path).
+package sbqa
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sbqa/internal/core"
+)
+
+// traceTestService builds a single-shard blocking service over constant
+// providers, optionally with a recorder at the given sampling rate.
+func traceTestService(t testing.TB, traced bool, sample float64) *LiveService {
+	t.Helper()
+	cfg := LiveConfig{
+		Window:      50,
+		Concurrency: 1,
+		NewAllocator: func(shard int) Allocator {
+			c := core.DefaultConfig()
+			c.Seed = uint64(shard) + 1
+			return core.MustNew(c)
+		},
+	}
+	if traced {
+		cfg.Trace = &TraceConfig{Sample: sample, Buffer: 16}
+	}
+	svc, err := NewLiveEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		svc.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(float64(i%9)/9 - 0.3)})
+	}
+	svc.RegisterConsumer(LiveFuncConsumer{ID: 0, Fn: func(q Query, snap ProviderSnapshot) Intention {
+		return Intention(float64(int(snap.ID)%7)/7 - 0.2)
+	}})
+	return svc
+}
+
+// spanIndex maps stage name → span views, asserting Start <= End on each.
+func spanIndex(t *testing.T, v TraceView) map[string][]TraceSpanView {
+	t.Helper()
+	byName := make(map[string][]TraceSpanView)
+	for _, s := range v.Spans {
+		if s.StartNS > s.EndNS {
+			t.Errorf("span %s: start %d after end %d", s.Name, s.StartNS, s.EndNS)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	return byName
+}
+
+// TestTracingBlockingSubmitTrace: at sample 1.0 every blocking Submit leaves
+// a finished trace carrying the mediation stages (fanout, impute, score,
+// dispatch — the blocking front has no queue) and a complete explain record:
+// one ranked entry per proposed provider with the score inputs.
+func TestTracingBlockingSubmitTrace(t *testing.T) {
+	svc := traceTestService(t, true, 1)
+	a, err := svc.Submit(context.Background(), Query{Consumer: 0, N: 2, Work: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := svc.Tracer()
+	if tr == nil {
+		t.Fatal("traced engine has no recorder")
+	}
+	v, ok := tr.TraceByQuery(a.Query.ID)
+	if !ok {
+		t.Fatalf("no trace for query %d", a.Query.ID)
+	}
+	if v.Status != "allocated" {
+		t.Fatalf("status %q, want allocated", v.Status)
+	}
+	if v.TraceID == "" || len(v.TraceID) != 32 {
+		t.Errorf("trace_id %q, want 32 hex digits", v.TraceID)
+	}
+	byName := spanIndex(t, v)
+	for _, stage := range []string{StageFanout, StageImpute, StageScore, StageDispatch} {
+		if len(byName[stage]) != 1 {
+			t.Errorf("stage %s: %d spans, want 1 (have %v)", stage, len(byName[stage]), stageNames(v))
+		}
+	}
+	// The pipeline is sequential on this front: fanout → impute → score →
+	// dispatch, each stage starting no earlier than the previous one.
+	order := []string{StageFanout, StageImpute, StageScore, StageDispatch}
+	for i := 1; i < len(order); i++ {
+		prev, cur := byName[order[i-1]], byName[order[i]]
+		if len(prev) == 1 && len(cur) == 1 && cur[0].StartNS < prev[0].StartNS {
+			t.Errorf("stage %s starts at %d before %s at %d", order[i], cur[0].StartNS, order[i-1], prev[0].StartNS)
+		}
+	}
+	if v.Explain == nil {
+		t.Fatal("finished allocated trace has no explain record")
+	}
+	if len(v.Explain.Entries) != len(a.Proposed) {
+		t.Fatalf("explain has %d entries for %d proposed providers", len(v.Explain.Entries), len(a.Proposed))
+	}
+	for i, e := range v.Explain.Entries {
+		if e.Rank != i+1 {
+			t.Errorf("entry %d: rank %d, want %d", i, e.Rank, i+1)
+		}
+		if e.Omega < 0 || e.Omega > 1 {
+			t.Errorf("entry %d: omega %v outside [0,1]", i, e.Omega)
+		}
+	}
+}
+
+// TestTracingAsyncEngineTrace: the ticketed front additionally records the
+// queue stage, so an async submit at sample 1.0 yields at least the five
+// pipeline stages with a monotonic clock across them.
+func TestTracingAsyncEngineTrace(t *testing.T) {
+	eng, err := NewEngine(
+		WithWindow(50),
+		WithConcurrency(1),
+		WithTracing(1, 16),
+		WithAllocatorFactory(func(shard int) Allocator {
+			c := core.DefaultConfig()
+			c.Seed = uint64(shard) + 1
+			return core.MustNew(c)
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 40; i++ {
+		eng.RegisterProvider(providerStub{id: ProviderID(i), pi: Intention(float64(i%9)/9 - 0.3)})
+	}
+	eng.RegisterConsumer(LiveFuncConsumer{ID: 0, Fn: func(q Query, snap ProviderSnapshot) Intention {
+		return Intention(float64(int(snap.ID)%7)/7 - 0.2)
+	}})
+	a, err := eng.Submit(context.Background(), Query{Consumer: 0, N: 2, Work: 10}).Allocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shard goroutine finishes the trace after releasing the ticket
+	// waiter, so poll briefly for the terminal status.
+	tr := eng.Tracer()
+	var v TraceView
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var ok bool
+		if v, ok = tr.TraceByQuery(a.Query.ID); ok && v.Status != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace for query %d never finished (ok=%v status=%q)", a.Query.ID, ok, v.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v.Status != "allocated" {
+		t.Fatalf("status %q, want allocated", v.Status)
+	}
+	byName := spanIndex(t, v)
+	for _, stage := range []string{StageQueue, StageFanout, StageImpute, StageScore, StageDispatch} {
+		if len(byName[stage]) == 0 {
+			t.Errorf("stage %s missing (have %v)", stage, stageNames(v))
+		}
+	}
+	if v.Explain == nil || len(v.Explain.Entries) == 0 {
+		t.Fatal("async trace has no explain entries")
+	}
+}
+
+func stageNames(v TraceView) []string {
+	names := make([]string, len(v.Spans))
+	for i, s := range v.Spans {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// TestTracingDisabledZeroAllocSubmit is the allocgate's root cause test: an
+// engine built with tracing at sample 0 must allocate exactly as much per
+// blocking Submit as an engine built with no tracer at all. CI enforces the
+// absolute number through BenchmarkMediateEndToEnd; this pins any regression
+// to the tracing branches specifically.
+func TestTracingDisabledZeroAllocSubmit(t *testing.T) {
+	measure := func(svc *LiveService) float64 {
+		q := Query{Consumer: 0, N: 2, Work: 10}
+		ctx := context.Background()
+		// Warm the per-shard pools (scratch buffers, flat scoring arrays)
+		// before measuring, as the bench gate's 2000-iteration runs do.
+		for i := 0; i < 100; i++ {
+			if _, err := svc.Submit(ctx, q, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := svc.Submit(ctx, q, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	untraced := measure(traceTestService(t, false, 0))
+	tracedOff := measure(traceTestService(t, true, 0))
+	if tracedOff != untraced {
+		t.Fatalf("sampling-off Submit allocates %.1f/op, untraced %.1f/op — tracing must add zero", tracedOff, untraced)
+	}
+}
